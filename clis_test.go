@@ -1,0 +1,92 @@
+package ftmc
+
+// Smoke tests for the command-line tools, run via `go run`. Skipped under
+// -short.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v failed: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func writeExampleSet(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "set.json")
+	data := `{"tasks":[
+		{"name":"τ1","T":"60ms","C":"5ms","level":"B","f":1e-5},
+		{"name":"τ2","T":"25ms","C":"4ms","level":"B","f":1e-5},
+		{"name":"τ3","T":"40ms","C":"7ms","level":"D","f":1e-5},
+		{"name":"τ4","T":"90ms","C":"6ms","level":"D","f":1e-5},
+		{"name":"τ5","T":"70ms","C":"8ms","level":"D","f":1e-5}
+	]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLIAnalyze(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI runs skipped in -short mode")
+	}
+	path := writeExampleSet(t)
+	out := runCLI(t, "./cmd/ftmc-analyze", path)
+	if !strings.Contains(out, "SUCCESS under EDF-VD: n_HI=3 n_LO=1 n'_HI=2") {
+		t.Errorf("analyze output:\n%s", out)
+	}
+	cert := runCLI(t, "./cmd/ftmc-analyze", "-cert", path)
+	if !strings.Contains(cert, "All obligations discharged") {
+		t.Errorf("cert output:\n%s", cert)
+	}
+}
+
+func TestCLIGenAndExplore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI runs skipped in -short mode")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gen.json")
+	out := runCLI(t, "./cmd/ftmc-gen", "-u", "0.5", "-seed", "3")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ex := runCLI(t, "./cmd/ftmc-explore", path)
+	if !strings.Contains(ex, "recommended:") {
+		t.Errorf("explore output:\n%s", ex)
+	}
+}
+
+func TestCLIFMS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI runs skipped in -short mode")
+	}
+	out := runCLI(t, "./cmd/ftmc-fms", "-fig", "1")
+	if !strings.Contains(out, "n_HI=3 n_LO=2") {
+		t.Errorf("fms output:\n%s", out)
+	}
+}
+
+func TestCLISim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI runs skipped in -short mode")
+	}
+	path := writeExampleSet(t)
+	out := runCLI(t, "./cmd/ftmc-sim", "-horizon", "10s", path)
+	if !strings.Contains(out, "empirical failures/hour") {
+		t.Errorf("sim output:\n%s", out)
+	}
+}

@@ -1,0 +1,75 @@
+// ftmc-explore evaluates the whole fault-tolerant design space for a task
+// set: FT-S under every adaptation mechanism (killing; degradation at
+// several factors) and every pluggable schedulability test, scored on LO
+// safety margin, retained LO service and utilization headroom, with the
+// Pareto-optimal designs marked and one recommended.
+//
+// Usage:
+//
+//	ftmc-explore [-os 10] [-dfs 2,6,12] file.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/explore"
+	"repro/internal/safety"
+	"repro/internal/task"
+)
+
+func main() {
+	osHours := flag.Int("os", 1, "operation duration OS in hours")
+	dfsFlag := flag.String("dfs", "2,6,12", "comma-separated degradation factors to explore")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ftmc-explore [flags] file.json")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var set task.Set
+	if err := json.Unmarshal(data, &set); err != nil {
+		fatal(err)
+	}
+	var dfs []float64
+	for _, part := range strings.Split(*dfsFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -dfs entry %q: %v", part, err))
+		}
+		dfs = append(dfs, v)
+	}
+
+	designs, err := explore.Explore(&set, explore.Options{
+		Safety: safety.Config{OperationHours: *osHours, AssumeFullWCET: true},
+		DFs:    dfs,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("design space for:", &set)
+	fmt.Println()
+	for _, d := range designs {
+		fmt.Println(" ", d)
+	}
+	fmt.Println()
+	if rec, ok := explore.Recommend(designs); ok {
+		fmt.Println("recommended:", rec)
+	} else {
+		fmt.Println("no design certifies this system")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftmc-explore:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// ftmc-fms regenerates the flight management system experiment: the data
+// behind Fig. 1 (task killing) and Fig. 2 (service degradation) of the
+// paper.
+//
+// Usage:
+//
+//	ftmc-fms [-fig 1|2|both] [-seed N] [-max 4] [-csv]
+//
+// With -seed 0 (default) the calibrated per-figure instances are used;
+// any other seed draws a fresh Table 4 instance for both figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/criticality"
+	"repro/internal/expt"
+	"repro/internal/gen"
+	"repro/internal/plot"
+	"repro/internal/prob"
+	"repro/internal/safety"
+	"repro/internal/task"
+)
+
+func main() {
+	fig := flag.String("fig", "both", "which figure to regenerate: 1, 2 or both")
+	seed := flag.Int64("seed", 0, "FMS instance seed (0 = calibrated per-figure instances)")
+	max := flag.Int("max", 4, "largest adaptation profile n'_HI to sweep")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	draw := flag.Bool("plot", false, "draw ASCII charts of the sweep")
+	flag.Parse()
+
+	instance := func(def int64) *task.Set {
+		if *seed != 0 {
+			return gen.FMSAt(*seed)
+		}
+		return gen.FMSAt(def)
+	}
+	emit := func(title string, r expt.FMSResult) {
+		fmt.Printf("== %s ==\n", title)
+		fmt.Printf("instance: %v\nminimal re-execution profiles: n_HI=%d n_LO=%d (OS = %d h)\n",
+			r.Set, r.NHI, r.NLO, gen.FMSOperationHours)
+		headers, rows := expt.FMSRows(r)
+		var err error
+		if *csv {
+			err = expt.WriteCSV(os.Stdout, headers, rows)
+		} else {
+			err = expt.WriteTable(os.Stdout, headers, rows)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if *draw {
+			drawSweep(r)
+		}
+		fmt.Println()
+	}
+
+	if *fig == "1" || *fig == "both" {
+		r, err := expt.FMSSweep(instance(gen.DefaultFMSKillSeed), safety.Kill, 0, *max)
+		if err != nil {
+			fatal(err)
+		}
+		emit("Fig. 1: FMS under task killing", r)
+	}
+	if *fig == "2" || *fig == "both" {
+		r, err := expt.FMSSweep(instance(gen.DefaultFMSDegradeSeed), safety.Degrade, gen.FMSDegradeFactor, *max)
+		if err != nil {
+			fatal(err)
+		}
+		emit("Fig. 2: FMS under service degradation (df = 6)", r)
+	}
+	if *fig != "1" && *fig != "2" && *fig != "both" {
+		fatal(fmt.Errorf("unknown -fig %q", *fig))
+	}
+}
+
+// drawSweep plots the two y-axes of the figure: UMC (with the
+// schedulability boundary at 1) and log10 pfh(LO) (with the level C safety
+// boundary).
+func drawSweep(r expt.FMSResult) {
+	var xs, umc, lg []float64
+	for _, p := range r.Points {
+		xs = append(xs, float64(p.NPrime))
+		umc = append(umc, p.UMC)
+		lg = append(lg, p.Log10PFHLO)
+	}
+	one := 1.0
+	chart := plot.Chart{
+		Title: "UMC vs n'_HI (···· schedulability boundary)",
+		Width: 48, Height: 10, HLine: &one,
+		XLabel: "n'_HI", YLabel: "UMC",
+		Series: []plot.Series{{Name: "UMC", X: xs, Y: umc, Marker: 'u'}},
+	}
+	if err := chart.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	boundary := prob.Log10(r.Set.Dual().Requirement(criticality.LO))
+	chart = plot.Chart{
+		Title: "log10 pfh(LO) vs n'_HI (···· safety boundary)",
+		Width: 48, Height: 10, HLine: &boundary,
+		XLabel: "n'_HI", YLabel: "log10 pfh(LO)",
+		Series: []plot.Series{{Name: "pfh(LO)", X: xs, Y: lg, Marker: 'p'}},
+	}
+	if err := chart.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftmc-fms:", err)
+	os.Exit(1)
+}

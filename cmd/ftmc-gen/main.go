@@ -1,0 +1,60 @@
+// ftmc-gen writes random dual-criticality task sets (Appendix C
+// generator) or Table 4 FMS instances as JSON, consumable by
+// ftmc-analyze and ftmc-sim.
+//
+// Usage:
+//
+//	ftmc-gen [-fms] [-u 0.7] [-hi B] [-lo D] [-f 1e-5] [-seed 1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	ftmc "repro"
+	"repro/internal/criticality"
+	"repro/internal/gen"
+	"repro/internal/task"
+)
+
+func main() {
+	fms := flag.Bool("fms", false, "emit a Table 4 FMS instance instead of a random set")
+	u := flag.Float64("u", 0.7, "target system utilization")
+	hi := flag.String("hi", "B", "HI criticality level (A..D)")
+	lo := flag.String("lo", "D", "LO criticality level (B..E)")
+	f := flag.Float64("f", 1e-5, "per-attempt failure probability")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	var set *task.Set
+	if *fms {
+		set = gen.FMSAt(*seed)
+	} else {
+		hiLevel, err := criticality.Parse(*hi)
+		if err != nil {
+			fatal(err)
+		}
+		loLevel, err := criticality.Parse(*lo)
+		if err != nil {
+			fatal(err)
+		}
+		set, err = ftmc.RandomTaskSet(rand.New(rand.NewSource(*seed)),
+			ftmc.PaperGenParams(hiLevel, loLevel, *u, *f))
+		if err != nil {
+			fatal(err)
+		}
+	}
+	out, err := json.MarshalIndent(set, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftmc-gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,158 @@
+// ftmc-report runs the complete reproduction — every table and figure of
+// the paper plus this repository's extension studies — and emits a
+// markdown report of paper-expected versus measured values. EXPERIMENTS.md
+// is curated from this tool's output.
+//
+// Usage:
+//
+//	ftmc-report [-sets 200] [-instances 100] [-seed 1]
+//
+// With the defaults the full run takes on the order of a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ftmc "repro"
+	"repro/internal/criticality"
+	"repro/internal/expt"
+	"repro/internal/gen"
+	"repro/internal/safety"
+)
+
+func main() {
+	sets := flag.Int("sets", 200, "random task sets per Fig. 3 data point")
+	instances := flag.Int("instances", 100, "FMS instances for the robustness study")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	fmt.Println("# Reproduction report")
+	fmt.Println()
+
+	example31()
+	fmsFigures()
+	fig3(*sets, *seed)
+	sensitivity(*instances, *seed)
+	runtimeValidation()
+}
+
+func example31() {
+	fmt.Println("## Example 3.1 / Tables 2–3")
+	fmt.Println()
+	mk := func(name string, T, C int64, l ftmc.Level) ftmc.Task {
+		return ftmc.Task{Name: name, Period: ftmc.Milliseconds(T), Deadline: ftmc.Milliseconds(T),
+			WCET: ftmc.Milliseconds(C), Level: l, FailProb: 1e-5}
+	}
+	set := ftmc.MustNewSet([]ftmc.Task{
+		mk("τ1", 60, 5, ftmc.LevelB), mk("τ2", 25, 4, ftmc.LevelB),
+		mk("τ3", 40, 7, ftmc.LevelD), mk("τ4", 90, 6, ftmc.LevelD), mk("τ5", 70, 8, ftmc.LevelD),
+	})
+	res, err := ftmc.AnalyzeEDFVD(set, ftmc.DefaultSafetyConfig())
+	if err != nil {
+		fatal(err)
+	}
+	u := set.ScaledUtilization(ftmc.HI, 3) + set.ScaledUtilization(ftmc.LO, 1)
+	fmt.Println("| quantity | paper | measured |")
+	fmt.Println("|---|---|---|")
+	fmt.Printf("| n_HI (minimal) | 3 | %d |\n", res.NHI)
+	fmt.Printf("| n_LO (minimal) | 1 | %d |\n", res.NLO)
+	fmt.Printf("| pfh(HI) at n_HI = 3 | 2.04e-10 | %.3g |\n", res.PFHHI)
+	fmt.Printf("| U without killing | 1.08595 | %.5f |\n", u)
+	fmt.Printf("| killing profile n'_HI | 2 (Table 3 EDF-VD schedulable) | %d (OK=%v) |\n", res.Profiles.NPrime, res.OK)
+	fmt.Println()
+}
+
+func fmsFigures() {
+	for _, fig := range []struct {
+		name string
+		run  func() (ftmc.FMSSweepResult, error)
+	}{{"Fig. 1 (FMS, task killing)", ftmc.Fig1}, {"Fig. 2 (FMS, service degradation df = 6)", ftmc.Fig2}} {
+		r, err := fig.run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("## %s\n\n", fig.name)
+		fmt.Printf("Instance: %v; minimal profiles n_HI=%d n_LO=%d (paper: 3/2).\n\n", r.Set, r.NHI, r.NLO)
+		fmt.Println("| n'_HI | UMC | schedulable | log10 pfh(LO) | safe |")
+		fmt.Println("|---|---|---|---|---|")
+		for _, p := range r.Points {
+			fmt.Printf("| %d | %.4f | %v | %.2f | %v |\n", p.NPrime, p.UMC, p.Schedulable, p.Log10PFHLO, p.Safe)
+		}
+		fmt.Println()
+	}
+}
+
+func fig3(sets int, seed int64) {
+	fmt.Println("## Fig. 3 (acceptance ratios)")
+	fmt.Println()
+	for _, panel := range []string{"3a", "3b", "3c", "3d"} {
+		cfg, err := expt.PanelConfig(panel, sets, seed)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := expt.Fig3(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("### Panel %s: HI=%v LO=%v mode=%v (%d sets/point)\n\n", panel, cfg.HI, cfg.LO, cfg.Mode, sets)
+		fmt.Println("| U | base f=1e-3 | adapt f=1e-3 | base f=1e-5 | adapt f=1e-5 |")
+		fmt.Println("|---|---|---|---|---|")
+		for ui, u := range cfg.Utils {
+			fmt.Printf("| %.2f | %.3f | %.3f | %.3f | %.3f |\n", u,
+				res.Curves[0].Baseline[ui], res.Curves[0].Adapted[ui],
+				res.Curves[1].Baseline[ui], res.Curves[1].Adapted[ui])
+		}
+		fmt.Println()
+	}
+}
+
+func sensitivity(instances int, seed int64) {
+	fmt.Println("## Extension studies")
+	fmt.Println()
+	r, err := expt.RunFMSRobustness(instances, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("FMS robustness: %v.\n\n", r)
+	dfs := []float64{1.5, 2, 3, 4, 6, 8, 12}
+	points, err := expt.DFSweep(criticality.LevelB, criticality.LevelD, 0.8, 1e-5, dfs, instances, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Degradation-factor sweep (HI=B LO=D, U=0.8, f=1e-5):")
+	fmt.Println()
+	fmt.Println("| df | acceptance | 95% CI |")
+	fmt.Println("|---|---|---|")
+	for _, p := range points {
+		fmt.Printf("| %.1f | %.3f | %v |\n", p.DF, p.Acceptance, p.CI)
+	}
+	fmt.Println()
+}
+
+func runtimeValidation() {
+	fmt.Println("## Runtime validation (simulator)")
+	fmt.Println()
+	set := ftmc.FMSAt(gen.DefaultFMSDegradeSeed)
+	cfg := ftmc.SafetyConfig{OperationHours: gen.FMSOperationHours, AssumeFullWCET: true}
+	res, err := ftmc.AnalyzeEDFVDDegrade(set, cfg, gen.FMSDegradeFactor)
+	if err != nil || !res.OK {
+		fatal(fmt.Errorf("FMS degrade analysis failed: %v %v", res, err))
+	}
+	stats, err := ftmc.Simulate(ftmc.SimConfig{
+		Set: set, NHI: res.Profiles.NHI, NLO: res.Profiles.NLO, NPrime: res.Profiles.NPrime,
+		Mode: safety.Degrade, DF: gen.FMSDegradeFactor, Policy: ftmc.PolicyEDFVD,
+		Horizon: ftmc.Hours(1),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("FMS (degradation design) over 1 simulated hour, fault-free: %v; HI misses %d, LO misses %d.\n",
+		stats, stats.DeadlineMisses(ftmc.HI), stats.DeadlineMisses(ftmc.LO))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftmc-report:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+// ftmc-sense runs the sensitivity studies that go beyond the paper's
+// figures: the degradation-factor sweep (the paper fixes df = 6 without
+// justification) and the FMS instance-robustness study (the paper reports
+// one random Table 4 draw).
+//
+// Usage:
+//
+//	ftmc-sense [-what df|fms|os|ckpt|phi|all] [-u 0.8] [-f 1e-5] [-sets 200] [-instances 100] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ckpt"
+	"repro/internal/criticality"
+	"repro/internal/expt"
+	"repro/internal/gen"
+	"repro/internal/safety"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+// ftmcMs keeps the table-building code compact.
+func ftmcMs(v int64) timeunit.Time { return timeunit.Milliseconds(v) }
+
+func main() {
+	what := flag.String("what", "all", "study to run: df, fms, os, ckpt, phi or all")
+	u := flag.Float64("u", 0.8, "system utilization for the df sweep")
+	f := flag.Float64("f", 1e-5, "per-attempt failure probability for the df sweep")
+	sets := flag.Int("sets", 200, "random sets per df value")
+	instances := flag.Int("instances", 100, "FMS instances for the robustness study")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Parse()
+
+	if *what == "df" || *what == "all" {
+		dfs := []float64{1.25, 1.5, 2, 3, 4, 6, 8, 12, 16, 24}
+		points, err := expt.DFSweep(criticality.LevelB, criticality.LevelD, *u, *f, dfs, *sets, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== degradation factor sweep (HI=B LO=D, U=%.2f, f=%.0e, %d sets/point) ==\n", *u, *f, *sets)
+		headers := []string{"df", "acceptance", "95% CI", "mean pfh(LO)"}
+		var rows [][]string
+		for _, p := range points {
+			rows = append(rows, []string{
+				fmt.Sprintf("%.2f", p.DF),
+				fmt.Sprintf("%.3f", p.Acceptance),
+				p.CI.String(),
+				fmt.Sprintf("%.3g", p.MeanPFHLO),
+			})
+		}
+		if err := expt.WriteTable(os.Stdout, headers, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *what == "os" || *what == "all" {
+		s := gen.FMSAt(gen.DefaultFMSDegradeSeed)
+		points, err := expt.OSSweep(s, []int{1, 2, 5, 10, 20, 50})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== operation-duration (OS) sweep on the Fig. 2 FMS instance ==")
+		headers := []string{"OS (h)", "pfh(LO) kill", "pfh(LO) degrade", "kill cert.", "degrade cert."}
+		var rows [][]string
+		for _, p := range points {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", p.Hours),
+				fmt.Sprintf("%.3g", p.PFHLOKill),
+				fmt.Sprintf("%.3g", p.PFHLODegrade),
+				fmt.Sprintf("%v", p.KillCertifiable),
+				fmt.Sprintf("%v", p.DegradeCertifiable),
+			})
+		}
+		if err := expt.WriteTable(os.Stdout, headers, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *what == "phi" || *what == "all" {
+		phis := []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9}
+		points, err := expt.PHISweep(safety.Kill, 0, *u, *f, phis, *sets, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== HI-task share (P_HI) sweep (killing, LO=D, U=%.2f, f=%.0e, %d sets/point) ==\n", *u, *f, *sets)
+		headers := []string{"P_HI", "baseline", "adapted", "gap"}
+		var rows [][]string
+		for _, p := range points {
+			rows = append(rows, []string{
+				fmt.Sprintf("%.2f", p.PHI),
+				fmt.Sprintf("%.3f", p.Baseline),
+				fmt.Sprintf("%.3f", p.Adapted),
+				fmt.Sprintf("%.3f", p.Gap),
+			})
+		}
+		if err := expt.WriteTable(os.Stdout, headers, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *what == "ckpt" || *what == "all" {
+		fmt.Println("== checkpointing vs whole-job re-execution (per-round target 1e-7, overhead 1 ms) ==")
+		heavy := task.Task{Name: "heavy", Period: ftmcMs(4000), Deadline: ftmcMs(4000),
+			WCET: ftmcMs(400), Level: criticality.LevelB}
+		light := task.Task{Name: "light", Period: ftmcMs(100), Deadline: ftmcMs(100),
+			WCET: ftmcMs(5), Level: criticality.LevelB}
+		headers := []string{"task", "λ (/h)", "reexec n", "reexec budget", "ckpt (k,m)", "ckpt budget", "ratio"}
+		var rows [][]string
+		for _, tk := range []task.Task{heavy, light} {
+			for _, lam := range []float64{9, 90, 900} {
+				cmp, err := ckpt.Compare(tk, safety.FaultRate{PerHour: lam}, ftmcMs(1), 1e-7, 16, 8)
+				if err != nil {
+					fatal(err)
+				}
+				rows = append(rows, []string{
+					tk.Name, fmt.Sprintf("%g", lam),
+					fmt.Sprintf("%d", cmp.ReexecN), cmp.ReexecBudget.String(),
+					fmt.Sprintf("(%d,%d)", cmp.Ckpt.Segments, cmp.Ckpt.Retries),
+					cmp.CkptBudget.String(), fmt.Sprintf("%.2f", cmp.BudgetRatio),
+				})
+			}
+		}
+		if err := expt.WriteTable(os.Stdout, headers, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if *what == "fms" || *what == "all" {
+		r, err := expt.RunFMSRobustness(*instances, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("== FMS robustness ==")
+		fmt.Println(r)
+	}
+	if *what != "df" && *what != "fms" && *what != "os" && *what != "ckpt" && *what != "phi" && *what != "all" {
+		fatal(fmt.Errorf("unknown -what %q", *what))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftmc-sense:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// ftmc-sim runs the discrete-event EDF-VD runtime on a task-set file with
+// fault injection, after sizing the profiles with FT-S.
+//
+// Usage:
+//
+//	ftmc-sim [-mode kill|degrade] [-df 6] [-os 1] [-horizon 1h] [-seed 1] [-trace 0] [-chrometrace out.json] file.json
+//
+// The tool first runs Algorithm 1 to pick the re-execution and adaptation
+// profiles, then simulates the set under random transient faults drawn
+// with each task's own probability f, and reports deadline misses,
+// mode-switch behaviour and the empirical failure rates next to the
+// analytical PFH bounds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	ftmc "repro"
+	"repro/internal/task"
+)
+
+func main() {
+	mode := flag.String("mode", "kill", "adaptation mode: kill or degrade")
+	df := flag.Float64("df", 6, "service degradation factor (degrade mode)")
+	osHours := flag.Int("os", 1, "operation duration OS in hours (analysis)")
+	horizon := flag.String("horizon", "1h", "simulated duration, e.g. 30s, 10m, 1h")
+	seed := flag.Int64("seed", 1, "fault-injection seed")
+	traceN := flag.Int("trace", 0, "print the first N runtime events")
+	chrome := flag.String("chrometrace", "", "write a chrome://tracing JSON of the first 100k slices to this file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ftmc-sim [flags] file.json")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var set task.Set
+	if err := json.Unmarshal(data, &set); err != nil {
+		fatal(err)
+	}
+	h, err := ftmc.ParseTime(*horizon)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := ftmc.Options{Safety: ftmc.SafetyConfig{OperationHours: *osHours, AssumeFullWCET: true}}
+	switch *mode {
+	case "kill":
+		opt.Mode = ftmc.Kill
+	case "degrade":
+		opt.Mode = ftmc.Degrade
+		opt.DF = *df
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	res, err := ftmc.Analyze(&set, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("FT-S:", res)
+	if !res.OK {
+		fmt.Println("ftmc-sim: design rejected; simulating anyway with minimal profiles is not meaningful")
+		os.Exit(1)
+	}
+
+	probs := make([]float64, set.Len())
+	for i, t := range set.Tasks() {
+		probs[i] = t.FailProb
+	}
+	simCfg := ftmc.SimConfig{
+		Set: &set, NHI: res.Profiles.NHI, NLO: res.Profiles.NLO, NPrime: res.Profiles.NPrime,
+		Mode: opt.Mode, DF: opt.DF, Policy: ftmc.PolicyEDFVD,
+		Horizon:    h,
+		Faults:     ftmc.RandomFaults(rand.New(rand.NewSource(*seed)), probs),
+		TraceLimit: *traceN,
+	}
+	if *chrome != "" {
+		simCfg.SliceLimit = 100_000
+		if simCfg.TraceLimit < 10_000 {
+			simCfg.TraceLimit = 10_000
+		}
+	}
+	sim, err := ftmc.NewSimulator(simCfg)
+	if err != nil {
+		fatal(err)
+	}
+	stats := sim.Run()
+	fmt.Println("\nrun:", stats)
+	fmt.Printf("%-8s %9s %9s %7s %7s %7s %7s\n", "task", "released", "done", "late", "rounds", "killed", "suppr")
+	for _, ts := range stats.PerTask {
+		fmt.Printf("%-8s %9d %9d %7d %7d %7d %7d\n",
+			ts.Name, ts.Released, ts.Completed, ts.LateCompletions+ts.UnfinishedMisses,
+			ts.RoundFailures, ts.KilledJobs, ts.SuppressedJobs)
+	}
+	fmt.Printf("\nempirical failures/hour: HI %.4g (bound %.4g), LO %.4g (bound %.4g)\n",
+		stats.EmpiricalFailuresPerHour(ftmc.HI), res.PFHHI,
+		stats.EmpiricalFailuresPerHour(ftmc.LO), res.PFHLO)
+	for i, ev := range sim.Trace() {
+		if i >= *traceN {
+			break
+		}
+		fmt.Println(" ", ev)
+	}
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := sim.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		fmt.Println("chrome trace written to", *chrome)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftmc-sim:", err)
+	os.Exit(1)
+}

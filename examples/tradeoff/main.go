@@ -1,0 +1,81 @@
+// Trade-off study: what a system designer gains from each mechanism.
+//
+// A miniature of the paper's Fig. 3 plus a scheduler shoot-out: random
+// dual-criticality workloads (Appendix C generator) are pushed through
+// FT-S with killing and with degradation, for LO tasks that are
+// safety-irrelevant (level D) and safety-relevant (level C), and the
+// acceptance ratios are compared. A second table swaps the pluggable
+// schedulability test S (EDF-VD, AMC-rtb, SMC, DBF-tune) to show the Appendix B
+// claim that FT-S is generic over the conventional MC scheduler.
+//
+// Run with: go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	ftmc "repro"
+	"repro/internal/expt"
+)
+
+func main() {
+	const sets = 60
+	fmt.Println("== Killing vs degradation, safety-irrelevant vs level C LO tasks ==")
+	fmt.Println("(acceptance ratio over", sets, "random sets per point, f = 1e-5)")
+	var rows [][]string
+	for _, u := range []float64{0.35, 0.5, 0.65, 0.8} {
+		row := []string{fmt.Sprintf("%.2f", u)}
+		for _, panel := range []string{"3a", "3b", "3c", "3d"} {
+			cfg, err := expt.PanelConfig(panel, sets, 11)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.Utils = []float64{u}
+			cfg.FailProbs = []float64{1e-5}
+			res, err := expt.Fig3(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, fmt.Sprintf("%.2f", res.Curves[0].Adapted[0]))
+		}
+		rows = append(rows, row)
+	}
+	headers := []string{"U", "kill,LO=D", "kill,LO=C", "degrade,LO=D", "degrade,LO=C"}
+	if err := expt.WriteTable(os.Stdout, headers, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nReading: killing helps only when the LO tasks carry no safety")
+	fmt.Println("requirement; with level C tasks, degradation is the usable lever.")
+
+	fmt.Println("\n== Pluggable scheduler S inside FT-S (killing, LO = D, U = 0.8) ==")
+	tests := []ftmc.SchedulabilityTest{ftmc.EDFVD, ftmc.AMCrtb, ftmc.SMC, ftmc.DBFTune}
+	accepted := make([]int, len(tests))
+	for i := 0; i < sets; i++ {
+		rng := rand.New(rand.NewSource(1000 + int64(i)))
+		s, err := ftmc.RandomTaskSet(rng, ftmc.PaperGenParams(ftmc.LevelB, ftmc.LevelD, 0.8, 1e-5))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for ti, test := range tests {
+			res, err := ftmc.Analyze(s, ftmc.Options{
+				Safety: ftmc.DefaultSafetyConfig(), Mode: ftmc.Kill, Test: test,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.OK {
+				accepted[ti]++
+			}
+		}
+	}
+	var srows [][]string
+	for ti, test := range tests {
+		srows = append(srows, []string{test.Name(), fmt.Sprintf("%.2f", float64(accepted[ti])/sets)})
+	}
+	if err := expt.WriteTable(os.Stdout, []string{"scheduler S", "acceptance"}, srows); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package ftmc
+
+// Integration tests for the runnable examples: each is executed via
+// `go run` and its output checked for the claims it prints. Skipped under
+// -short (each run compiles a binary).
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, dir string) string {
+	t.Helper()
+	cmd := exec.Command("go", "run", "./examples/"+dir)
+	cmd.Dir = "."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("example %s failed: %v\n%s", dir, err, out)
+	}
+	return string(out)
+}
+
+func TestExampleQuickstart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs skipped in -short mode")
+	}
+	out := runExample(t, "quickstart")
+	for _, want := range []string{
+		"SUCCESS under EDF-VD: n_HI=3 n_LO=1 n'_HI=2",
+		"U = 1.08595",
+		"C(HI)=15ms C(LO)=10ms",
+		"No deadline misses",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleFMS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs skipped in -short mode")
+	}
+	out := runExample(t, "fms")
+	for _, want := range []string{
+		"minimal profiles: n_HI=3 n_LO=2",
+		"FT-S with task killing:        FAILURE",
+		"FT-S with service degradation: SUCCESS",
+		"matching the paper's §5.1 finding",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fms output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleFaultInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs skipped in -short mode")
+	}
+	out := runExample(t, "faultinjection")
+	if strings.Count(out, "bound HOLDS") != 2 {
+		t.Errorf("expected both bounds to hold:\n%s", out)
+	}
+	if !strings.Contains(out, "degradation retains it") {
+		t.Errorf("missing conclusion:\n%s", out)
+	}
+}
+
+func TestExampleTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs skipped in -short mode")
+	}
+	out := runExample(t, "tradeoff")
+	for _, want := range []string{"kill,LO=C", "degrade,LO=C", "EDF-VD", "DBF-tune"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tradeoff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExampleAdvanced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs skipped in -short mode")
+	}
+	out := runExample(t, "advanced")
+	for _, want := range []string{
+		"f = 5e-07 per attempt",
+		"per-task",
+		"no deadline misses",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("advanced output missing %q:\n%s", want, out)
+		}
+	}
+}

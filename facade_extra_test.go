@@ -1,0 +1,81 @@
+package ftmc
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPublicAPINewSetValidation(t *testing.T) {
+	if _, err := NewSet(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	s, err := NewSet(example31().Tasks())
+	if err != nil || s.Len() != 5 {
+		t.Errorf("NewSet: %v %v", s, err)
+	}
+}
+
+func TestPublicAPIAnalyzeVariants(t *testing.T) {
+	s := example31()
+	res, err := Analyze(s, Options{Safety: DefaultSafetyConfig(), Mode: Kill})
+	if err != nil || !res.OK {
+		t.Fatalf("Analyze: %v %v", res, err)
+	}
+	deg, err := AnalyzeEDFVDDegrade(s, DefaultSafetyConfig(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 3.1 is degrade-unschedulable at df = 6 (heavy HI-mode term).
+	if deg.OK {
+		t.Errorf("degrade unexpectedly accepted: %v", deg)
+	}
+	per, err := AnalyzePerTask(s, Options{Safety: DefaultSafetyConfig(), Mode: Kill})
+	if err != nil || !per.OK {
+		t.Fatalf("AnalyzePerTask: %+v %v", per, err)
+	}
+	conv, err := ConvertPerTask(s, per.Reexec, per.NPrime)
+	if err != nil || conv.Len() != 5 {
+		t.Fatalf("ConvertPerTask: %v %v", conv, err)
+	}
+}
+
+func TestPublicAPIDegradeTest(t *testing.T) {
+	s := example31()
+	conv, _ := Convert(s, Profiles{NHI: 3, NLO: 1, NPrime: 1})
+	d := EDFVDDegrade(6)
+	if !strings.Contains(d.Name(), "degrade") {
+		t.Errorf("Name = %q", d.Name())
+	}
+	// Exercise the boolean path (the verdict itself is workload-specific).
+	_ = d.Schedulable(conv)
+	if got := UMC(s, 3, 1, 1, Degrade, 6); math.IsNaN(got) {
+		t.Error("UMC degrade returned NaN")
+	}
+}
+
+func TestPublicAPISimStatsAccessors(t *testing.T) {
+	s := example31()
+	stats, err := Simulate(SimConfig{
+		Set: s, NHI: 3, NLO: 1, NPrime: 2,
+		Mode: Kill, Policy: PolicyEDF, Horizon: Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.ClassReleased(HI); got <= 0 {
+		t.Errorf("ClassReleased(HI) = %d", got)
+	}
+	if got := stats.ClassReleased(LO); got <= 0 {
+		t.Errorf("ClassReleased(LO) = %d", got)
+	}
+	if u := stats.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("Utilization = %v", u)
+	}
+	if stats.EmpiricalFailuresPerHour(HI) != 0 {
+		t.Error("fault-free run reported failures")
+	}
+	if stats.String() == "" {
+		t.Error("empty stats string")
+	}
+}

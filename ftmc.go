@@ -1,0 +1,276 @@
+// Package ftmc is the public API of the fault-tolerant mixed-criticality
+// scheduling library, a from-scratch reproduction of Huang, Yang, Thiele,
+// "On the Scheduling of Fault-Tolerant Mixed-Criticality Systems"
+// (TIK Report 351 / DAC 2014).
+//
+// The library answers the paper's design question: given a dual-criticality
+// sporadic task set on a uniprocessor, per-job transient-fault
+// probabilities, and DO-178B probability-of-failure-per-hour (PFH)
+// requirements per criticality level, find task re-execution profiles and
+// an adaptation (LO-task killing or service-degradation) profile such that
+// both safety and schedulability hold — by converting the problem to
+// conventional mixed-criticality scheduling (Lemma 4.1) and running any
+// standard MC schedulability test on the converted set (Algorithm 1).
+//
+// Entry points:
+//
+//   - NewSet / Task build dual-criticality task sets; Level* are the
+//     DO-178B assurance levels with their Table 1 PFH requirements.
+//   - Analyze runs the FT-S algorithm (FT-EDF-VD by default) and reports
+//     the chosen profiles, the converted MC task set, and the achieved
+//     safety bounds.
+//   - Convert performs the Lemma 4.1 problem conversion directly.
+//   - Simulate runs the discrete-event EDF-VD runtime with fault
+//     injection, validating analyses empirically.
+//   - Fig1 / Fig2 / Fig3Panel regenerate the paper's evaluation.
+//
+// The subpackages under internal/ hold the implementation: safety
+// quantification (internal/safety), conventional MC schedulability tests
+// (internal/mcsched), the conversion and Algorithm 1 (internal/core), the
+// simulator (internal/sim), workload generators (internal/gen) and the
+// experiment harness (internal/expt).
+package ftmc
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/criticality"
+	"repro/internal/expt"
+	"repro/internal/gen"
+	"repro/internal/mcsched"
+	"repro/internal/safety"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+// Time is the integer microsecond time base of the library.
+type Time = timeunit.Time
+
+// Common time units and constructors.
+const (
+	Microsecond = timeunit.Microsecond
+	Millisecond = timeunit.Millisecond
+	Second      = timeunit.Second
+	Hour        = timeunit.Hour
+)
+
+// Milliseconds builds a Time from whole milliseconds.
+func Milliseconds(v int64) Time { return timeunit.Milliseconds(v) }
+
+// Hours builds a Time from whole hours.
+func Hours(v int64) Time { return timeunit.Hours(v) }
+
+// ParseTime reads "25ms", "2s", "1h" (bare numbers are milliseconds).
+func ParseTime(s string) (Time, error) { return timeunit.Parse(s) }
+
+// Level is a DO-178B design assurance level (A highest … E lowest); its
+// PFHRequirement method returns the Table 1 bound.
+type Level = criticality.Level
+
+// DO-178B levels.
+const (
+	LevelA = criticality.LevelA
+	LevelB = criticality.LevelB
+	LevelC = criticality.LevelC
+	LevelD = criticality.LevelD
+	LevelE = criticality.LevelE
+)
+
+// Class is a task's dual-criticality role.
+type Class = criticality.Class
+
+// Dual-criticality roles.
+const (
+	HI = criticality.HI
+	LO = criticality.LO
+)
+
+// Task is one sporadic task (T, D, C, χ, f).
+type Task = task.Task
+
+// Set is a dual-criticality sporadic task set.
+type Set = task.Set
+
+// NewSet validates tasks and builds a dual-criticality set.
+func NewSet(tasks []Task) (*Set, error) { return task.NewSet(tasks) }
+
+// MustNewSet is NewSet panicking on error.
+func MustNewSet(tasks []Task) *Set { return task.MustNewSet(tasks) }
+
+// SafetyConfig carries the PFH analysis parameters (operation duration
+// OS, footnote-1 WCET assumption).
+type SafetyConfig = safety.Config
+
+// DefaultSafetyConfig returns OS = 1 h with the full-WCET assumption.
+func DefaultSafetyConfig() SafetyConfig { return safety.DefaultConfig() }
+
+// AdaptMode selects LO-task killing or service degradation.
+type AdaptMode = safety.AdaptMode
+
+// Adaptation modes.
+const (
+	Kill    = safety.Kill
+	Degrade = safety.Degrade
+)
+
+// Profiles bundles the re-execution profiles n_HI, n_LO and the
+// adaptation profile n′_HI.
+type Profiles = core.Profiles
+
+// Result reports an FT-S run: chosen profiles, converted MC set, achieved
+// PFH bounds, or the classified failure.
+type Result = core.Result
+
+// Options parameterizes Analyze; the zero Test uses EDF-VD (killing) or
+// its degradation variant.
+type Options = core.Options
+
+// MCTask and MCSet form the conventional (Vestal-model) mixed-criticality
+// task system produced by the conversion.
+type (
+	MCTask = mcsched.MCTask
+	MCSet  = mcsched.MCSet
+)
+
+// SchedulabilityTest is the pluggable S of Algorithm 1.
+type SchedulabilityTest = mcsched.Test
+
+// Schedulability tests usable as S (and as baselines).
+var (
+	// EDFVD is the eq. (10) utilization test of Baruah et al. [3].
+	EDFVD SchedulabilityTest = mcsched.EDFVD{}
+	// EDF is plain worst-case EDF: the no-adaptation baseline.
+	EDF SchedulabilityTest = mcsched.EDFWorstCase{}
+	// DM is deadline-monotonic fixed-priority response-time analysis.
+	DM SchedulabilityTest = mcsched.DMRTA{}
+	// SMC is Vestal's static mixed-criticality analysis [20].
+	SMC SchedulabilityTest = mcsched.SMC{}
+	// AMCrtb is adaptive mixed criticality with response-time bounds.
+	AMCrtb SchedulabilityTest = mcsched.AMCrtb{}
+	// DBFTune is the demand-bound-function test with per-task virtual
+	// deadline tuning (conservative Ekberg–Yi variant [9]).
+	DBFTune SchedulabilityTest = mcsched.DBFTune{}
+)
+
+// EDFVDDegrade returns the eq. (12) test of reference [12] for service
+// degradation with factor df.
+func EDFVDDegrade(df float64) SchedulabilityTest { return mcsched.EDFVDDegrade{DF: df} }
+
+// EDFVDDegradeMulti returns the per-task generalization of the eq. (12)
+// degradation test: each LO task may carry its own factor (> 1); tasks
+// absent from dfs use the default.
+func EDFVDDegradeMulti(dfs map[string]float64, def float64) SchedulabilityTest {
+	return mcsched.EDFVDDegradeMulti{DFs: dfs, Default: def}
+}
+
+// Analyze runs the FT-S algorithm (Algorithm 1, Theorem 4.1).
+func Analyze(s *Set, opt Options) (Result, error) { return core.FTS(s, opt) }
+
+// AnalyzeEDFVD runs Algorithm 2: FT-S with EDF-VD and LO-task killing.
+func AnalyzeEDFVD(s *Set, cfg SafetyConfig) (Result, error) { return core.FTEDFVD(s, cfg) }
+
+// AnalyzeEDFVDDegrade runs the Appendix B degradation variant with
+// factor df.
+func AnalyzeEDFVDDegrade(s *Set, cfg SafetyConfig, df float64) (Result, error) {
+	return core.FTEDFVDDegrade(s, cfg, df)
+}
+
+// PerTaskResult reports AnalyzePerTask: the §4.2 uniformity relaxed to
+// per-task re-execution profiles.
+type PerTaskResult = core.PerTaskResult
+
+// AnalyzePerTask runs FT-S with greedily optimized per-task re-execution
+// profiles instead of the paper's uniform ones — an extension that can
+// accept workloads Analyze rejects.
+func AnalyzePerTask(s *Set, opt Options) (PerTaskResult, error) { return core.FTSPerTask(s, opt) }
+
+// Convert performs the Lemma 4.1 problem conversion Γ(n_HI, n_LO, n′_HI).
+func Convert(s *Set, p Profiles) (*MCSet, error) { return core.Convert(s, p) }
+
+// ConvertPerTask is Convert with per-task re-execution profiles.
+func ConvertPerTask(s *Set, ns []int, nprime int) (*MCSet, error) {
+	return core.ConvertPerTask(s, ns, nprime)
+}
+
+// UMC evaluates the mixed-criticality system utilization metric of
+// Algorithm 2 (killing) or eq. (11) (degradation) at adaptation profile n.
+func UMC(s *Set, nHI, nLO, n int, mode AdaptMode, df float64) float64 {
+	return core.UMC(s, nHI, nLO, n, mode, df)
+}
+
+// Simulation types: the discrete-event EDF-VD runtime with fault
+// injection.
+type (
+	// SimConfig parameterizes a simulation run.
+	SimConfig = sim.Config
+	// SimStats reports a run.
+	SimStats = sim.Stats
+	// Simulator is a configured run; New/Trace expose event traces.
+	Simulator = sim.Simulator
+	// FaultModel injects transient faults per execution attempt.
+	FaultModel = sim.FaultModel
+)
+
+// Simulation policies.
+const (
+	PolicyEDFVD = sim.PolicyEDFVD
+	PolicyEDF   = sim.PolicyEDF
+	PolicyDM    = sim.PolicyDM
+)
+
+// NewSimulator validates a simulation configuration.
+func NewSimulator(cfg SimConfig) (*Simulator, error) { return sim.New(cfg) }
+
+// Simulate builds and runs one simulation.
+func Simulate(cfg SimConfig) (SimStats, error) { return sim.Run(cfg) }
+
+// RandomFaults injects independent per-attempt faults with per-task
+// probabilities.
+func RandomFaults(rng *rand.Rand, probs []float64) FaultModel {
+	return sim.NewRandomFaults(rng, probs)
+}
+
+// Workload generation.
+
+// GenParams controls the Appendix C random task-set generator.
+type GenParams = gen.Params
+
+// PaperGenParams returns the Appendix C parameters.
+func PaperGenParams(hi, lo Level, targetU, failProb float64) GenParams {
+	return gen.PaperParams(hi, lo, targetU, failProb)
+}
+
+// RandomTaskSet draws one random dual-criticality set.
+func RandomTaskSet(rng *rand.Rand, p GenParams) (*Set, error) { return gen.TaskSet(rng, p) }
+
+// FMS draws a flight management system instance conforming to Table 4.
+func FMS(rng *rand.Rand) *Set { return gen.FMS(rng) }
+
+// FMSAt draws the Table 4 instance of a fixed seed.
+func FMSAt(seed int64) *Set { return gen.FMSAt(seed) }
+
+// Experiments: the paper's evaluation.
+
+// FMSSweepResult is a Fig. 1 / Fig. 2 sweep.
+type FMSSweepResult = expt.FMSResult
+
+// Fig3Result is one Fig. 3 panel.
+type Fig3Result = expt.Fig3Result
+
+// Fig1 reproduces Fig. 1 (FMS, task killing).
+func Fig1() (FMSSweepResult, error) { return expt.Fig1() }
+
+// Fig2 reproduces Fig. 2 (FMS, service degradation, df = 6).
+func Fig2() (FMSSweepResult, error) { return expt.Fig2() }
+
+// Fig3Panel reproduces one panel ("3a".."3d") of the acceptance-ratio
+// experiment with the given sample count per data point and seed.
+func Fig3Panel(panel string, setsPerPoint int, seed int64) (Fig3Result, error) {
+	cfg, err := expt.PanelConfig(panel, setsPerPoint, seed)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	return expt.Fig3(cfg)
+}

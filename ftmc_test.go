@@ -1,0 +1,171 @@
+package ftmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// example31 builds the paper's Example 3.1 through the public API.
+func example31() *Set {
+	mk := func(name string, T, C int64, l Level) Task {
+		return Task{Name: name, Period: Milliseconds(T), Deadline: Milliseconds(T),
+			WCET: Milliseconds(C), Level: l, FailProb: 1e-5}
+	}
+	return MustNewSet([]Task{
+		mk("τ1", 60, 5, LevelB),
+		mk("τ2", 25, 4, LevelB),
+		mk("τ3", 40, 7, LevelD),
+		mk("τ4", 90, 6, LevelD),
+		mk("τ5", 70, 8, LevelD),
+	})
+}
+
+// The full public-API walkthrough of the paper's running example.
+func TestPublicAPIExample31(t *testing.T) {
+	s := example31()
+	res, err := AnalyzeEDFVD(s, DefaultSafetyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("expected success: %v", res)
+	}
+	if res.Profiles != (Profiles{NHI: 3, NLO: 1, NPrime: 2}) {
+		t.Fatalf("profiles = %v", res.Profiles)
+	}
+	if !EDFVD.Schedulable(res.Converted) {
+		t.Error("converted set must pass EDF-VD")
+	}
+	if EDF.Schedulable(res.Converted) {
+		t.Error("worst-case EDF baseline must reject (U = 1.086)")
+	}
+
+	// The runtime validates the verdict: drive every HI job to its LO
+	// budget, no deadline misses.
+	cfg := SimConfig{
+		Set: s, NHI: res.Profiles.NHI, NLO: res.Profiles.NLO, NPrime: res.Profiles.NPrime,
+		Mode: Kill, Policy: PolicyEDFVD, Horizon: 10 * Second,
+	}
+	stats, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeadlineMisses(HI)+stats.DeadlineMisses(LO) != 0 {
+		t.Errorf("deadline misses in fault-free run: %v", stats)
+	}
+}
+
+func TestPublicAPITimeHelpers(t *testing.T) {
+	if Milliseconds(25) != 25*Millisecond || Hours(1) != Hour {
+		t.Error("time constructors wrong")
+	}
+	v, err := ParseTime("25ms")
+	if err != nil || v != Milliseconds(25) {
+		t.Errorf("ParseTime = %v, %v", v, err)
+	}
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond {
+		t.Error("unit ratios wrong")
+	}
+}
+
+func TestPublicAPILevels(t *testing.T) {
+	if !LevelA.MoreCriticalThan(LevelB) || !LevelD.MoreCriticalThan(LevelE) {
+		t.Error("level ordering wrong")
+	}
+	if LevelB.PFHRequirement() != 1e-7 {
+		t.Error("Table 1 binding wrong")
+	}
+}
+
+func TestPublicAPIConvertAndUMC(t *testing.T) {
+	s := example31()
+	p := Profiles{NHI: 3, NLO: 1, NPrime: 2}
+	conv, err := Convert(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Len() != 5 {
+		t.Errorf("converted %d tasks", conv.Len())
+	}
+	if got := UMC(s, 3, 1, 2, Kill, 0); math.Abs(got-0.99898) > 1e-4 {
+		t.Errorf("UMC = %.5f, want ≈ 0.99898", got)
+	}
+}
+
+func TestPublicAPISchedulabilityTests(t *testing.T) {
+	s := example31()
+	conv, _ := Convert(s, Profiles{NHI: 3, NLO: 1, NPrime: 2})
+	for _, test := range []SchedulabilityTest{EDFVD, EDF, DM, SMC, AMCrtb, EDFVDDegrade(6)} {
+		if test.Name() == "" {
+			t.Error("unnamed test")
+		}
+		test.Schedulable(conv) // must not panic
+	}
+}
+
+func TestPublicAPIGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, err := RandomTaskSet(rng, PaperGenParams(LevelB, LevelD, 0.6, 1e-5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Utilization()-0.6) > 0.01 {
+		t.Errorf("U = %g", s.Utilization())
+	}
+	if FMSAt(1).Len() != 11 || FMS(rng).Len() != 11 {
+		t.Error("FMS must have 11 tasks")
+	}
+}
+
+func TestPublicAPIFigures(t *testing.T) {
+	f1, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.Points) != 4 || f1.NHI != 3 {
+		t.Errorf("Fig1 = %+v", f1)
+	}
+	f2, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f2.Points[1].Schedulable || f2.Points[2].Schedulable {
+		t.Error("Fig2 crossing wrong")
+	}
+	f3, err := Fig3Panel("3a", 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f3.Curves) != 2 {
+		t.Errorf("Fig3 curves = %d", len(f3.Curves))
+	}
+	if _, err := Fig3Panel("bogus", 5, 1); err == nil {
+		t.Error("expected panel error")
+	}
+}
+
+func TestPublicAPIRandomFaultsSimulation(t *testing.T) {
+	s := example31()
+	probs := []float64{0.02, 0.02, 0.02, 0.02, 0.02}
+	cfg := SimConfig{
+		Set: s, NHI: 3, NLO: 1, NPrime: 2,
+		Mode: Kill, Policy: PolicyEDFVD, Horizon: 20 * Second,
+		Faults: RandomFaults(rand.New(rand.NewSource(9)), probs),
+	}
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := sim.Run()
+	if stats.DeadlineMisses(HI) != 0 {
+		t.Errorf("HI misses under in-model faults: %v", stats)
+	}
+	var faulty int64
+	for _, ts := range stats.PerTask {
+		faulty += ts.FaultyAttempts
+	}
+	if faulty == 0 {
+		t.Error("expected injected faults at f = 0.02 over 20 s")
+	}
+}

@@ -1,0 +1,113 @@
+package cert
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/criticality"
+	"repro/internal/gen"
+	"repro/internal/safety"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+func example31(lo criticality.Level) *task.Set {
+	ms := timeunit.Milliseconds
+	mk := func(name string, T, C int64, l criticality.Level) task.Task {
+		return task.Task{Name: name, Period: ms(T), Deadline: ms(T), WCET: ms(C), Level: l, FailProb: 1e-5}
+	}
+	return task.MustNewSet([]task.Task{
+		mk("τ1", 60, 5, criticality.LevelB),
+		mk("τ2", 25, 4, criticality.LevelB),
+		mk("τ3", 40, 7, lo),
+		mk("τ4", 90, 6, lo),
+		mk("τ5", 70, 8, lo),
+	})
+}
+
+func render(t *testing.T, s *task.Set, res core.Result, mode safety.AdaptMode, df float64) string {
+	t.Helper()
+	var b strings.Builder
+	if err := Report(&b, s, res, mode, df, safety.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestReportSuccess(t *testing.T) {
+	s := example31(criticality.LevelD)
+	res, err := core.FTEDFVD(s, safety.DefaultConfig())
+	if err != nil || !res.OK {
+		t.Fatal("analysis should succeed")
+	}
+	out := render(t, s, res, safety.Kill, 0)
+	for _, want := range []string{
+		"Certification argument",
+		"level B: PFH must stay below 1e-07",
+		"level D: no quantitative PFH requirement",
+		"n_HI = 3, n_LO = 1",
+		"n¹_HI = 1",
+		"n²_HI = 2",
+		"Γ(3, 1, 2)",
+		"All obligations discharged",
+		"EDF-VD",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportSafetyFailure(t *testing.T) {
+	s := example31(criticality.LevelC)
+	res, err := core.FTEDFVD(s, safety.DefaultConfig())
+	if err != nil || res.OK {
+		t.Fatal("expected a safety failure")
+	}
+	out := render(t, s, res, safety.Kill, 0)
+	if !strings.Contains(out, "UNDISCHARGED") {
+		t.Errorf("failure not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "violates their PFH budget") {
+		t.Errorf("safety failure not explained:\n%s", out)
+	}
+	if strings.Contains(out, "All obligations discharged") {
+		t.Error("failed design reported as certified")
+	}
+}
+
+func TestReportSchedulabilityFailure(t *testing.T) {
+	s := example31(criticality.LevelC)
+	res, err := core.FTEDFVDDegrade(s, safety.DefaultConfig(), 6)
+	if err != nil || res.OK || res.Reason != core.FailUnschedulable {
+		t.Fatalf("expected a schedulability failure, got %v", res)
+	}
+	out := render(t, s, res, safety.Degrade, 6)
+	if !strings.Contains(out, "df = 6") {
+		t.Errorf("df missing:\n%s", out)
+	}
+	if !strings.Contains(out, "UNDISCHARGED: no adaptation profile") {
+		t.Errorf("schedulability failure not explained:\n%s", out)
+	}
+}
+
+func TestReportDegradeSuccess(t *testing.T) {
+	s := gen.FMSAt(gen.DefaultFMSDegradeSeed)
+	cfg := safety.Config{OperationHours: gen.FMSOperationHours, AssumeFullWCET: true}
+	res, err := core.FTEDFVDDegrade(s, cfg, gen.FMSDegradeFactor)
+	if err != nil || !res.OK {
+		t.Fatal("FMS degrade analysis should succeed")
+	}
+	var b strings.Builder
+	if err := Report(&b, s, res, safety.Degrade, gen.FMSDegradeFactor, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "level C: PFH must stay below 1e-05") {
+		t.Errorf("level C obligation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "All obligations discharged") {
+		t.Errorf("success not reported:\n%s", out)
+	}
+}

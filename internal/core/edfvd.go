@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/criticality"
+	"repro/internal/safety"
+	"repro/internal/task"
+)
+
+// This file implements Algorithm 2 (Fault-Tolerant EDF-VD) and its
+// service-degradation variant in closed form. The generic FTS with
+// Test = EDFVD{} computes the same verdicts through the conversion; the
+// closed-form UMC metrics below additionally evaluate at arbitrary
+// adaptation profiles n (including n > n_HI, as the Fig. 1/Fig. 2 sweeps
+// plot) and are what the FMS experiment reports on its y-axis.
+
+// UMCKill evaluates line 11 of Algorithm 2: the mixed-criticality system
+// utilization of the converted set under EDF-VD with LO-task killing,
+//
+//	UMC(n) = max{ n·U_HI + U_LO^LO,  U_HI^HI + λ(n)·U_LO^LO },
+//	λ(n)   = n·U_HI / (1 − U_LO^LO),
+//
+// with U_HI^HI = n_HI·U_HI and U_LO^LO = n_LO·U_LO. The converted set is
+// EDF-VD schedulable iff UMC(n) ≤ 1 (eq. 10). Returns +Inf when
+// U_LO^LO ≥ 1.
+func UMCKill(s *task.Set, nHI, nLO, n int) float64 {
+	uHI := s.UtilizationClass(criticality.HI)
+	uLOLO := float64(nLO) * s.UtilizationClass(criticality.LO)
+	if uLOLO >= 1 {
+		return math.Inf(1)
+	}
+	lambda := float64(n) * uHI / (1 - uLOLO)
+	return math.Max(float64(n)*uHI+uLOLO, float64(nHI)*uHI+lambda*uLOLO)
+}
+
+// UMCDegrade evaluates the degradation variant (eq. 11, from the test of
+// reference [12], eq. 12):
+//
+//	UMC(n) = max{ n·U_HI + U_LO^LO,  U_HI^HI/(1 − λ(n)) + U_LO^LO/(df − 1) }.
+//
+// Returns +Inf when U_LO^LO ≥ 1 or λ(n) ≥ 1.
+func UMCDegrade(s *task.Set, nHI, nLO, n int, df float64) float64 {
+	if df <= 1 {
+		panic(fmt.Sprintf("core: degradation factor must be > 1, got %g", df))
+	}
+	uHI := s.UtilizationClass(criticality.HI)
+	uLOLO := float64(nLO) * s.UtilizationClass(criticality.LO)
+	if uLOLO >= 1 {
+		return math.Inf(1)
+	}
+	lambda := float64(n) * uHI / (1 - uLOLO)
+	if lambda >= 1 {
+		return math.Inf(1)
+	}
+	return math.Max(float64(n)*uHI+uLOLO, float64(nHI)*uHI/(1-lambda)+uLOLO/(df-1))
+}
+
+// UMC dispatches to UMCKill or UMCDegrade by adaptation mode.
+func UMC(s *task.Set, nHI, nLO, n int, mode safety.AdaptMode, df float64) float64 {
+	if mode == safety.Degrade {
+		return UMCDegrade(s, nHI, nLO, n, df)
+	}
+	return UMCKill(s, nHI, nLO, n)
+}
+
+// MaxSchedulableAdapt computes line 12 of Algorithm 2 in closed form:
+//
+//	n²_HI = sup{ n ∈ ℕ : UMC(n) ≤ 1 }
+//
+// capped at nHI (profiles beyond n_HI are behaviourally identical to
+// n_HI). Returns 0 when not even n = 1 is schedulable. UMC is strictly
+// increasing in n (for U_HI > 0), so the scan from above finds the sup.
+func MaxSchedulableAdapt(s *task.Set, nHI, nLO int, mode safety.AdaptMode, df float64) int {
+	for n := nHI; n >= 1; n-- {
+		if UMC(s, nHI, nLO, n, mode, df) <= 1 {
+			return n
+		}
+	}
+	return 0
+}
+
+// FTEDFVD runs Algorithm 2: FT-S instantiated with EDF-VD and LO-task
+// killing.
+func FTEDFVD(s *task.Set, cfg safety.Config) (Result, error) {
+	return FTS(s, Options{Safety: cfg, Mode: safety.Kill})
+}
+
+// FTEDFVDDegrade runs the Appendix B degradation variant: FT-S
+// instantiated with EDF-VD under service degradation with factor df.
+func FTEDFVDDegrade(s *task.Set, cfg safety.Config, df float64) (Result, error) {
+	return FTS(s, Options{Safety: cfg, Mode: safety.Degrade, DF: df})
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/criticality"
+	"repro/internal/mcsched"
+	"repro/internal/safety"
+	"repro/internal/task"
+)
+
+// Options parameterizes the FT-S algorithm.
+type Options struct {
+	// Safety holds the PFH analysis configuration (OS, footnote-1 choice).
+	Safety safety.Config
+	// Mode selects LO-task killing (§3.3) or service degradation (§3.4).
+	Mode safety.AdaptMode
+	// DF is the service degradation factor df > 1; only read in Degrade
+	// mode.
+	DF float64
+	// Test is S: the conventional mixed-criticality schedulability test
+	// applied to the converted task set. Nil defaults to EDF-VD in Kill
+	// mode and EDF-VD-with-degradation in Degrade mode, the paper's
+	// Appendix B instantiations.
+	Test mcsched.Test
+}
+
+// test resolves the default scheduling technique.
+func (o Options) test() mcsched.Test {
+	if o.Test != nil {
+		return o.Test
+	}
+	if o.Mode == safety.Degrade {
+		return mcsched.EDFVDDegrade{DF: o.DF}
+	}
+	return mcsched.EDFVD{}
+}
+
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if err := o.Safety.Validate(); err != nil {
+		return err
+	}
+	switch o.Mode {
+	case safety.Kill:
+	case safety.Degrade:
+		if o.DF <= 1 {
+			return fmt.Errorf("core: degradation factor must be > 1, got %g", o.DF)
+		}
+	default:
+		return fmt.Errorf("core: unknown adaptation mode %d", o.Mode)
+	}
+	return nil
+}
+
+// FailureReason classifies why FT-S signalled FAILURE.
+type FailureReason string
+
+const (
+	// FailNone marks success.
+	FailNone FailureReason = ""
+	// FailReexecProfile: no re-execution profile meets a level's PFH
+	// requirement (line 2 has no solution).
+	FailReexecProfile FailureReason = "no re-execution profile meets the PFH requirement"
+	// FailSafetyAdapt: the minimal safe adaptation profile exceeds the
+	// re-execution profile, n¹_HI > n_HI (line 5): adapting the LO tasks
+	// at any reachable trigger would violate their safety.
+	FailSafetyAdapt FailureReason = "minimal safe adaptation profile exceeds n_HI"
+	// FailUnschedulable: no adaptation profile makes the converted set
+	// schedulable, or the schedulable profiles are all below n¹_HI
+	// (line 13): safety and schedulability cannot be reconciled.
+	FailUnschedulable FailureReason = "no adaptation profile is both safe and schedulable"
+)
+
+// Result reports the outcome of FT-S (Algorithm 1).
+type Result struct {
+	// OK is true iff the algorithm signalled SUCCESS: by Theorem 4.1 the
+	// safety requirements of both levels and the schedulability of the
+	// system are then satisfied.
+	OK bool
+	// Reason classifies the failure; FailNone on success.
+	Reason FailureReason
+	// NHI, NLO are the minimal re-execution profiles (line 2). Zero when
+	// the corresponding search already failed.
+	NHI, NLO int
+	// N1HI is the minimal safe adaptation profile n¹_HI (line 4).
+	N1HI int
+	// N2HI is the maximal schedulable adaptation profile n²_HI (line 8);
+	// 0 when no profile is schedulable.
+	N2HI int
+	// Profiles are the chosen profiles on success (n′_HI = n²_HI).
+	Profiles Profiles
+	// Converted is the conventional MC task set Γ(n_HI, n_LO, n′_HI)
+	// scheduled by S, on success.
+	Converted *mcsched.MCSet
+	// PFHHI and PFHLO are the achieved safety bounds on success.
+	PFHHI, PFHLO float64
+	// TestName records which scheduling technique S was used.
+	TestName string
+}
+
+// String summarizes the result in one line.
+func (r Result) String() string {
+	if !r.OK {
+		return fmt.Sprintf("FAILURE (%s): n_HI=%d n_LO=%d n¹_HI=%d n²_HI=%d", r.Reason, r.NHI, r.NLO, r.N1HI, r.N2HI)
+	}
+	return fmt.Sprintf("SUCCESS under %s: %v (pfh_HI=%.3g pfh_LO=%.3g)", r.TestName, r.Profiles, r.PFHHI, r.PFHLO)
+}
+
+// FTS runs Algorithm 1 on the dual-criticality task set:
+//
+//	line 1–3: n_χ ← inf{n : pfh(χ) ≤ PFH_χ}          (eq. 2)
+//	line 4:   n¹_HI ← inf{n : pfh(LO) < PFH_LO}       (eq. 5 / eq. 7)
+//	line 5–7: FAILURE if n¹_HI > n_HI
+//	line 8:   n²_HI ← sup{n : Γ(n_HI, n_LO, n) schedulable by S}
+//	line 9–15: SUCCESS with n′_HI = n²_HI if n¹_HI ≤ n²_HI, else FAILURE
+//
+// The n²_HI search exploits the monotonicity of MC schedulability tests:
+// a larger adaptation profile inflates C(LO) of the HI tasks, so
+// schedulability of Γ is non-increasing in n′. Profiles above n_HI are
+// behaviourally identical to n_HI (the trigger can never fire), so the
+// sup is taken over [1, n_HI].
+func FTS(s *task.Set, opt Options) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
+	test := opt.test()
+	res := Result{TestName: test.Name()}
+	cfg := opt.Safety
+	dual := s.Dual()
+	hi := s.ByClass(criticality.HI)
+	lo := s.ByClass(criticality.LO)
+
+	// Lines 1–3: minimal re-execution profiles per criticality level.
+	nHI, err := cfg.MinReexecProfile(hi, dual.Requirement(criticality.HI))
+	if err != nil {
+		res.Reason = FailReexecProfile
+		return res, nil
+	}
+	res.NHI = nHI
+	nLO, err := cfg.MinReexecProfile(lo, dual.Requirement(criticality.LO))
+	if err != nil {
+		res.Reason = FailReexecProfile
+		return res, nil
+	}
+	res.NLO = nLO
+
+	// Line 4: minimal adaptation profile preserving LO safety.
+	n1, err := cfg.MinAdaptProfile(opt.Mode, hi, lo, nLO, opt.DF, dual.Requirement(criticality.LO))
+	if err != nil {
+		// No finite profile keeps pfh(LO) below the requirement: at least
+		// as bad as n¹_HI > n_HI.
+		res.N1HI = safety.MaxProfile + 1
+		res.Reason = FailSafetyAdapt
+		return res, nil
+	}
+	res.N1HI = n1
+
+	// Lines 5–7.
+	if n1 > nHI {
+		res.Reason = FailSafetyAdapt
+		return res, nil
+	}
+
+	// Line 8: maximal schedulable adaptation profile over [1, n_HI].
+	n2 := 0
+	for n := nHI; n >= 1; n-- {
+		conv, err := Convert(s, Profiles{NHI: nHI, NLO: nLO, NPrime: n})
+		if err != nil {
+			return Result{}, err
+		}
+		if test.Schedulable(conv) {
+			n2 = n
+			break
+		}
+	}
+	res.N2HI = n2
+
+	// Lines 9–15.
+	if n2 == 0 || n1 > n2 {
+		res.Reason = FailUnschedulable
+		return res, nil
+	}
+	res.OK = true
+	res.Profiles = Profiles{NHI: nHI, NLO: nLO, NPrime: n2}
+	res.Converted, err = Convert(s, res.Profiles)
+	if err != nil {
+		return Result{}, err
+	}
+	res.PFHHI, res.PFHLO, err = PFHBounds(cfg, s, res.Profiles, opt.Mode, opt.DF)
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/criticality"
+	"repro/internal/mcsched"
+	"repro/internal/prob"
+	"repro/internal/safety"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+// This file relaxes the §4.2 simplification that all tasks of a
+// criticality level share one re-execution profile. The safety lemmas are
+// stated per task, so nothing in the analysis requires uniformity — a
+// per-task assignment can meet the same PFH requirement with strictly
+// less utilization by giving high-rate (short-period) tasks more attempts
+// and low-rate tasks fewer. FT-S then runs unchanged on the per-task
+// conversion.
+
+// OptimizeReexecProfiles assigns each task in the group the smallest
+// re-execution profile such that the group's eq. (2) bound meets the
+// requirement, greedily minimizing the added utilization: starting from
+// n_i = 1 everywhere, it repeatedly grants one extra attempt to the task
+// with the largest PFH reduction per unit of added utilization. The
+// result is feasible by construction; optimality is heuristic (the
+// problem is knapsack-like), and on the evaluated workloads the greedy
+// assignment never costs more utilization than the uniform profile.
+//
+// An +Inf requirement returns all ones. The error mirrors
+// MinReexecProfile: no assignment within safety.MaxProfile attempts.
+func OptimizeReexecProfiles(cfg safety.Config, tasks []task.Task, requirement float64) ([]int, error) {
+	ns := make([]int, len(tasks))
+	for i := range ns {
+		ns[i] = 1
+	}
+	if len(tasks) == 0 || math.IsInf(requirement, 1) {
+		return ns, nil
+	}
+	hour := timeunit.Hours(1)
+	contrib := func(i, n int) float64 {
+		return float64(cfg.Rounds(tasks[i], n, hour)) * prob.Pow(tasks[i].FailProb, n)
+	}
+	total := 0.0
+	for i := range tasks {
+		total += contrib(i, 1)
+	}
+	for steps := 0; total > requirement; steps++ {
+		if steps > safety.MaxProfile*len(tasks) {
+			return nil, fmt.Errorf("core: no per-task profile assignment meets PFH requirement %g (reached %g)", requirement, total)
+		}
+		best, bestGain := -1, 0.0
+		for i := range tasks {
+			if ns[i] >= safety.MaxProfile {
+				continue
+			}
+			drop := contrib(i, ns[i]) - contrib(i, ns[i]+1)
+			if drop <= 0 {
+				continue
+			}
+			gain := drop / tasks[i].Utilization()
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("core: per-task profile search stuck at pfh %g > %g", total, requirement)
+		}
+		total += contrib(best, ns[best]+1) - contrib(best, ns[best])
+		ns[best]++
+	}
+	return ns, nil
+}
+
+// ConvertPerTask is the Lemma 4.1 conversion with per-task re-execution
+// profiles ns (in set order) and a uniform adaptation profile n′: HI task
+// i gets C(HI) = ns[i]·C and C(LO) = min(n′, ns[i])·C; LO task i gets
+// both WCETs equal to ns[i]·C.
+func ConvertPerTask(s *task.Set, ns []int, nprime int) (*mcsched.MCSet, error) {
+	if len(ns) != s.Len() {
+		return nil, fmt.Errorf("core: %d profiles for %d tasks", len(ns), s.Len())
+	}
+	if nprime < 1 {
+		return nil, fmt.Errorf("core: adaptation profile must be >= 1, got %d", nprime)
+	}
+	out := make([]mcsched.MCTask, 0, s.Len())
+	for i, t := range s.Tasks() {
+		if ns[i] < 1 {
+			return nil, fmt.Errorf("core: profile of %q must be >= 1, got %d", t.Name, ns[i])
+		}
+		mt := mcsched.MCTask{
+			Name:     t.Name,
+			Period:   t.Period,
+			Deadline: t.Deadline,
+			Class:    s.Class(t),
+		}
+		if mt.Class == criticality.HI {
+			np := nprime
+			if np > ns[i] {
+				np = ns[i]
+			}
+			mt.CHI = t.RoundLength(ns[i])
+			mt.CLO = t.RoundLength(np)
+		} else {
+			mt.CHI = t.RoundLength(ns[i])
+			mt.CLO = mt.CHI
+		}
+		out = append(out, mt)
+	}
+	return mcsched.NewMCSet(out)
+}
+
+// PerTaskResult reports FTSPerTask.
+type PerTaskResult struct {
+	// OK is the combined safety + schedulability verdict.
+	OK bool
+	// Reason classifies failures, as in Result.
+	Reason FailureReason
+	// Reexec holds the per-task re-execution profiles in set order.
+	Reexec []int
+	// N1HI, N2HI and NPrime are as in Result (the adaptation profile
+	// stays uniform over HI tasks).
+	N1HI, N2HI, NPrime int
+	// Converted is the per-task converted MC set on success.
+	Converted *mcsched.MCSet
+	// PFHHI, PFHLO are the achieved bounds on success.
+	PFHHI, PFHLO float64
+	// TestName records the scheduling technique S.
+	TestName string
+}
+
+// UtilizationAfterReexec returns Σ ns[i]·C_i/T_i for the given set.
+func UtilizationAfterReexec(s *task.Set, ns []int) float64 {
+	u := 0.0
+	for i, t := range s.Tasks() {
+		u += float64(ns[i]) * t.Utilization()
+	}
+	return u
+}
+
+// FTSPerTask is Algorithm 1 with the §4.2 uniformity relaxed to per-task
+// re-execution profiles (the adaptation profile n′_HI remains uniform).
+// Per-task profiles typically shrink the converted utilization and with
+// it the schedulability pressure; the ablation bench quantifies the gain
+// over uniform FTS.
+func FTSPerTask(s *task.Set, opt Options) (PerTaskResult, error) {
+	if err := opt.Validate(); err != nil {
+		return PerTaskResult{}, err
+	}
+	test := opt.test()
+	res := PerTaskResult{TestName: test.Name()}
+	cfg := opt.Safety
+	dual := s.Dual()
+	hi := s.ByClass(criticality.HI)
+	lo := s.ByClass(criticality.LO)
+
+	// Per-class greedy optimization replaces lines 1–3.
+	nsHI, err := OptimizeReexecProfiles(cfg, hi, dual.Requirement(criticality.HI))
+	if err != nil {
+		res.Reason = FailReexecProfile
+		return res, nil
+	}
+	nsLO, err := OptimizeReexecProfiles(cfg, lo, dual.Requirement(criticality.LO))
+	if err != nil {
+		res.Reason = FailReexecProfile
+		return res, nil
+	}
+	// Stitch the class vectors back into set order.
+	ns := make([]int, s.Len())
+	ih, il := 0, 0
+	maxHI := 1
+	for i, t := range s.Tasks() {
+		if s.Class(t) == criticality.HI {
+			ns[i] = nsHI[ih]
+			if ns[i] > maxHI {
+				maxHI = ns[i]
+			}
+			ih++
+		} else {
+			ns[i] = nsLO[il]
+			il++
+		}
+	}
+	res.Reexec = ns
+
+	// Line 4: minimal safe adaptation profile with the per-task LO
+	// profiles.
+	n1, err := minAdaptPerTask(cfg, opt, hi, lo, nsLO, dual.Requirement(criticality.LO))
+	if err != nil {
+		res.N1HI = safety.MaxProfile + 1
+		res.Reason = FailSafetyAdapt
+		return res, nil
+	}
+	res.N1HI = n1
+	if n1 > maxHI {
+		res.Reason = FailSafetyAdapt
+		return res, nil
+	}
+
+	// Line 8: maximal schedulable adaptation profile over [1, max n_i].
+	n2 := 0
+	for n := maxHI; n >= 1; n-- {
+		conv, err := ConvertPerTask(s, ns, n)
+		if err != nil {
+			return PerTaskResult{}, err
+		}
+		if test.Schedulable(conv) {
+			n2 = n
+			break
+		}
+	}
+	res.N2HI = n2
+	if n2 == 0 || n1 > n2 {
+		res.Reason = FailUnschedulable
+		return res, nil
+	}
+	res.OK = true
+	res.NPrime = n2
+	res.Converted, err = ConvertPerTask(s, ns, n2)
+	if err != nil {
+		return PerTaskResult{}, err
+	}
+	res.PFHHI = cfg.PlainPFH(hi, nsHI)
+	adapt, err := safety.NewUniformAdaptation(cfg, hi, n2)
+	if err != nil {
+		return PerTaskResult{}, err
+	}
+	switch opt.Mode {
+	case safety.Kill:
+		res.PFHLO = cfg.KillingPFHLO(lo, nsLO, adapt)
+	case safety.Degrade:
+		res.PFHLO = cfg.DegradationPFHLO(lo, nsLO, adapt, opt.DF)
+	}
+	return res, nil
+}
+
+// minAdaptPerTask mirrors safety.MinAdaptProfile with per-task LO
+// re-execution profiles.
+func minAdaptPerTask(cfg safety.Config, opt Options, hi, lo []task.Task, nsLO []int, requirement float64) (int, error) {
+	if math.IsInf(requirement, 1) {
+		return 1, nil
+	}
+	if opt.Mode == safety.Kill {
+		if limit := cfg.KillingPFHLOLimit(lo, nsLO); limit >= requirement {
+			return 0, fmt.Errorf("core: killing cannot keep pfh(LO) below %g (limit %g)", requirement, limit)
+		}
+	}
+	for n := 1; n <= safety.MaxProfile; n++ {
+		adapt, err := safety.NewUniformAdaptation(cfg, hi, n)
+		if err != nil {
+			return 0, err
+		}
+		var pfh float64
+		switch opt.Mode {
+		case safety.Kill:
+			pfh = cfg.KillingPFHLO(lo, nsLO, adapt)
+		case safety.Degrade:
+			pfh = cfg.DegradationPFHLO(lo, nsLO, adapt, opt.DF)
+		}
+		if pfh < requirement {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("core: no adaptation profile keeps pfh(LO) below %g", requirement)
+}

@@ -1,0 +1,169 @@
+// Package criticality models DO-178B design assurance levels and their
+// probabilistic safety requirements (paper §2.1, Table 1).
+//
+// DO-178B defines five levels, A (highest) through E (lowest). Each level χ
+// carries a probability-of-failure-per-hour requirement PFH_χ that every
+// level-χ task must satisfy. Levels D and E have no quantitative
+// requirement ("essentially not safety-related"); the analysis treats
+// their bound as +Inf.
+package criticality
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Level is a DO-178B design assurance level.
+type Level int
+
+// DO-178B levels, ordered from most critical (A) to least critical (E).
+// The numeric order is chosen so that higher criticality compares greater:
+// A > B > C > D > E.
+const (
+	LevelE Level = iota
+	LevelD
+	LevelC
+	LevelB
+	LevelA
+)
+
+// Levels lists all DO-178B levels from most to least critical.
+var Levels = []Level{LevelA, LevelB, LevelC, LevelD, LevelE}
+
+// String returns the single-letter DO-178B name.
+func (l Level) String() string {
+	switch l {
+	case LevelA:
+		return "A"
+	case LevelB:
+		return "B"
+	case LevelC:
+		return "C"
+	case LevelD:
+		return "D"
+	case LevelE:
+		return "E"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Valid reports whether l is one of the five DO-178B levels.
+func (l Level) Valid() bool { return l >= LevelE && l <= LevelA }
+
+// MoreCriticalThan reports whether l is strictly more critical than m.
+func (l Level) MoreCriticalThan(m Level) bool { return l > m }
+
+// PFHRequirement returns the DO-178B probability-of-failure-per-hour bound
+// for the level (Table 1): A < 1e-9, B < 1e-7, C < 1e-5; D and E carry no
+// requirement, returned as +Inf so that any computed PFH satisfies them.
+func (l Level) PFHRequirement() float64 {
+	switch l {
+	case LevelA:
+		return 1e-9
+	case LevelB:
+		return 1e-7
+	case LevelC:
+		return 1e-5
+	case LevelD, LevelE:
+		return math.Inf(1)
+	default:
+		panic(fmt.Sprintf("criticality: invalid level %d", int(l)))
+	}
+}
+
+// SafetyRelated reports whether the level carries a quantitative PFH
+// requirement (A, B or C). The paper's key empirical finding hinges on
+// this: killing LO tasks is acceptable when they are D/E, but directly
+// violates safety when they are level C.
+func (l Level) SafetyRelated() bool { return l >= LevelC }
+
+// Parse converts a single-letter level name ("A".."E", case-insensitive).
+func Parse(s string) (Level, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "A":
+		return LevelA, nil
+	case "B":
+		return LevelB, nil
+	case "C":
+		return LevelC, nil
+	case "D":
+		return LevelD, nil
+	case "E":
+		return LevelE, nil
+	default:
+		return 0, fmt.Errorf("criticality: unknown DO-178B level %q", s)
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (l Level) MarshalText() ([]byte, error) {
+	if !l.Valid() {
+		return nil, fmt.Errorf("criticality: invalid level %d", int(l))
+	}
+	return []byte(l.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (l *Level) UnmarshalText(b []byte) error {
+	v, err := Parse(string(b))
+	if err != nil {
+		return err
+	}
+	*l = v
+	return nil
+}
+
+// Class designates a task's role in a dual-criticality set: the paper
+// restricts attention to systems with exactly two levels, HI and LO
+// (§2.1), which may be any two of the five DO-178B levels.
+type Class int
+
+const (
+	// LO is the less critical of the two levels in a dual-criticality set.
+	LO Class = iota
+	// HI is the more critical of the two levels.
+	HI
+)
+
+// String returns "HI" or "LO".
+func (c Class) String() string {
+	if c == HI {
+		return "HI"
+	}
+	return "LO"
+}
+
+// DualLevels pairs the two DO-178B levels of a dual-criticality system.
+type DualLevels struct {
+	HI Level // the more critical level, e.g. LevelB
+	LO Level // the less critical level, e.g. LevelC
+}
+
+// NewDualLevels validates that hi is strictly more critical than lo.
+func NewDualLevels(hi, lo Level) (DualLevels, error) {
+	if !hi.Valid() || !lo.Valid() {
+		return DualLevels{}, fmt.Errorf("criticality: invalid level pair (%v, %v)", hi, lo)
+	}
+	if !hi.MoreCriticalThan(lo) {
+		return DualLevels{}, fmt.Errorf("criticality: HI level %v must be strictly more critical than LO level %v", hi, lo)
+	}
+	return DualLevels{HI: hi, LO: lo}, nil
+}
+
+// Level returns the DO-178B level playing the given dual-criticality role.
+func (d DualLevels) Level(c Class) Level {
+	if c == HI {
+		return d.HI
+	}
+	return d.LO
+}
+
+// Requirement returns the PFH bound for the given role.
+func (d DualLevels) Requirement(c Class) float64 { return d.Level(c).PFHRequirement() }
+
+// String renders e.g. "HI=B/LO=C".
+func (d DualLevels) String() string {
+	return fmt.Sprintf("HI=%v/LO=%v", d.HI, d.LO)
+}

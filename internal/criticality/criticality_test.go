@@ -1,0 +1,174 @@
+package criticality
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestOrdering(t *testing.T) {
+	// A > B > C > D > E in criticality.
+	order := []Level{LevelA, LevelB, LevelC, LevelD, LevelE}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if !order[i].MoreCriticalThan(order[j]) {
+				t.Errorf("%v should be more critical than %v", order[i], order[j])
+			}
+			if order[j].MoreCriticalThan(order[i]) {
+				t.Errorf("%v should not be more critical than %v", order[j], order[i])
+			}
+		}
+		if order[i].MoreCriticalThan(order[i]) {
+			t.Errorf("%v more critical than itself", order[i])
+		}
+	}
+}
+
+// Table 1 of the paper.
+func TestPFHRequirementTable1(t *testing.T) {
+	cases := []struct {
+		l    Level
+		want float64
+	}{
+		{LevelA, 1e-9},
+		{LevelB, 1e-7},
+		{LevelC, 1e-5},
+	}
+	for _, c := range cases {
+		if got := c.l.PFHRequirement(); got != c.want {
+			t.Errorf("PFH(%v) = %g, want %g", c.l, got, c.want)
+		}
+	}
+	for _, l := range []Level{LevelD, LevelE} {
+		if got := l.PFHRequirement(); !math.IsInf(got, 1) {
+			t.Errorf("PFH(%v) = %g, want +Inf (no requirement)", l, got)
+		}
+	}
+}
+
+// PFH_χ strictly decreases with increasing criticality (§2.1).
+func TestPFHStrictlyDecreasesWithCriticality(t *testing.T) {
+	for i := 0; i < len(Levels)-1; i++ {
+		hi, lo := Levels[i], Levels[i+1]
+		if !(hi.PFHRequirement() <= lo.PFHRequirement()) {
+			t.Errorf("PFH(%v)=%g > PFH(%v)=%g", hi, hi.PFHRequirement(), lo, lo.PFHRequirement())
+		}
+	}
+	// Strict among the safety-related levels.
+	if !(LevelA.PFHRequirement() < LevelB.PFHRequirement() &&
+		LevelB.PFHRequirement() < LevelC.PFHRequirement()) {
+		t.Error("PFH not strictly decreasing over A,B,C")
+	}
+}
+
+func TestSafetyRelated(t *testing.T) {
+	for _, c := range []struct {
+		l    Level
+		want bool
+	}{{LevelA, true}, {LevelB, true}, {LevelC, true}, {LevelD, false}, {LevelE, false}} {
+		if got := c.l.SafetyRelated(); got != c.want {
+			t.Errorf("SafetyRelated(%v) = %v, want %v", c.l, got, c.want)
+		}
+	}
+}
+
+func TestStringAndParse(t *testing.T) {
+	for _, l := range Levels {
+		got, err := Parse(l.String())
+		if err != nil || got != l {
+			t.Errorf("Parse(String(%v)) = %v, %v", l, got, err)
+		}
+	}
+	if _, err := Parse("F"); err == nil {
+		t.Error("Parse(F): expected error")
+	}
+	if _, err := Parse(""); err == nil {
+		t.Error("Parse empty: expected error")
+	}
+	if got, err := Parse(" b "); err != nil || got != LevelB {
+		t.Errorf("Parse(' b ') = %v, %v", got, err)
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, l := range Levels {
+		if !l.Valid() {
+			t.Errorf("%v should be valid", l)
+		}
+	}
+	if Level(99).Valid() || Level(-1).Valid() {
+		t.Error("out-of-range levels reported valid")
+	}
+}
+
+func TestInvalidLevelStringAndPFHPanic(t *testing.T) {
+	if got := Level(42).String(); got != "Level(42)" {
+		t.Errorf("String = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for PFHRequirement on invalid level")
+		}
+	}()
+	Level(42).PFHRequirement()
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	type wrapper struct {
+		L Level `json:"level"`
+	}
+	for _, l := range Levels {
+		b, err := json.Marshal(wrapper{l})
+		if err != nil {
+			t.Fatalf("marshal %v: %v", l, err)
+		}
+		var w wrapper
+		if err := json.Unmarshal(b, &w); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if w.L != l {
+			t.Errorf("round trip %v -> %v", l, w.L)
+		}
+	}
+	var w wrapper
+	if err := json.Unmarshal([]byte(`{"level":"X"}`), &w); err == nil {
+		t.Error("expected error unmarshalling level X")
+	}
+	if _, err := json.Marshal(wrapper{Level(42)}); err == nil {
+		t.Error("expected error marshalling invalid level")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if HI.String() != "HI" || LO.String() != "LO" {
+		t.Errorf("Class strings wrong: %v %v", HI, LO)
+	}
+}
+
+func TestNewDualLevels(t *testing.T) {
+	d, err := NewDualLevels(LevelB, LevelC)
+	if err != nil {
+		t.Fatalf("NewDualLevels(B,C): %v", err)
+	}
+	if d.Level(HI) != LevelB || d.Level(LO) != LevelC {
+		t.Errorf("Level mapping wrong: %+v", d)
+	}
+	if d.Requirement(HI) != 1e-7 || d.Requirement(LO) != 1e-5 {
+		t.Errorf("Requirement mapping wrong")
+	}
+	if d.String() != "HI=B/LO=C" {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestNewDualLevelsRejectsBadPairs(t *testing.T) {
+	if _, err := NewDualLevels(LevelC, LevelB); err == nil {
+		t.Error("expected error: LO more critical than HI")
+	}
+	if _, err := NewDualLevels(LevelB, LevelB); err == nil {
+		t.Error("expected error: equal levels")
+	}
+	if _, err := NewDualLevels(Level(9), LevelB); err == nil {
+		t.Error("expected error: invalid level")
+	}
+}

@@ -1,0 +1,209 @@
+// Package explore enumerates the fault-tolerant design space the paper's
+// algorithm navigates point-wise: for a given task set it runs FT-S over
+// every combination of adaptation mechanism (killing, degradation at
+// several factors) and pluggable schedulability test S, scores each
+// certified design on safety margin, retained LO service and utilization
+// headroom, and marks the Pareto-optimal choices. This operationalizes
+// the paper's message that safety and schedulability are "conflicting
+// forces": the explorer shows exactly what each mechanism trades away.
+package explore
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/criticality"
+	"repro/internal/mcsched"
+	"repro/internal/prob"
+	"repro/internal/safety"
+	"repro/internal/task"
+)
+
+// Design is one evaluated point of the design space.
+type Design struct {
+	// Mode and DF identify the adaptation mechanism (DF is 0 for
+	// killing).
+	Mode safety.AdaptMode
+	DF   float64
+	// TestName is the schedulability test S used.
+	TestName string
+	// Result is the FT-S outcome.
+	Result core.Result
+	// SafetyMarginLO is log10(PFH_LO requirement / achieved pfh(LO)) —
+	// orders of magnitude of slack; +Inf when the LO level carries no
+	// requirement. Only meaningful for certified designs.
+	SafetyMarginLO float64
+	// LOService estimates the LO service retained if the adaptation
+	// triggers: 0 under killing, 1/df under degradation, weighted by the
+	// probability the trigger ever fires within OS (eq. 3): designs that
+	// almost never adapt score near 1 regardless of mechanism.
+	LOService float64
+	// Headroom is 1 − max(LO-mode, adapted-mode utilization) of the
+	// converted set — a uniform proxy for how much slack the processor
+	// retains (not each test's own bound).
+	Headroom float64
+	// Pareto marks designs not dominated on
+	// (SafetyMarginLO, LOService, Headroom) by any other certified
+	// design.
+	Pareto bool
+}
+
+// String renders one line per design.
+func (d Design) String() string {
+	mech := "kill"
+	if d.Mode == safety.Degrade {
+		mech = fmt.Sprintf("degrade(df=%g)", d.DF)
+	}
+	status := "rejected"
+	if d.Result.OK {
+		status = fmt.Sprintf("n'=%d margin=%.1f service=%.2f headroom=%.2f",
+			d.Result.Profiles.NPrime, d.SafetyMarginLO, d.LOService, d.Headroom)
+		if d.Pareto {
+			status += " ◆pareto"
+		}
+	}
+	return fmt.Sprintf("%-16s %-12s %s", mech, d.TestName, status)
+}
+
+// Options parameterizes the exploration.
+type Options struct {
+	// Safety is the PFH analysis configuration.
+	Safety safety.Config
+	// DFs lists the degradation factors to explore; empty means {2, 6, 12}.
+	DFs []float64
+	// KillTests lists the schedulability tests for the killing designs;
+	// empty means EDF-VD, AMC-rtb, SMC and DBF-tune.
+	KillTests []mcsched.Test
+}
+
+// Explore evaluates the design space and marks the Pareto front.
+func Explore(s *task.Set, opt Options) ([]Design, error) {
+	if err := opt.Safety.Validate(); err != nil {
+		return nil, err
+	}
+	dfs := opt.DFs
+	if len(dfs) == 0 {
+		dfs = []float64{2, 6, 12}
+	}
+	killTests := opt.KillTests
+	if len(killTests) == 0 {
+		killTests = []mcsched.Test{mcsched.EDFVD{}, mcsched.AMCrtb{}, mcsched.SMC{}, mcsched.DBFTune{}}
+	}
+	var designs []Design
+	for _, test := range killTests {
+		d, err := evaluate(s, core.Options{Safety: opt.Safety, Mode: safety.Kill, Test: test}, 0)
+		if err != nil {
+			return nil, err
+		}
+		designs = append(designs, d)
+	}
+	for _, df := range dfs {
+		if df <= 1 {
+			return nil, fmt.Errorf("explore: degradation factor must be > 1, got %g", df)
+		}
+		d, err := evaluate(s, core.Options{Safety: opt.Safety, Mode: safety.Degrade, DF: df}, df)
+		if err != nil {
+			return nil, err
+		}
+		designs = append(designs, d)
+	}
+	markPareto(designs)
+	return designs, nil
+}
+
+// evaluate runs FT-S for one design point and scores it.
+func evaluate(s *task.Set, opt core.Options, df float64) (Design, error) {
+	res, err := core.FTS(s, opt)
+	if err != nil {
+		return Design{}, err
+	}
+	d := Design{Mode: opt.Mode, DF: df, TestName: res.TestName, Result: res}
+	if !res.OK {
+		return d, nil
+	}
+	req := s.Dual().Requirement(criticality.LO)
+	if math.IsInf(req, 1) {
+		d.SafetyMarginLO = math.Inf(1)
+	} else if res.PFHLO > 0 {
+		d.SafetyMarginLO = prob.Log10(req) - prob.Log10(res.PFHLO)
+	} else {
+		d.SafetyMarginLO = math.Inf(1)
+	}
+	d.LOService = loService(s, opt, res)
+	d.Headroom = headroom(s, opt, res)
+	return d, nil
+}
+
+// loService weights the post-trigger LO service by the probability the
+// trigger fires within the mission (eq. 3).
+func loService(s *task.Set, opt core.Options, res core.Result) float64 {
+	adapt, err := safety.NewUniformAdaptation(opt.Safety, s.ByClass(criticality.HI), res.Profiles.NPrime)
+	if err != nil {
+		return 0
+	}
+	pAdapt := adapt.AdaptProb(opt.Safety.Horizon())
+	retained := 0.0
+	if opt.Mode == safety.Degrade {
+		retained = 1 / opt.DF
+	}
+	return (1-pAdapt)*1 + pAdapt*retained
+}
+
+// headroom is 1 − max(LO-mode, adapted-mode utilization) of the converted
+// set: a mechanism-uniform slack proxy.
+func headroom(s *task.Set, opt core.Options, res core.Result) float64 {
+	conv := res.Converted
+	uHILO := conv.Util(criticality.HI, criticality.LO)
+	uHIHI := conv.Util(criticality.HI, criticality.HI)
+	uLOLO := conv.Util(criticality.LO, criticality.LO)
+	loMode := uHILO + uLOLO
+	adapted := uHIHI
+	if opt.Mode == safety.Degrade {
+		adapted += uLOLO / opt.DF
+	}
+	return 1 - math.Max(loMode, adapted)
+}
+
+// markPareto flags certified designs not dominated on the three metrics.
+func markPareto(ds []Design) {
+	dominates := func(a, b Design) bool {
+		ge := a.SafetyMarginLO >= b.SafetyMarginLO && a.LOService >= b.LOService && a.Headroom >= b.Headroom
+		gt := a.SafetyMarginLO > b.SafetyMarginLO || a.LOService > b.LOService || a.Headroom > b.Headroom
+		return ge && gt
+	}
+	for i := range ds {
+		if !ds[i].Result.OK {
+			continue
+		}
+		ds[i].Pareto = true
+		for j := range ds {
+			if i == j || !ds[j].Result.OK {
+				continue
+			}
+			if dominates(ds[j], ds[i]) {
+				ds[i].Pareto = false
+				break
+			}
+		}
+	}
+}
+
+// Recommend picks the certified Pareto design with the most retained LO
+// service, breaking ties by headroom; ok = false when nothing certifies.
+func Recommend(ds []Design) (Design, bool) {
+	best := -1
+	for i, d := range ds {
+		if !d.Result.OK || !d.Pareto {
+			continue
+		}
+		if best < 0 || d.LOService > ds[best].LOService ||
+			(d.LOService == ds[best].LOService && d.Headroom > ds[best].Headroom) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Design{}, false
+	}
+	return ds[best], true
+}

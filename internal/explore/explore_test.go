@@ -1,0 +1,151 @@
+package explore
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/criticality"
+	"repro/internal/gen"
+	"repro/internal/safety"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+func example31(lo criticality.Level) *task.Set {
+	ms := timeunit.Milliseconds
+	mk := func(name string, T, C int64, l criticality.Level) task.Task {
+		return task.Task{Name: name, Period: ms(T), Deadline: ms(T), WCET: ms(C), Level: l, FailProb: 1e-5}
+	}
+	return task.MustNewSet([]task.Task{
+		mk("τ1", 60, 5, criticality.LevelB),
+		mk("τ2", 25, 4, criticality.LevelB),
+		mk("τ3", 40, 7, lo),
+		mk("τ4", 90, 6, lo),
+		mk("τ5", 70, 8, lo),
+	})
+}
+
+func TestExploreExample31(t *testing.T) {
+	ds, err := Explore(example31(criticality.LevelD), Options{Safety: safety.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 kill tests + 3 degradation factors.
+	if len(ds) != 7 {
+		t.Fatalf("designs = %d, want 7", len(ds))
+	}
+	var certified, pareto int
+	for _, d := range ds {
+		if d.Result.OK {
+			certified++
+			if math.IsInf(d.SafetyMarginLO, 1) == false {
+				t.Errorf("level D LO tasks: margin should be +Inf, got %v", d.SafetyMarginLO)
+			}
+			if d.LOService < 0 || d.LOService > 1 {
+				t.Errorf("LOService = %v out of [0,1]", d.LOService)
+			}
+		}
+		if d.Pareto {
+			pareto++
+			if !d.Result.OK {
+				t.Error("rejected design marked Pareto")
+			}
+		}
+		if d.String() == "" {
+			t.Error("empty design string")
+		}
+	}
+	if certified == 0 {
+		t.Fatal("Example 3.1 must certify under at least one design")
+	}
+	if pareto == 0 {
+		t.Fatal("certified designs without a Pareto front")
+	}
+	rec, ok := Recommend(ds)
+	if !ok {
+		t.Fatal("no recommendation")
+	}
+	if !rec.Pareto || !rec.Result.OK {
+		t.Error("recommendation must be a certified Pareto design")
+	}
+}
+
+// On the calibrated FMS instance with level C flightplan tasks, every
+// recommended design must be a degradation design (killing violates the
+// LO safety budget) — the paper's conclusion as an exploration output.
+func TestExploreFMSRecommendsDegradation(t *testing.T) {
+	s := gen.FMSAt(gen.DefaultFMSKillSeed)
+	ds, err := Explore(s, Options{
+		Safety: safety.Config{OperationHours: gen.FMSOperationHours, AssumeFullWCET: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := Recommend(ds)
+	if !ok {
+		t.Fatal("FMS must certify under some design")
+	}
+	if rec.Mode != safety.Degrade {
+		t.Errorf("recommended %v, want degradation", rec)
+	}
+	for _, d := range ds {
+		if d.Mode == safety.Kill && d.TestName == "EDF-VD" && d.Result.OK {
+			t.Error("EDF-VD killing must not certify the level C FMS")
+		}
+	}
+}
+
+// Pareto marking: no certified design may dominate another Pareto design.
+func TestParetoConsistency(t *testing.T) {
+	ds, err := Explore(example31(criticality.LevelD), Options{Safety: safety.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range ds {
+		if !a.Pareto {
+			continue
+		}
+		for j, b := range ds {
+			if i == j || !b.Result.OK {
+				continue
+			}
+			strictly := (b.SafetyMarginLO >= a.SafetyMarginLO && b.LOService >= a.LOService && b.Headroom >= a.Headroom) &&
+				(b.SafetyMarginLO > a.SafetyMarginLO || b.LOService > a.LOService || b.Headroom > a.Headroom)
+			if strictly {
+				t.Errorf("design %d dominates Pareto design %d", j, i)
+			}
+		}
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	s := example31(criticality.LevelD)
+	if _, err := Explore(s, Options{Safety: safety.Config{}}); err == nil {
+		t.Error("invalid safety config accepted")
+	}
+	if _, err := Explore(s, Options{Safety: safety.DefaultConfig(), DFs: []float64{1}}); err == nil {
+		t.Error("df <= 1 accepted")
+	}
+}
+
+func TestRecommendNothingCertifies(t *testing.T) {
+	// Overloaded set: nothing certifies.
+	ms := timeunit.Milliseconds
+	s := task.MustNewSet([]task.Task{
+		{Name: "hi", Period: ms(10), Deadline: ms(10), WCET: ms(6), Level: criticality.LevelB, FailProb: 1e-5},
+		{Name: "lo", Period: ms(10), Deadline: ms(10), WCET: ms(6), Level: criticality.LevelD, FailProb: 1e-5},
+	})
+	ds, err := Explore(s, Options{Safety: safety.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Recommend(ds); ok {
+		t.Error("recommendation from an uncertifiable space")
+	}
+	for _, d := range ds {
+		if !strings.Contains(d.String(), "rejected") {
+			t.Errorf("rejected design renders as %q", d.String())
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/criticality"
+	"repro/internal/gen"
+	"repro/internal/safety"
+	"repro/internal/task"
+)
+
+// Fig3Config parameterizes one panel of the Fig. 3 acceptance-ratio
+// experiment.
+type Fig3Config struct {
+	// HI, LO are the DO-178B levels of the two classes: the paper uses
+	// HI = B with LO ∈ {D, E} (panels a, c) or LO = C (panels b, d).
+	HI, LO criticality.Level
+	// Mode is killing (panels a, b) or service degradation (panels c, d).
+	Mode safety.AdaptMode
+	// DF is the degradation factor, read in Degrade mode.
+	DF float64
+	// FailProbs lists the universal per-attempt failure probabilities f;
+	// the paper plots f = 1e-3 and f = 1e-5.
+	FailProbs []float64
+	// Utils is the x-axis: nominal system utilizations U.
+	Utils []float64
+	// SetsPerPoint is the number of random task sets per data point (500
+	// in the paper).
+	SetsPerPoint int
+	// Seed makes the experiment reproducible; set i at utilization index
+	// u and failure-prob index p derives its RNG deterministically.
+	Seed int64
+	// Generator selects the workload generator; the zero value is the
+	// paper's Appendix C generator.
+	Generator Generator
+	// TasksPerSet fixes the task count for the UUnifast generator
+	// (ignored by Appendix C); 0 defaults to 10.
+	TasksPerSet int
+}
+
+// Generator selects how random task sets are drawn.
+type Generator int
+
+const (
+	// GenAppendixC adds u ~ U[u−, u+] tasks until the target utilization
+	// is reached — the paper's generator.
+	GenAppendixC Generator = iota
+	// GenUUnifast draws a fixed task count with UUnifast utilizations —
+	// the field-standard alternative, as a workload-shape ablation.
+	GenUUnifast
+)
+
+// String names the generator.
+func (g Generator) String() string {
+	if g == GenUUnifast {
+		return "UUnifast"
+	}
+	return "AppendixC"
+}
+
+// Validate reports configuration errors.
+func (c Fig3Config) Validate() error {
+	if !c.HI.MoreCriticalThan(c.LO) {
+		return fmt.Errorf("expt: HI level %v must exceed LO level %v", c.HI, c.LO)
+	}
+	if c.Mode == safety.Degrade && c.DF <= 1 {
+		return fmt.Errorf("expt: degradation factor must be > 1, got %g", c.DF)
+	}
+	if len(c.FailProbs) == 0 || len(c.Utils) == 0 || c.SetsPerPoint < 1 {
+		return fmt.Errorf("expt: need failure probabilities, utilizations and sets per point")
+	}
+	return nil
+}
+
+// Fig3Curve is the pair of acceptance-ratio series for one failure
+// probability: with and without adaptation. The vertical gap between them
+// is the shadow the paper shades.
+type Fig3Curve struct {
+	// FailProb is f.
+	FailProb float64
+	// Baseline[i] is the acceptance ratio at Utils[i] without killing or
+	// degradation: minimal re-execution profiles exist and the fully
+	// re-executed set satisfies the exact implicit-deadline EDF bound
+	// n_HI·U_HI + n_LO·U_LO ≤ 1.
+	Baseline []float64
+	// Adapted[i] is the acceptance ratio with adaptation available: a set
+	// counts if the baseline accepts it or FT-S (Algorithm 1) succeeds.
+	// The paper adopts adaptation "only if the system is not feasible
+	// otherwise".
+	Adapted []float64
+}
+
+// Fig3Result is one reproduced panel.
+type Fig3Result struct {
+	Config Fig3Config
+	Curves []Fig3Curve
+}
+
+// Fig3 runs one panel of the extensive simulations: for every (f, U) data
+// point it draws SetsPerPoint random task sets with the Appendix C
+// generator and reports the fraction accepted with and without
+// adaptation. Sets are processed in parallel; results are deterministic
+// in Seed.
+func Fig3(cfg Fig3Config) (Fig3Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Fig3Result{}, err
+	}
+	res := Fig3Result{Config: cfg}
+	for pi, f := range cfg.FailProbs {
+		curve := Fig3Curve{
+			FailProb: f,
+			Baseline: make([]float64, len(cfg.Utils)),
+			Adapted:  make([]float64, len(cfg.Utils)),
+		}
+		for ui, u := range cfg.Utils {
+			base, adapted := fig3Point(cfg, f, u, pointSeed(cfg.Seed, pi, ui))
+			curve.Baseline[ui] = base
+			curve.Adapted[ui] = adapted
+		}
+		res.Curves = append(res.Curves, curve)
+	}
+	return res, nil
+}
+
+// pointSeed derives a deterministic sub-seed per data point.
+func pointSeed(seed int64, pi, ui int) int64 {
+	return seed*1_000_003 + int64(pi)*10_007 + int64(ui)*101
+}
+
+// fig3Point evaluates one data point, fanning the task sets across
+// workers.
+func fig3Point(cfg Fig3Config, f, u float64, seed int64) (baseline, adapted float64) {
+	params := gen.PaperParams(cfg.HI, cfg.LO, u, f)
+	type verdict struct{ base, adapt bool }
+	verdicts := make([]verdict, cfg.SetsPerPoint)
+
+	workers := runtime.NumCPU()
+	if workers > cfg.SetsPerPoint {
+		workers = cfg.SetsPerPoint
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for i := 0; i < cfg.SetsPerPoint; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rng := rand.New(rand.NewSource(seed + int64(i)))
+				verdicts[i] = evalOne(cfg, params, rng)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var nb, na int
+	for _, v := range verdicts {
+		if v.base {
+			nb++
+		}
+		if v.adapt {
+			na++
+		}
+	}
+	return float64(nb) / float64(cfg.SetsPerPoint), float64(na) / float64(cfg.SetsPerPoint)
+}
+
+// evalOne draws one random set and judges it with and without adaptation.
+func evalOne(cfg Fig3Config, params gen.Params, rng *rand.Rand) (v struct{ base, adapt bool }) {
+	var s *task.Set
+	var err error
+	if cfg.Generator == GenUUnifast {
+		n := cfg.TasksPerSet
+		if n == 0 {
+			n = 10
+		}
+		s, err = gen.UUnifastTaskSet(rng, n, params)
+	} else {
+		s, err = gen.TaskSet(rng, params)
+	}
+	if err != nil {
+		return v // degenerate draw: reject both ways
+	}
+	scfg := safety.DefaultConfig()
+	dual := s.Dual()
+	nHI, errHI := scfg.MinReexecProfile(s.ByClass(criticality.HI), dual.Requirement(criticality.HI))
+	nLO, errLO := scfg.MinReexecProfile(s.ByClass(criticality.LO), dual.Requirement(criticality.LO))
+	if errHI == nil && errLO == nil {
+		total := s.ScaledUtilization(criticality.HI, nHI) + s.ScaledUtilization(criticality.LO, nLO)
+		v.base = total <= 1
+	}
+	if v.base {
+		// Adaptation is only adopted when the system is infeasible
+		// otherwise (Appendix C).
+		v.adapt = true
+		return v
+	}
+	res, err := core.FTS(s, core.Options{Safety: scfg, Mode: cfg.Mode, DF: cfg.DF})
+	v.adapt = err == nil && res.OK
+	return v
+}
+
+// PaperUtils is the utilization axis used by the reproduction: 0.3 to 1.0
+// in steps of 0.05. The low end matters for the LO = C panels (3b, 3d),
+// whose re-execution profiles multiply the LO utilization so acceptance
+// collapses well before U = 1.
+func PaperUtils() []float64 {
+	var utils []float64
+	for u := 0.30; u <= 1.001; u += 0.05 {
+		utils = append(utils, u)
+	}
+	return utils
+}
+
+// PanelConfig returns the configuration of one of the four published
+// panels ("3a", "3b", "3c", "3d") with the given sample count and seed.
+func PanelConfig(panel string, setsPerPoint int, seed int64) (Fig3Config, error) {
+	cfg := Fig3Config{
+		HI:           criticality.LevelB,
+		FailProbs:    []float64{1e-3, 1e-5},
+		Utils:        PaperUtils(),
+		SetsPerPoint: setsPerPoint,
+		Seed:         seed,
+	}
+	switch panel {
+	case "3a":
+		cfg.LO, cfg.Mode = criticality.LevelD, safety.Kill
+	case "3b":
+		cfg.LO, cfg.Mode = criticality.LevelC, safety.Kill
+	case "3c":
+		cfg.LO, cfg.Mode, cfg.DF = criticality.LevelD, safety.Degrade, gen.FMSDegradeFactor
+	case "3d":
+		cfg.LO, cfg.Mode, cfg.DF = criticality.LevelC, safety.Degrade, gen.FMSDegradeFactor
+	default:
+		return Fig3Config{}, fmt.Errorf("expt: unknown panel %q (want 3a..3d)", panel)
+	}
+	return cfg, nil
+}

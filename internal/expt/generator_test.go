@@ -1,0 +1,44 @@
+package expt
+
+import (
+	"testing"
+)
+
+func TestGeneratorString(t *testing.T) {
+	if GenAppendixC.String() != "AppendixC" || GenUUnifast.String() != "UUnifast" {
+		t.Errorf("generator names wrong: %v %v", GenAppendixC, GenUUnifast)
+	}
+}
+
+// The workload-shape ablation: the qualitative Fig. 3a result (adaptation
+// dominates the baseline, acceptance falls with U) holds under UUnifast
+// workloads too — the paper's conclusions do not hinge on its particular
+// generator.
+func TestFig3ShapeRobustToGenerator(t *testing.T) {
+	for _, g := range []Generator{GenAppendixC, GenUUnifast} {
+		cfg, err := PanelConfig("3a", 40, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Generator = g
+		cfg.TasksPerSet = 8
+		cfg.Utils = []float64{0.5, 0.9}
+		cfg.FailProbs = []float64{1e-5}
+		res, err := Fig3(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := res.Curves[0]
+		for i := range cfg.Utils {
+			if c.Adapted[i] < c.Baseline[i] {
+				t.Errorf("%v U=%.1f: adapted %.2f < baseline %.2f", g, cfg.Utils[i], c.Adapted[i], c.Baseline[i])
+			}
+		}
+		if c.Adapted[1] > c.Adapted[0] {
+			t.Errorf("%v: acceptance rose with U: %.2f → %.2f", g, c.Adapted[0], c.Adapted[1])
+		}
+		if c.Adapted[1] <= c.Baseline[1] {
+			t.Errorf("%v: no adaptation gain at U=0.9 (%.2f vs %.2f)", g, c.Adapted[1], c.Baseline[1])
+		}
+	}
+}

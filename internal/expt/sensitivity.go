@@ -1,0 +1,267 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/criticality"
+	"repro/internal/gen"
+	"repro/internal/prob"
+	"repro/internal/safety"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+// These experiments go beyond the paper's figures: a sensitivity sweep
+// over the degradation factor df (the paper fixes df = 6 without
+// justification) and a robustness study over random Table 4 instances
+// (the paper reports a single random FMS draw).
+
+// DFPoint is one df value of the sensitivity sweep.
+type DFPoint struct {
+	// DF is the degradation factor.
+	DF float64
+	// Acceptance is the FT-S acceptance ratio at this df.
+	Acceptance float64
+	// CI is the 95% Wilson interval of the acceptance ratio.
+	CI stats.Interval
+	// MeanPFHLO averages the achieved pfh(LO) bound over accepted sets
+	// (0 when none were accepted).
+	MeanPFHLO float64
+}
+
+// DFSweep measures how the degradation factor trades schedulability
+// against delivered LO service: larger df weakens the degraded-mode
+// utilization term U_LO^LO/(df−1) of eq. (12) (more sets fit) while
+// thinning the LO service — and, per eq. (7), larger df does not change
+// the pfh(LO) bound, which depends on the undegraded ω(1, t).
+func DFSweep(hi, lo criticality.Level, u, failProb float64, dfs []float64, setsPerPoint int, seed int64) ([]DFPoint, error) {
+	if len(dfs) == 0 || setsPerPoint < 1 {
+		return nil, fmt.Errorf("expt: need df values and sets per point")
+	}
+	params := gen.PaperParams(hi, lo, u, failProb)
+	scfg := safety.DefaultConfig()
+	out := make([]DFPoint, 0, len(dfs))
+	for _, df := range dfs {
+		if df <= 1 {
+			return nil, fmt.Errorf("expt: degradation factor must be > 1, got %g", df)
+		}
+		accepted := 0
+		var pfhSum prob.KahanSum
+		for i := 0; i < setsPerPoint; i++ {
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			s, err := gen.TaskSet(rng, params)
+			if err != nil {
+				continue
+			}
+			res, err := core.FTS(s, core.Options{Safety: scfg, Mode: safety.Degrade, DF: df})
+			if err != nil {
+				return nil, err
+			}
+			if res.OK {
+				accepted++
+				pfhSum.Add(res.PFHLO)
+			}
+		}
+		p := DFPoint{
+			DF:         df,
+			Acceptance: float64(accepted) / float64(setsPerPoint),
+			CI:         stats.Wilson95(accepted, setsPerPoint),
+		}
+		if accepted > 0 {
+			p.MeanPFHLO = pfhSum.Value() / float64(accepted)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FMSRobustness re-runs the Fig. 1 / Fig. 2 analysis over many random
+// Table 4 instances and reports how often the published qualitative
+// findings hold, quantifying how representative the paper's single random
+// draw is.
+type FMSRobustness struct {
+	// Instances is the number of random Table 4 draws analyzed.
+	Instances int
+	// ProfilesMatch counts instances whose minimal re-execution profiles
+	// are the published n_HI = 3, n_LO = 2.
+	ProfilesMatch int
+	// KillUncertifiable counts instances where FT-S with killing fails —
+	// the paper's central claim that level C tasks cannot be killed.
+	KillUncertifiable int
+	// DegradeCertifiable counts instances where FT-S with degradation
+	// (df = 6) succeeds.
+	DegradeCertifiable int
+	// StoryHolds counts instances exhibiting the full published story:
+	// killing fails AND degradation succeeds.
+	StoryHolds int
+}
+
+// RunFMSRobustness analyzes n random FMS instances.
+func RunFMSRobustness(n int, seed int64) (FMSRobustness, error) {
+	if n < 1 {
+		return FMSRobustness{}, fmt.Errorf("expt: need at least one instance")
+	}
+	cfg := safety.Config{OperationHours: gen.FMSOperationHours, AssumeFullWCET: true}
+	r := FMSRobustness{Instances: n}
+	for i := 0; i < n; i++ {
+		s := gen.FMSAt(seed + int64(i))
+		hi := s.ByClass(criticality.HI)
+		lo := s.ByClass(criticality.LO)
+		nHI, err1 := cfg.MinReexecProfile(hi, s.Dual().Requirement(criticality.HI))
+		nLO, err2 := cfg.MinReexecProfile(lo, s.Dual().Requirement(criticality.LO))
+		if err1 == nil && err2 == nil && nHI == 3 && nLO == 2 {
+			r.ProfilesMatch++
+		}
+		kill, err := core.FTEDFVD(s, cfg)
+		if err != nil {
+			return FMSRobustness{}, err
+		}
+		deg, err := core.FTEDFVDDegrade(s, cfg, gen.FMSDegradeFactor)
+		if err != nil {
+			return FMSRobustness{}, err
+		}
+		if !kill.OK {
+			r.KillUncertifiable++
+		}
+		if deg.OK {
+			r.DegradeCertifiable++
+		}
+		if !kill.OK && deg.OK {
+			r.StoryHolds++
+		}
+	}
+	return r, nil
+}
+
+// String summarizes the robustness study.
+func (r FMSRobustness) String() string {
+	pct := func(k int) float64 { return 100 * float64(k) / float64(r.Instances) }
+	return fmt.Sprintf("over %d Table 4 instances: profiles (3,2) %.0f%%, killing uncertifiable %.0f%%, degradation certifiable %.0f%%, full story %.0f%%",
+		r.Instances, pct(r.ProfilesMatch), pct(r.KillUncertifiable), pct(r.DegradeCertifiable), pct(r.StoryHolds))
+}
+
+// OSPoint is one operation-duration value of the OS sweep.
+type OSPoint struct {
+	// Hours is the operation duration OS.
+	Hours int
+	// PFHLOKill is the killing bound pfh(LO) of eq. (5) at this OS.
+	PFHLOKill float64
+	// PFHLODegrade is the degradation bound of eq. (7).
+	PFHLODegrade float64
+	// KillCertifiable and DegradeCertifiable report whether FT-S
+	// succeeds at this OS in each mode.
+	KillCertifiable, DegradeCertifiable bool
+}
+
+// OSSweep measures how the operation duration OS affects certifiability
+// on a fixed FMS instance: the killing bound of eq. (5) accumulates kill
+// probability over the whole mission (R(t) falls with t), so longer
+// missions are strictly harder to certify under killing — an effect the
+// paper fixes at OS = 10 without exploring. The adaptation profile is
+// held at n′_HI = 2 (the largest schedulable value on the calibrated
+// instances).
+func OSSweep(s *task.Set, hours []int) ([]OSPoint, error) {
+	if len(hours) == 0 {
+		return nil, fmt.Errorf("expt: need at least one OS value")
+	}
+	out := make([]OSPoint, 0, len(hours))
+	for _, h := range hours {
+		if h < 1 {
+			return nil, fmt.Errorf("expt: OS must be >= 1 hour, got %d", h)
+		}
+		cfg := safety.Config{OperationHours: h, AssumeFullWCET: true}
+		hi := s.ByClass(criticality.HI)
+		lo := s.ByClass(criticality.LO)
+		nLO, err := cfg.MinReexecProfile(lo, s.Dual().Requirement(criticality.LO))
+		if err != nil {
+			return nil, err
+		}
+		adapt, err := safety.NewUniformAdaptation(cfg, hi, 2)
+		if err != nil {
+			return nil, err
+		}
+		p := OSPoint{
+			Hours:        h,
+			PFHLOKill:    cfg.KillingPFHLOUniform(lo, nLO, adapt),
+			PFHLODegrade: cfg.DegradationPFHLOUniform(lo, nLO, adapt, gen.FMSDegradeFactor),
+		}
+		kill, err := core.FTEDFVD(s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.KillCertifiable = kill.OK
+		deg, err := core.FTEDFVDDegrade(s, cfg, gen.FMSDegradeFactor)
+		if err != nil {
+			return nil, err
+		}
+		p.DegradeCertifiable = deg.OK
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// PHIPoint is one HI-task-share value of the P_HI sweep.
+type PHIPoint struct {
+	// PHI is the probability that a generated task is HI criticality.
+	PHI float64
+	// Baseline and Adapted are acceptance ratios as in Fig. 3.
+	Baseline, Adapted float64
+	// Gap is Adapted − Baseline: how much the adaptation mechanism buys.
+	Gap float64
+}
+
+// PHISweep varies the HI-task share the paper fixes at 0.2: with few HI
+// tasks there is little to re-execute (baseline already accepts); with
+// many, killing the shrinking LO share stops paying. The adaptation gain
+// peaks in between.
+func PHISweep(mode safety.AdaptMode, df float64, u, failProb float64, phis []float64, setsPerPoint int, seed int64) ([]PHIPoint, error) {
+	if len(phis) == 0 || setsPerPoint < 1 {
+		return nil, fmt.Errorf("expt: need P_HI values and sets per point")
+	}
+	out := make([]PHIPoint, 0, len(phis))
+	for _, phi := range phis {
+		if phi <= 0 || phi >= 1 {
+			return nil, fmt.Errorf("expt: P_HI must be in (0,1), got %g", phi)
+		}
+		params := gen.PaperParams(criticality.LevelB, criticality.LevelD, u, failProb)
+		params.PHI = phi
+		var nb, na int
+		for i := 0; i < setsPerPoint; i++ {
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			s, err := gen.TaskSet(rng, params)
+			if err != nil {
+				continue
+			}
+			scfg := safety.DefaultConfig()
+			dual := s.Dual()
+			nHI, errHI := scfg.MinReexecProfile(s.ByClass(criticality.HI), dual.Requirement(criticality.HI))
+			nLO, errLO := scfg.MinReexecProfile(s.ByClass(criticality.LO), dual.Requirement(criticality.LO))
+			base := false
+			if errHI == nil && errLO == nil {
+				base = s.ScaledUtilization(criticality.HI, nHI)+s.ScaledUtilization(criticality.LO, nLO) <= 1
+			}
+			if base {
+				nb++
+				na++
+				continue
+			}
+			res, err := core.FTS(s, core.Options{Safety: scfg, Mode: mode, DF: df})
+			if err != nil {
+				return nil, err
+			}
+			if res.OK {
+				na++
+			}
+		}
+		p := PHIPoint{
+			PHI:      phi,
+			Baseline: float64(nb) / float64(setsPerPoint),
+			Adapted:  float64(na) / float64(setsPerPoint),
+		}
+		p.Gap = p.Adapted - p.Baseline
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/criticality"
+	"repro/internal/safety"
+)
+
+func TestDFSweepShape(t *testing.T) {
+	dfs := []float64{1.5, 2, 4, 8, 16}
+	points, err := DFSweep(criticality.LevelB, criticality.LevelD, 0.8, 1e-5, dfs, 40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(dfs) {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Larger df weakens eq. (12)'s degraded-mode term: acceptance is
+	// non-decreasing (up to sampling identity — the same seeds are used
+	// at each df, so the comparison is paired and exact).
+	for i := 1; i < len(points); i++ {
+		if points[i].Acceptance < points[i-1].Acceptance {
+			t.Errorf("acceptance fell from %.2f (df=%g) to %.2f (df=%g)",
+				points[i-1].Acceptance, dfs[i-1], points[i].Acceptance, dfs[i])
+		}
+	}
+	for _, p := range points {
+		if !p.CI.Contains(p.Acceptance) {
+			t.Errorf("df=%g: CI %v does not contain %.3f", p.DF, p.CI, p.Acceptance)
+		}
+	}
+	if points[len(points)-1].Acceptance == 0 {
+		t.Error("no acceptance even at df=16: sweep exercised nothing")
+	}
+}
+
+func TestDFSweepErrors(t *testing.T) {
+	if _, err := DFSweep(criticality.LevelB, criticality.LevelD, 0.8, 1e-5, nil, 10, 1); err == nil {
+		t.Error("expected error for empty dfs")
+	}
+	if _, err := DFSweep(criticality.LevelB, criticality.LevelD, 0.8, 1e-5, []float64{1}, 10, 1); err == nil {
+		t.Error("expected error for df <= 1")
+	}
+	if _, err := DFSweep(criticality.LevelB, criticality.LevelD, 0.8, 1e-5, []float64{2}, 0, 1); err == nil {
+		t.Error("expected error for zero sets")
+	}
+}
+
+func TestFMSRobustness(t *testing.T) {
+	r, err := RunFMSRobustness(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Instances != 40 {
+		t.Fatalf("instances = %d", r.Instances)
+	}
+	// The published minimal profiles are essentially structural (they
+	// depend on the Table 4 periods, not the drawn WCETs): every
+	// instance should match.
+	if r.ProfilesMatch < 38 {
+		t.Errorf("profiles (3,2) on only %d/40 instances", r.ProfilesMatch)
+	}
+	// Killing level C tasks should be uncertifiable on (nearly) all
+	// instances — the paper's central negative result.
+	if r.KillUncertifiable < 30 {
+		t.Errorf("killing certified on %d/40 instances; expected it to fail almost always",
+			40-r.KillUncertifiable)
+	}
+	// Degradation certifies only on low-U_LO draws: random Table 4
+	// instances average U_LO ≈ 0.4, which n_LO = 2 doubles past what
+	// eq. (12) tolerates. Measured: ≈17% over 100 instances — the
+	// paper's single draw is not representative, which EXPERIMENTS.md
+	// records. Here we only require the phenomenon to be visible.
+	if r.DegradeCertifiable < 1 {
+		t.Errorf("degradation certified on no instance")
+	}
+	if r.DegradeCertifiable > r.Instances/2 {
+		t.Errorf("degradation certified on %d/40: expected a minority (typical draws are LO-heavy)",
+			r.DegradeCertifiable)
+	}
+	if r.StoryHolds > r.KillUncertifiable || r.StoryHolds > r.DegradeCertifiable {
+		t.Error("story count inconsistent")
+	}
+	if !strings.Contains(r.String(), "Table 4 instances") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestFMSRobustnessErrors(t *testing.T) {
+	if _, err := RunFMSRobustness(0, 1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+// The adaptation gain vanishes at both P_HI extremes and peaks in
+// between: with almost no HI tasks the baseline already accepts; with
+// almost no LO tasks there is nothing to kill.
+func TestPHISweep(t *testing.T) {
+	phis := []float64{0.05, 0.2, 0.5, 0.9}
+	points, err := PHISweep(safety.Kill, 0, 0.8, 1e-5, phis, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(phis) {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Adapted < p.Baseline {
+			t.Errorf("P_HI=%g: adapted %.2f below baseline %.2f", p.PHI, p.Adapted, p.Baseline)
+		}
+	}
+	// The paper's operating point (0.2) should show a solid gap, the
+	// extremes a smaller one.
+	mid := points[1].Gap
+	if mid <= points[3].Gap {
+		t.Errorf("gap at P_HI=0.2 (%.2f) should exceed P_HI=0.9 (%.2f)", mid, points[3].Gap)
+	}
+	if mid <= 0.05 {
+		t.Errorf("gap at the paper's P_HI=0.2 implausibly small: %.2f", mid)
+	}
+}
+
+func TestPHISweepErrors(t *testing.T) {
+	if _, err := PHISweep(safety.Kill, 0, 0.8, 1e-5, nil, 10, 1); err == nil {
+		t.Error("empty phis accepted")
+	}
+	if _, err := PHISweep(safety.Kill, 0, 0.8, 1e-5, []float64{1}, 10, 1); err == nil {
+		t.Error("P_HI=1 accepted")
+	}
+	if _, err := PHISweep(safety.Kill, 0, 0.8, 1e-5, []float64{0.2}, 0, 1); err == nil {
+		t.Error("zero sets accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package gen
+
+import (
+	"math/rand"
+	"strconv"
+
+	"repro/internal/criticality"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+// The flight management system use case of Table 4 (Appendix C): 11
+// implicit-deadline tasks — 7 level B localization tasks and 4 level C
+// flightplan tasks. The industrial WCETs were not available to the
+// authors either; like the paper, we draw a random instance conforming to
+// the table's ranges: C ∈ (0, 20] ms for the B tasks and (0, 200] ms for
+// the C tasks. Every job's failure probability is 1e-5 and the system
+// operates for OS = 10 h.
+
+// FMSFailProb is the per-attempt failure probability of the FMS
+// experiment.
+const FMSFailProb = 1e-5
+
+// FMSOperationHours is the FMS operation duration OS.
+const FMSOperationHours = 10
+
+// FMSDegradeFactor is the service degradation factor of the Fig. 2
+// experiment.
+const FMSDegradeFactor = 6.0
+
+// The paper reports both Fig. 1 (killing) and Fig. 2 (degradation) from
+// "one randomly generated FMS instance", but under eqs. (10)–(12) a single
+// instance cannot show the published shape in both figures: killing
+// becoming unschedulable at n′_HI = 3 requires 3·U_HI + U_LO^LO > 1, which
+// drives the degraded-mode term U_HI^HI/(1−λ(2)) far above 1, i.e. such an
+// instance is degrade-unschedulable already at n′_HI = 2. The reproduction
+// therefore fixes one calibrated Table 4 instance per figure (seeds below)
+// and records the discrepancy in EXPERIMENTS.md.
+
+// DefaultFMSKillSeed selects the fixed Table 4 instance for the Fig. 1
+// (task killing) reproduction: EDF-VD schedulable up to n′_HI = 2 and
+// unschedulable beyond.
+const DefaultFMSKillSeed = 27
+
+// DefaultFMSDegradeSeed selects the fixed Table 4 instance for the Fig. 2
+// (service degradation, df = 6) reproduction: schedulable up to n′_HI = 2
+// and unschedulable beyond.
+const DefaultFMSDegradeSeed = 14
+
+// fmsPeriodsB are the periods (ms) of the seven level B tasks of Table 4.
+var fmsPeriodsB = []int64{5000, 200, 1000, 1600, 100, 1000, 1000}
+
+// fmsPeriodsC are the periods (ms) of the four level C tasks of Table 4.
+var fmsPeriodsC = []int64{1000, 1000, 1000, 1000}
+
+// FMS draws one FMS instance conforming to Table 4 from the given RNG.
+func FMS(rng *rand.Rand) *task.Set {
+	tasks := make([]task.Task, 0, 11)
+	for i, T := range fmsPeriodsB {
+		tasks = append(tasks, fmsTask(rng, i+1, T, 20, criticality.LevelB))
+	}
+	for i, T := range fmsPeriodsC {
+		tasks = append(tasks, fmsTask(rng, len(fmsPeriodsB)+i+1, T, 200, criticality.LevelC))
+	}
+	return task.MustNewSet(tasks)
+}
+
+// FMSAt returns the fixed FMS instance drawn from the given seed.
+func FMSAt(seed int64) *task.Set {
+	return FMS(rand.New(rand.NewSource(seed)))
+}
+
+func fmsTask(rng *rand.Rand, idx int, periodMs, cMaxMs int64, level criticality.Level) task.Task {
+	period := timeunit.Milliseconds(periodMs)
+	// C uniform over (0, cMax] ms in whole milliseconds.
+	wcet := timeunit.Milliseconds(1 + rng.Int63n(cMaxMs))
+	return task.Task{
+		Name:     "τ" + strconv.Itoa(idx),
+		Period:   period,
+		Deadline: period,
+		WCET:     wcet,
+		Level:    level,
+		FailProb: FMSFailProb,
+	}
+}

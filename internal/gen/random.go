@@ -1,0 +1,134 @@
+// Package gen generates the workloads of the paper's evaluation (§5,
+// Appendix C): random implicit-deadline dual-criticality task sets for the
+// extensive simulations (Fig. 3) and instances of the flight management
+// system use case (Table 4, Figs. 1–2).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/criticality"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+// Params controls the Appendix C random task generator. The generator
+// starts from an empty set and adds random tasks until the target system
+// utilization U is reached.
+type Params struct {
+	// UMin, UMax bound the per-task utilization u_i = C_i/T_i, drawn
+	// uniformly: 0 < UMin < UMax ≤ 1. The paper uses [0.01, 0.2].
+	UMin, UMax float64
+	// TargetU is the system utilization U = Σ C_i/T_i to reach.
+	TargetU float64
+	// TMin, TMax bound the periods, drawn uniformly. The paper uses
+	// [200 ms, 2 s].
+	TMin, TMax timeunit.Time
+	// PHI is the probability that a task is HI criticality. The paper
+	// uses 0.2.
+	PHI float64
+	// HILevel and LOLevel are the DO-178B levels of the two classes,
+	// e.g. B and D.
+	HILevel, LOLevel criticality.Level
+	// FailProb is the universal per-attempt failure probability f.
+	FailProb float64
+}
+
+// PaperParams returns the Appendix C parameters (u ∈ [0.01, 0.2],
+// T ∈ [200 ms, 2 s], P_HI = 0.2) for the given levels, target utilization
+// and failure probability.
+func PaperParams(hi, lo criticality.Level, targetU, failProb float64) Params {
+	return Params{
+		UMin: 0.01, UMax: 0.2,
+		TargetU: targetU,
+		TMin:    timeunit.Milliseconds(200),
+		TMax:    timeunit.Seconds(2),
+		PHI:     0.2,
+		HILevel: hi, LOLevel: lo,
+		FailProb: failProb,
+	}
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if !(0 < p.UMin && p.UMin < p.UMax && p.UMax <= 1) {
+		return fmt.Errorf("gen: need 0 < UMin < UMax <= 1, got [%g, %g]", p.UMin, p.UMax)
+	}
+	if p.TargetU <= 0 {
+		return fmt.Errorf("gen: target utilization must be positive, got %g", p.TargetU)
+	}
+	if !(0 < p.TMin && p.TMin <= p.TMax) {
+		return fmt.Errorf("gen: need 0 < TMin <= TMax, got [%v, %v]", p.TMin, p.TMax)
+	}
+	if !(0 < p.PHI && p.PHI < 1) {
+		return fmt.Errorf("gen: P_HI must be in (0,1), got %g", p.PHI)
+	}
+	if !p.HILevel.MoreCriticalThan(p.LOLevel) {
+		return fmt.Errorf("gen: HI level %v must be more critical than LO level %v", p.HILevel, p.LOLevel)
+	}
+	if p.FailProb < 0 || p.FailProb >= 1 {
+		return fmt.Errorf("gen: failure probability must be in [0,1), got %g", p.FailProb)
+	}
+	return nil
+}
+
+// TaskSet draws one random dual-criticality task set per Appendix C:
+// tasks are added with u ~ U[UMin, UMax] and T ~ U[TMin, TMax] until the
+// target utilization is reached (the last task is shrunk to land on the
+// target exactly). Sets lacking one of the two classes are redrawn so the
+// result is always a valid dual-criticality system.
+func TaskSet(rng *rand.Rand, p Params) (*task.Set, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		tasks := draw(rng, p)
+		if tasks == nil {
+			continue
+		}
+		s, err := task.NewSet(tasks)
+		if err != nil {
+			continue // single-class draw; retry
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("gen: could not draw a dual-criticality set with U=%g after 1000 attempts", p.TargetU)
+}
+
+// draw produces one candidate task list, or nil if the draw degenerated
+// (e.g. a residual utilization too small to carry a 1 µs WCET).
+func draw(rng *rand.Rand, p Params) []task.Task {
+	var tasks []task.Task
+	total := 0.0
+	for total < p.TargetU {
+		u := p.UMin + rng.Float64()*(p.UMax-p.UMin)
+		if total+u > p.TargetU {
+			u = p.TargetU - total
+		}
+		period := p.TMin + timeunit.Time(rng.Int63n(int64(p.TMax-p.TMin)+1))
+		wcet := timeunit.Time(u * period.Float())
+		if wcet < 1 {
+			// A residual sliver that does not amount to a whole
+			// microsecond of WCET: absorb it by stopping here.
+			break
+		}
+		level := p.LOLevel
+		if rng.Float64() < p.PHI {
+			level = p.HILevel
+		}
+		tasks = append(tasks, task.Task{
+			Name:     fmt.Sprintf("τ%d", len(tasks)+1),
+			Period:   period,
+			Deadline: period,
+			WCET:     wcet,
+			Level:    level,
+			FailProb: p.FailProb,
+		})
+		total += wcet.Float() / period.Float()
+	}
+	if len(tasks) < 2 {
+		return nil
+	}
+	return tasks
+}

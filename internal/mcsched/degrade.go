@@ -1,0 +1,58 @@
+package mcsched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/criticality"
+)
+
+// EDFVDDegrade is the EDF-VD variant with service degradation of Huang et
+// al. (ASP-DAC 2014), reference [12] of the paper. Instead of killing the
+// LO tasks at the mode switch, their inter-arrival times are stretched to
+// df·T. The set is schedulable if
+//
+//	max{ U_HI^LO + U_LO^LO,  U_HI^HI/(1 − x) + U_LO^LO/(df − 1) } ≤ 1,
+//	x = U_HI^LO / (1 − U_LO^LO)                         (eq. 12)
+//
+// with degradation factor df > 1.
+type EDFVDDegrade struct {
+	// DF is the service degradation factor df > 1 (the FMS experiment
+	// uses 6).
+	DF float64
+}
+
+// Name implements Test.
+func (d EDFVDDegrade) Name() string { return fmt.Sprintf("EDF-VD-degrade(df=%g)", d.DF) }
+
+// Bound returns the left-hand side of eq. (12); the set passes when the
+// bound is ≤ 1. This is the UMC metric plotted by Fig. 2 (eq. 11 of
+// Algorithm 2's degradation variant). It returns +Inf when the virtual
+// deadline factor x ≥ 1 or the LO tasks alone overload the processor.
+func (d EDFVDDegrade) Bound(s *MCSet) float64 {
+	if d.DF <= 1 {
+		panic(fmt.Sprintf("mcsched: degradation factor must be > 1, got %g", d.DF))
+	}
+	uHILO := s.Util(criticality.HI, criticality.LO)
+	uHIHI := s.Util(criticality.HI, criticality.HI)
+	uLOLO := s.Util(criticality.LO, criticality.LO)
+	loMode := uHILO + uLOLO
+	if uLOLO >= 1 {
+		return math.Inf(1)
+	}
+	x := uHILO / (1 - uLOLO)
+	if x >= 1 {
+		return math.Inf(1)
+	}
+	return math.Max(loMode, uHIHI/(1-x)+uLOLO/(d.DF-1))
+}
+
+// Schedulable implements Test via eq. (12).
+func (d EDFVDDegrade) Schedulable(s *MCSet) bool {
+	return d.Bound(s) <= 1
+}
+
+// Factor returns the virtual-deadline shrink factor x, shared with EDF-VD.
+func (d EDFVDDegrade) Factor(s *MCSet) float64 {
+	return EDFVD{}.Factor(s)
+}

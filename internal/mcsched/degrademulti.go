@@ -1,0 +1,69 @@
+package mcsched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/criticality"
+)
+
+// EDFVDDegradeMulti generalizes the eq. (12) service-degradation test to
+// per-task degradation factors: each LO task τ_i may be stretched by its
+// own df_i > 1 after the mode switch (a natural fit when some LO services
+// tolerate more thinning than others — e.g. a display refresh vs. a
+// logging task). The degraded-mode term becomes a per-task sum:
+//
+//	max{ U_HI^LO + U_LO^LO,  U_HI^HI/(1 − x) + Σ_i U_i(LO)/(df_i − 1) } ≤ 1.
+//
+// With every df_i equal this reduces exactly to EDFVDDegrade. The safety
+// bound of eq. (7) is unaffected: it conservatively uses the undegraded
+// failure count ω(1, t), so per-task factors never weaken the certified
+// pfh(LO).
+type EDFVDDegradeMulti struct {
+	// DFs maps LO task names to their degradation factors (> 1).
+	DFs map[string]float64
+	// Default applies to LO tasks absent from DFs; must be > 1 when any
+	// task relies on it.
+	Default float64
+}
+
+// Name implements Test.
+func (d EDFVDDegradeMulti) Name() string { return "EDF-VD-degrade-multi" }
+
+// factor resolves one task's degradation factor.
+func (d EDFVDDegradeMulti) factor(name string) float64 {
+	if f, ok := d.DFs[name]; ok {
+		return f
+	}
+	return d.Default
+}
+
+// Bound returns the generalized eq. (12) left-hand side; +Inf when the
+// LO tasks overload the processor or x ≥ 1. It panics on a degradation
+// factor ≤ 1 (a configuration error, not a schedulability verdict).
+func (d EDFVDDegradeMulti) Bound(s *MCSet) float64 {
+	uHILO := s.Util(criticality.HI, criticality.LO)
+	uHIHI := s.Util(criticality.HI, criticality.HI)
+	uLOLO := s.Util(criticality.LO, criticality.LO)
+	if uLOLO >= 1 {
+		return math.Inf(1)
+	}
+	x := uHILO / (1 - uLOLO)
+	if x >= 1 {
+		return math.Inf(1)
+	}
+	degraded := 0.0
+	for _, t := range s.ByClass(criticality.LO) {
+		df := d.factor(t.Name)
+		if df <= 1 {
+			panic(fmt.Sprintf("mcsched: degradation factor of %q must be > 1, got %g", t.Name, df))
+		}
+		degraded += t.UtilizationAt(criticality.LO) / (df - 1)
+	}
+	return math.Max(uHILO+uLOLO, uHIHI/(1-x)+degraded)
+}
+
+// Schedulable implements Test.
+func (d EDFVDDegradeMulti) Schedulable(s *MCSet) bool {
+	return d.Bound(s) <= 1
+}

@@ -1,0 +1,76 @@
+package mcsched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/criticality"
+)
+
+func TestDegradeMultiReducesToUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		s := randomMCSet(rng)
+		df := 1.5 + rng.Float64()*10
+		uniform := EDFVDDegrade{DF: df}.Bound(s)
+		multi := EDFVDDegradeMulti{Default: df}.Bound(s)
+		if math.Abs(uniform-multi) > 1e-12 && !(math.IsInf(uniform, 1) && math.IsInf(multi, 1)) {
+			t.Fatalf("trial %d: uniform %v != multi %v at df=%g", trial, uniform, multi, df)
+		}
+	}
+}
+
+func TestDegradeMultiPerTaskFactors(t *testing.T) {
+	s := table3()
+	// Stretch τ3 aggressively and the others mildly: the degraded-mode
+	// term must land between the all-mild and all-aggressive bounds.
+	mild := EDFVDDegradeMulti{Default: 2}.Bound(s)
+	aggressive := EDFVDDegradeMulti{Default: 12}.Bound(s)
+	mixed := EDFVDDegradeMulti{DFs: map[string]float64{"τ3": 12}, Default: 2}.Bound(s)
+	if !(aggressive <= mixed && mixed <= mild) {
+		t.Errorf("bounds not ordered: aggressive %v <= mixed %v <= mild %v", aggressive, mixed, mild)
+	}
+	if (EDFVDDegradeMulti{Default: 2}).Name() == "" {
+		t.Error("unnamed test")
+	}
+}
+
+// A workload where a uniform df certifiable only at service-destroying
+// stretch becomes certifiable with a selective per-task factor: only the
+// heavy LO task is stretched hard, the light one keeps near-full service.
+func TestDegradeMultiSelectiveStretch(t *testing.T) {
+	s := MustNewMCSet([]MCTask{
+		{Name: "hi", Period: ms(100), Deadline: ms(100), CLO: ms(10), CHI: ms(20), Class: criticality.HI},
+		{Name: "heavy", Period: ms(100), Deadline: ms(100), CLO: ms(40), CHI: ms(40), Class: criticality.LO},
+		{Name: "light", Period: ms(100), Deadline: ms(100), CLO: ms(10), CHI: ms(10), Class: criticality.LO},
+	})
+	// Uniform df = 2: degraded term = 0.2/(1−x) style... just compare.
+	uniform2 := EDFVDDegrade{DF: 2}
+	if uniform2.Schedulable(s) {
+		t.Skip("workload unexpectedly easy; adjust")
+	}
+	selective := EDFVDDegradeMulti{DFs: map[string]float64{"heavy": 11}, Default: 2}
+	if !selective.Schedulable(s) {
+		t.Fatalf("selective stretch should certify: bound = %v", selective.Bound(s))
+	}
+}
+
+func TestDegradeMultiPanicsOnBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EDFVDDegradeMulti{Default: 1}.Bound(table3())
+}
+
+func TestDegradeMultiInfCases(t *testing.T) {
+	over := MustNewMCSet([]MCTask{
+		{Period: ms(10), Deadline: ms(10), CLO: ms(1), CHI: ms(1), Class: criticality.HI},
+		{Period: ms(10), Deadline: ms(10), CLO: ms(10), CHI: ms(10), Class: criticality.LO},
+	})
+	if !math.IsInf(EDFVDDegradeMulti{Default: 6}.Bound(over), 1) {
+		t.Error("LO overload should be +Inf")
+	}
+}

@@ -1,0 +1,52 @@
+package mcsched
+
+import (
+	"math"
+
+	"repro/internal/criticality"
+)
+
+// EDFVD is the EDF with Virtual Deadlines schedulability test of Baruah et
+// al. (ECRTS 2012), reference [3] of the paper, for implicit-deadline
+// dual-criticality systems with LO-task killing. The set is schedulable if
+//
+//	max{ U_HI^LO + U_LO^LO,  U_HI^HI + x·U_LO^LO } ≤ 1,
+//	x = U_HI^LO / (1 − U_LO^LO)                         (eq. 10)
+//
+// where x is also the virtual-deadline shrink factor the runtime applies
+// to HI tasks in LO mode.
+type EDFVD struct{}
+
+// Name implements Test.
+func (EDFVD) Name() string { return "EDF-VD" }
+
+// Factor returns x = U_HI^LO / (1 − U_LO^LO), the virtual deadline factor.
+// It returns +Inf when U_LO^LO ≥ 1 (the LO tasks alone overload the
+// processor; no factor can help).
+func (EDFVD) Factor(s *MCSet) float64 {
+	uLOLO := s.Util(criticality.LO, criticality.LO)
+	if uLOLO >= 1 {
+		return math.Inf(1)
+	}
+	return s.Util(criticality.HI, criticality.LO) / (1 - uLOLO)
+}
+
+// Bound returns the left-hand side of eq. (10); the set passes when the
+// bound is ≤ 1. This is the "mixed-criticality system utilization" UMC
+// the FMS experiment (Fig. 1) plots.
+func (v EDFVD) Bound(s *MCSet) float64 {
+	uHILO := s.Util(criticality.HI, criticality.LO)
+	uHIHI := s.Util(criticality.HI, criticality.HI)
+	uLOLO := s.Util(criticality.LO, criticality.LO)
+	loMode := uHILO + uLOLO
+	if uLOLO >= 1 {
+		return math.Inf(1)
+	}
+	x := uHILO / (1 - uLOLO)
+	return math.Max(loMode, uHIHI+x*uLOLO)
+}
+
+// Schedulable implements Test via eq. (10).
+func (v EDFVD) Schedulable(s *MCSet) bool {
+	return v.Bound(s) <= 1
+}

@@ -1,0 +1,291 @@
+package mcsched
+
+import (
+	"repro/internal/criticality"
+	"repro/internal/timeunit"
+)
+
+// This file provides the fixed-priority machinery shared by the DM, SMC
+// and AMC-rtb analyses: response-time fixed-point iteration and Audsley's
+// optimal priority assignment. All fixed-priority analyses here require
+// constrained deadlines (D ≤ T); a set containing a task with D > T is
+// conservatively reported unschedulable.
+
+// constrained reports whether every task has D ≤ T.
+func constrained(tasks []MCTask) bool {
+	for _, t := range tasks {
+		if t.Deadline > t.Period {
+			return false
+		}
+	}
+	return true
+}
+
+// interference is one higher-priority task's contribution to a response
+// time: ⌈R/T⌉ · C.
+type interference struct {
+	period timeunit.Time
+	wcet   timeunit.Time
+}
+
+// responseTime iterates R = own + Σ ⌈R/T_j⌉·C_j to its least fixed point,
+// or returns ok=false as soon as R exceeds deadline (the iteration is
+// monotonically increasing, so overshoot is final).
+func responseTime(own timeunit.Time, deadline timeunit.Time, hp []interference) (timeunit.Time, bool) {
+	r := own
+	for {
+		next := own
+		for _, h := range hp {
+			jobs := ceilDiv(r, h.period)
+			next += timeunit.Time(jobs) * h.wcet
+		}
+		if next > deadline {
+			return next, false
+		}
+		if next == r {
+			return r, true
+		}
+		r = next
+	}
+}
+
+// ceilDiv returns ⌈a/b⌉ for a ≥ 0, b > 0.
+func ceilDiv(a, b timeunit.Time) int64 {
+	if a <= 0 {
+		return 0
+	}
+	return int64((a + b - 1) / b)
+}
+
+// audsley performs Audsley's optimal priority assignment (lowest priority
+// first) over task indices 0..n-1. feasible(i, higher) must report whether
+// task i meets its deadline when exactly the tasks in higher have higher
+// priority; it must be independent of the relative order within higher
+// (true for all analyses in this package). It returns the priority order
+// from highest to lowest, and whether a full assignment exists.
+func audsley(n int, feasible func(i int, higher []int) bool) ([]int, bool) {
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	orderLowFirst := make([]int, 0, n)
+	for len(remaining) > 0 {
+		placed := false
+		for k, cand := range remaining {
+			higher := make([]int, 0, len(remaining)-1)
+			higher = append(higher, remaining[:k]...)
+			higher = append(higher, remaining[k+1:]...)
+			if feasible(cand, higher) {
+				orderLowFirst = append(orderLowFirst, cand)
+				remaining = append(remaining[:k], remaining[k+1:]...)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+	// Reverse: highest priority first.
+	for i, j := 0, len(orderLowFirst)-1; i < j; i, j = i+1, j-1 {
+		orderLowFirst[i], orderLowFirst[j] = orderLowFirst[j], orderLowFirst[i]
+	}
+	return orderLowFirst, true
+}
+
+// DMRTA is classical deadline-monotonic fixed-priority scheduling with
+// exact response-time analysis, applied with every task at its
+// own-criticality WCET (like EDFWorstCase, a no-adaptation baseline).
+// Deadline-monotonic priority order is optimal for constrained-deadline
+// fixed-priority systems, so no Audsley search is needed.
+type DMRTA struct{}
+
+// Name implements Test.
+func (DMRTA) Name() string { return "DM-RTA" }
+
+// Schedulable implements Test.
+func (d DMRTA) Schedulable(s *MCSet) bool {
+	_, ok := d.ResponseTimes(s)
+	return ok
+}
+
+// ResponseTimes returns the per-task worst-case response bounds under
+// deadline-monotonic priorities with own-criticality WCETs, keyed by task
+// name. ok is false when some task misses its deadline (the returned map
+// then holds the bounds computed so far) or when a deadline exceeds its
+// period.
+func (DMRTA) ResponseTimes(s *MCSet) (map[string]timeunit.Time, bool) {
+	tasks := s.Tasks()
+	out := map[string]timeunit.Time{}
+	if !constrained(tasks) {
+		return out, false
+	}
+	for i, ti := range tasks {
+		var hp []interference
+		for j, tj := range tasks {
+			if j == i {
+				continue
+			}
+			// Deadline-monotonic: strictly shorter deadline wins; ties
+			// broken by index so the order is total.
+			if tj.Deadline < ti.Deadline || (tj.Deadline == ti.Deadline && j < i) {
+				hp = append(hp, interference{tj.Period, tj.CHI})
+			}
+		}
+		r, ok := responseTime(ti.CHI, ti.Deadline, hp)
+		if !ok {
+			return out, false
+		}
+		out[ti.Name] = r
+	}
+	return out, true
+}
+
+// DMPriorities returns the deadline-monotonic priority order of the set's
+// task names, highest priority first, with ties broken by position — the
+// order the simulator's fixed-priority policy uses.
+func DMPriorities(s *MCSet) []string {
+	tasks := s.Tasks()
+	idx := make([]int, len(tasks))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Stable selection by (Deadline, index).
+	for a := 0; a < len(idx); a++ {
+		best := a
+		for b := a + 1; b < len(idx); b++ {
+			ta, tb := tasks[idx[best]], tasks[idx[b]]
+			if tb.Deadline < ta.Deadline || (tb.Deadline == ta.Deadline && idx[b] < idx[best]) {
+				best = b
+			}
+		}
+		idx[a], idx[best] = idx[best], idx[a]
+	}
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = tasks[j].Name
+	}
+	return out
+}
+
+// SMC is Vestal's static mixed-criticality fixed-priority analysis
+// (RTSS 2007, reference [20]), with Audsley priority assignment. Task i's
+// response time budgets itself at C_i(χ_i) and each higher-priority task j
+// at C_j(min(χ_i, χ_j)):
+//
+//	R_i = C_i(χ_i) + Σ_{j∈hp(i)} ⌈R_i/T_j⌉ · C_j(min(χ_i, χ_j)).
+type SMC struct{}
+
+// Name implements Test.
+func (SMC) Name() string { return "SMC" }
+
+// Schedulable implements Test.
+func (m SMC) Schedulable(s *MCSet) bool {
+	_, ok := m.Priorities(s)
+	return ok
+}
+
+// Priorities returns the Audsley priority assignment (task names, highest
+// first) under which the SMC analysis accepts the set, or ok = false.
+func (SMC) Priorities(s *MCSet) ([]string, bool) {
+	tasks := s.Tasks()
+	if !constrained(tasks) {
+		return nil, false
+	}
+	feasible := func(i int, higher []int) bool {
+		ti := tasks[i]
+		own := ti.C(ti.Class) // C(HI) for HI tasks, C(LO) for LO tasks
+		var hp []interference
+		for _, j := range higher {
+			tj := tasks[j]
+			mode := ti.Class
+			if tj.Class == criticality.LO {
+				mode = criticality.LO // min(χ_i, χ_j)
+			}
+			hp = append(hp, interference{tj.Period, tj.C(mode)})
+		}
+		_, ok := responseTime(own, ti.Deadline, hp)
+		return ok
+	}
+	order, ok := audsley(len(tasks), feasible)
+	if !ok {
+		return nil, false
+	}
+	return taskNames(tasks, order), true
+}
+
+// taskNames maps an index order to task names.
+func taskNames(tasks []MCTask, order []int) []string {
+	out := make([]string, len(order))
+	for i, idx := range order {
+		out[i] = tasks[idx].Name
+	}
+	return out
+}
+
+// AMCrtb is the Adaptive Mixed Criticality analysis with response-time
+// bounds (Baruah, Burns, Davis, RTSS 2011), with Audsley priority
+// assignment. LO tasks are killed at the mode switch. Feasibility of task
+// i at a priority level requires:
+//
+//	LO mode: R_i^LO = C_i(LO) + Σ_{j∈hp(i)} ⌈R_i^LO/T_j⌉·C_j(LO) ≤ D_i
+//	HI mode (HI tasks only):
+//	  R_i^HI = C_i(HI) + Σ_{j∈hpH(i)} ⌈R_i^HI/T_j⌉·C_j(HI)
+//	           + Σ_{k∈hpL(i)} ⌈R_i^LO/T_k⌉·C_k(LO) ≤ D_i
+//
+// where hpH/hpL split the higher-priority tasks by class: LO interference
+// is frozen at its pre-switch bound because LO jobs stop being released
+// after the switch.
+type AMCrtb struct{}
+
+// Name implements Test.
+func (AMCrtb) Name() string { return "AMC-rtb" }
+
+// Schedulable implements Test.
+func (a AMCrtb) Schedulable(s *MCSet) bool {
+	_, ok := a.Priorities(s)
+	return ok
+}
+
+// Priorities returns the Audsley priority assignment (task names, highest
+// first) under which the AMC-rtb analysis accepts the set, or ok = false.
+// The runtime must use exactly this order for the analysis to apply.
+func (AMCrtb) Priorities(s *MCSet) ([]string, bool) {
+	tasks := s.Tasks()
+	if !constrained(tasks) {
+		return nil, false
+	}
+	feasible := func(i int, higher []int) bool {
+		ti := tasks[i]
+		var hpLO []interference
+		for _, j := range higher {
+			hpLO = append(hpLO, interference{tasks[j].Period, tasks[j].CLO})
+		}
+		rLO, ok := responseTime(ti.CLO, ti.Deadline, hpLO)
+		if !ok {
+			return false
+		}
+		if ti.Class == criticality.LO {
+			return true
+		}
+		// HI-mode bound: HI interferers at C(HI) re-evaluated, LO
+		// interferers frozen at ⌈R_i^LO/T⌉·C(LO).
+		frozen := ti.CHI
+		var hpHI []interference
+		for _, j := range higher {
+			tj := tasks[j]
+			if tj.Class == criticality.HI {
+				hpHI = append(hpHI, interference{tj.Period, tj.CHI})
+			} else {
+				frozen += timeunit.Time(ceilDiv(rLO, tj.Period)) * tj.CLO
+			}
+		}
+		_, ok = responseTime(frozen, ti.Deadline, hpHI)
+		return ok
+	}
+	order, ok := audsley(len(tasks), feasible)
+	if !ok {
+		return nil, false
+	}
+	return taskNames(tasks, order), true
+}

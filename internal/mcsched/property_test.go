@@ -1,0 +1,182 @@
+package mcsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/criticality"
+	"repro/internal/timeunit"
+)
+
+// randomMCSet draws a small random implicit-deadline dual-criticality MC
+// set with C(LO) ≤ C(HI).
+func randomMCSet(rng *rand.Rand) *MCSet {
+	n := 2 + rng.Intn(5)
+	tasks := make([]MCTask, 0, n)
+	haveHI, haveLO := false, false
+	for i := 0; i < n; i++ {
+		period := timeunit.Milliseconds(int64(20 + rng.Intn(480)))
+		clo := timeunit.Time(1 + rng.Int63n(int64(period)/4))
+		class := criticality.LO
+		chi := clo
+		if rng.Float64() < 0.4 || (!haveHI && i == n-1) {
+			class = criticality.HI
+			chi = clo + timeunit.Time(rng.Int63n(int64(period)/4+1))
+			haveHI = true
+		} else {
+			haveLO = true
+		}
+		tasks = append(tasks, MCTask{
+			Period: period, Deadline: period, CLO: clo, CHI: timeunit.Time(chi), Class: class,
+		})
+	}
+	if !haveLO {
+		tasks[0].Class = criticality.LO
+		tasks[0].CHI = tasks[0].CLO
+	}
+	return MustNewMCSet(tasks)
+}
+
+// EDF-VD's verdict must agree with its own bound at the ≤ 1 threshold.
+func TestPropertyEDFVDBoundConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		s := randomMCSet(rng)
+		v := EDFVD{}
+		if v.Schedulable(s) != (v.Bound(s) <= 1) {
+			t.Fatalf("trial %d: verdict and bound disagree on %v", trial, s)
+		}
+	}
+}
+
+// Monotonicity (Theorem 4.1's premise): shrinking any C(LO) preserves a
+// positive EDF-VD verdict.
+func TestPropertyEDFVDMonotoneInBudgets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		s := randomMCSet(rng)
+		if !(EDFVD{}).Schedulable(s) {
+			continue
+		}
+		tasks := append([]MCTask(nil), s.Tasks()...)
+		// Shrink a random HI task's C(LO).
+		var hiIdx []int
+		for i, tk := range tasks {
+			if tk.Class == criticality.HI {
+				hiIdx = append(hiIdx, i)
+			}
+		}
+		i := hiIdx[rng.Intn(len(hiIdx))]
+		if tasks[i].CLO > 1 {
+			tasks[i].CLO = timeunit.Time(1 + rng.Int63n(int64(tasks[i].CLO)))
+		}
+		smaller := MustNewMCSet(tasks)
+		if !(EDFVD{}).Schedulable(smaller) {
+			t.Fatalf("trial %d: shrinking C(LO) broke schedulability", trial)
+		}
+	}
+}
+
+// The degradation test converges to EDF-VD-like behaviour as df → ∞ in
+// its second term, and is monotone in df.
+func TestPropertyDegradeMonotoneInDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		s := randomMCSet(rng)
+		prev := EDFVDDegrade{DF: 1.5}.Bound(s)
+		for _, df := range []float64{2, 4, 8, 32} {
+			cur := EDFVDDegrade{DF: df}.Bound(s)
+			if cur > prev+1e-12 {
+				t.Fatalf("trial %d: bound rose from %v to %v at df=%g", trial, prev, cur, df)
+			}
+			prev = cur
+		}
+	}
+}
+
+// AMC-rtb dominates the no-adaptation DM baseline: every set the
+// worst-case analysis accepts, the adaptive analysis accepts too (AMC's
+// LO-mode bound uses C(LO) ≤ C(HI) and its HI-mode bound drops the LO
+// tasks).
+func TestPropertyAMCDominatesWorstCaseDM(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 150; trial++ {
+		s := randomMCSet(rng)
+		if (DMRTA{}).Schedulable(s) && !(AMCrtb{}).Schedulable(s) {
+			t.Fatalf("trial %d: DM-at-C(HI) accepted but AMC-rtb rejected: %v", trial, s)
+		}
+	}
+}
+
+// The demand-based EDF test accepts everything the utilization-based
+// worst-case view accepts on implicit-deadline sets (both are exact
+// there), and DBF-tune's verdicts are internally consistent with its own
+// virtual deadlines.
+func TestPropertyDBFTuneConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	okCount := 0
+	for trial := 0; trial < 150; trial++ {
+		s := randomMCSet(rng)
+		d := DBFTune{}
+		if !d.Schedulable(s) {
+			if _, ok := d.VirtualDeadlines(s); ok {
+				t.Fatalf("trial %d: VirtualDeadlines succeeded on a rejected set", trial)
+			}
+			continue
+		}
+		okCount++
+		vds, ok := d.VirtualDeadlines(s)
+		if !ok {
+			t.Fatalf("trial %d: accepted set without virtual deadlines", trial)
+		}
+		for _, tk := range s.ByClass(criticality.HI) {
+			vd, present := vds[tk.Name]
+			if !present {
+				t.Fatalf("trial %d: missing deadline for %s", trial, tk.Name)
+			}
+			if vd < tk.CLO || vd > tk.Deadline-tk.CHI {
+				t.Fatalf("trial %d: %s deadline %v outside [C(LO)=%v, D−C(HI)=%v]",
+					trial, tk.Name, vd, tk.CLO, tk.Deadline-tk.CHI)
+			}
+		}
+	}
+	if okCount == 0 {
+		t.Error("DBF-tune accepted nothing: property unexercised")
+	}
+}
+
+// Audsley respects the monotone-oracle contract on random oracles.
+func TestPropertyAudsleyFindsAssignmentWhenAnyExists(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(4)
+		// Monotone oracle: each task tolerates up to cap[i] higher-prio
+		// tasks.
+		cap := make([]int, n)
+		for i := range cap {
+			cap[i] = rng.Intn(n)
+		}
+		feasible := func(i int, higher []int) bool { return len(higher) <= cap[i] }
+		// An assignment exists iff the sorted caps satisfy cap_(k) ≥ k
+		// at each depth from the lowest priority down.
+		sorted := append([]int(nil), cap...)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if sorted[b] > sorted[a] {
+					sorted[a], sorted[b] = sorted[b], sorted[a]
+				}
+			}
+		}
+		exists := true
+		for k := 0; k < n; k++ {
+			// k-th largest cap must tolerate n-1-k higher tasks.
+			if sorted[k] < n-1-k {
+				exists = false
+			}
+		}
+		_, ok := audsley(n, feasible)
+		if ok != exists {
+			t.Fatalf("trial %d: audsley=%v, exists=%v (caps %v)", trial, ok, exists, cap)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package plot renders line charts as plain text, so the reproduction's
+// command-line tools can draw the paper's figures directly in a terminal
+// (Fig. 1/2: UMC and log10 pfh(LO) vs n′_HI; Fig. 3: acceptance ratio vs
+// utilization).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one plotted curve.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// X, Y are the data points; non-finite Y values are skipped.
+	X, Y []float64
+	// Marker is the character drawn for this series (e.g. '*', 'o').
+	Marker rune
+}
+
+// Chart is a renderable line chart.
+type Chart struct {
+	// Title is printed above the plot; optional.
+	Title string
+	// XLabel and YLabel annotate the axes; optional.
+	XLabel, YLabel string
+	// Width and Height are the plot-area dimensions in characters;
+	// zero values default to 60×16.
+	Width, Height int
+	// YMin, YMax optionally pin the y-range; both zero means auto-scale.
+	YMin, YMax float64
+	// HLine optionally draws a horizontal rule at this y-value (e.g. the
+	// UMC = 1 schedulability boundary); nil disables it.
+	HLine *float64
+	// Series are the curves to draw; later series overdraw earlier ones
+	// where cells collide.
+	Series []Series
+}
+
+// Render writes the chart. It returns an error for charts with no finite
+// data points or malformed series.
+func (c Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x-values and %d y-values", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			points++
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("plot: no finite data points")
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if c.HLine != nil {
+		ymin = math.Min(ymin, *c.HLine)
+		ymax = math.Max(ymax, *c.HLine)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		return clamp(int(math.Round((x-xmin)/(xmax-xmin)*float64(width-1))), 0, width-1)
+	}
+	row := func(y float64) int {
+		// Row 0 is the top of the plot.
+		return clamp(height-1-int(math.Round((y-ymin)/(ymax-ymin)*float64(height-1))), 0, height-1)
+	}
+	if c.HLine != nil {
+		r := row(*c.HLine)
+		for x := 0; x < width; x++ {
+			grid[r][x] = '·'
+		}
+	}
+	for _, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		prevSet := false
+		var pr, pc int
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				prevSet = false
+				continue
+			}
+			cc, rr := col(s.X[i]), row(s.Y[i])
+			if prevSet {
+				drawLine(grid, pr, pc, rr, cc, marker)
+			}
+			grid[rr][cc] = marker
+			pr, pc, prevSet = rr, cc, true
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintln(w, c.Title); err != nil {
+			return err
+		}
+	}
+	labelW := 10
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelW)
+		// Label the top, middle and bottom rows.
+		if r == 0 || r == height-1 || r == height/2 {
+			frac := float64(height-1-r) / float64(height-1)
+			label = fmt.Sprintf("%9.3g", ymin+frac*(ymax-ymin))
+			label += " "
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	xl := fmt.Sprintf("%-*.3g%*.3g", width/2, xmin, width-width/2, xmax)
+	if _, err := fmt.Fprintf(w, "%s %s\n", strings.Repeat(" ", labelW), xl); err != nil {
+		return err
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s x: %s, y: %s\n", strings.Repeat(" ", labelW), c.XLabel, c.YLabel); err != nil {
+			return err
+		}
+	}
+	for _, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		if _, err := fmt.Fprintf(w, "%s %c %s\n", strings.Repeat(" ", labelW), marker, s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drawLine connects two cells with the series marker using a simple
+// integer line walk, giving the chart a line-plot feel.
+func drawLine(grid [][]rune, r0, c0, r1, c1 int, marker rune) {
+	steps := max(abs(r1-r0), abs(c1-c0))
+	for s := 1; s < steps; s++ {
+		r := r0 + (r1-r0)*s/steps
+		c := c0 + (c1-c0)*s/steps
+		if grid[r][c] == ' ' || grid[r][c] == '·' {
+			grid[r][c] = marker
+		}
+	}
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,129 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, c Chart) string {
+	t.Helper()
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestRenderBasic(t *testing.T) {
+	c := Chart{
+		Title: "demo",
+		Width: 20, Height: 5,
+		XLabel: "u", YLabel: "ratio",
+		Series: []Series{{Name: "up", X: []float64{0, 1}, Y: []float64{0, 1}, Marker: 'o'}},
+	}
+	out := render(t, c)
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "o up") {
+		t.Error("missing legend")
+	}
+	if !strings.Contains(out, "x: u, y: ratio") {
+		t.Error("missing axis labels")
+	}
+	lines := strings.Split(out, "\n")
+	// Title + 5 plot rows + axis + x labels + axis names + 1 legend line,
+	// plus the empty string after the final newline.
+	if len(lines) != 11 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// The increasing series: bottom-left and top-right markers.
+	plotRows := lines[1:6]
+	if !strings.HasSuffix(strings.TrimRight(plotRows[0], " "), "o") {
+		t.Errorf("top row should end with marker: %q", plotRows[0])
+	}
+	if !strings.Contains(plotRows[4], "|o") {
+		t.Errorf("bottom row should start with marker: %q", plotRows[4])
+	}
+}
+
+func TestRenderConnectsPoints(t *testing.T) {
+	c := Chart{
+		Width: 21, Height: 7,
+		Series: []Series{{Name: "line", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	out := render(t, c)
+	if got := strings.Count(out, "*"); got < 7 {
+		t.Errorf("expected interpolated markers, got %d", got)
+	}
+}
+
+func TestRenderSkipsNonFinite(t *testing.T) {
+	c := Chart{
+		Width: 10, Height: 4,
+		Series: []Series{{
+			Name: "s",
+			X:    []float64{0, 1, 2},
+			Y:    []float64{1, math.Inf(1), 2},
+		}},
+	}
+	out := render(t, c)
+	if out == "" {
+		t.Fatal("empty output")
+	}
+	// Only the two finite points scale the axes: max label 2.
+	if !strings.Contains(out, "2") {
+		t.Error("y-axis should show the finite max")
+	}
+}
+
+func TestRenderHLine(t *testing.T) {
+	one := 1.0
+	c := Chart{
+		Width: 12, Height: 5, HLine: &one,
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0.5, 1.5}}},
+	}
+	out := render(t, c)
+	if !strings.Contains(out, "····") {
+		t.Errorf("missing horizontal rule:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if err := (Chart{}).Render(&strings.Builder{}); err == nil {
+		t.Error("expected error for no data")
+	}
+	bad := Chart{Series: []Series{{Name: "b", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.Render(&strings.Builder{}); err == nil {
+		t.Error("expected error for mismatched series")
+	}
+	onlyInf := Chart{Series: []Series{{Name: "i", X: []float64{1}, Y: []float64{math.Inf(1)}}}}
+	if err := onlyInf.Render(&strings.Builder{}); err == nil {
+		t.Error("expected error for all-non-finite data")
+	}
+}
+
+func TestRenderDefaultsAndDegenerateRanges(t *testing.T) {
+	// Single point: ranges degenerate, defaults kick in.
+	c := Chart{Series: []Series{{Name: "pt", X: []float64{3}, Y: []float64{4}}}}
+	out := render(t, c)
+	if !strings.Contains(out, "*") {
+		t.Error("missing marker")
+	}
+	// Default dimensions: 16 plot rows.
+	if got := strings.Count(out, "|"); got != 16 {
+		t.Errorf("got %d plot rows, want 16", got)
+	}
+}
+
+func TestRenderExplicitYRange(t *testing.T) {
+	c := Chart{
+		Width: 10, Height: 3, YMin: 0, YMax: 10,
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{2, 3}}},
+	}
+	out := render(t, c)
+	if !strings.Contains(out, "10") {
+		t.Errorf("expected pinned y max 10:\n%s", out)
+	}
+}

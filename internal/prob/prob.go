@@ -1,0 +1,140 @@
+// Package prob provides the numerically careful probability arithmetic the
+// safety analyses need.
+//
+// The quantities in the paper's Lemmas 3.1–3.4 mix extremes that defeat
+// naive floating point: per-round failure probabilities f^n down to 1e-45,
+// round counts r up to ~1e5 per hour, and survivor probabilities of the
+// form (1 − f^{n'})^r that sit within 1e-15 of 1. Everything here works in
+// the log domain with log1p/expm1 so that both p and 1−p retain full
+// relative precision.
+package prob
+
+import (
+	"fmt"
+	"math"
+)
+
+// P is a probability in [0, 1]. A plain float64 — the type alias exists to
+// make signatures in the safety package self-describing.
+type P = float64
+
+// Validate returns an error unless p is a probability in [0, 1].
+func Validate(p P) error {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("prob: %g is not a probability in [0,1]", p)
+	}
+	return nil
+}
+
+// Pow returns f^n for a probability f and non-negative integer n, computed
+// in the log domain so that e.g. (1e-5)^9 = 1e-45 is exact to full relative
+// precision rather than accumulating multiplication error.
+func Pow(f P, n int) P {
+	switch {
+	case n < 0:
+		panic("prob: negative exponent")
+	case n == 0:
+		return 1
+	case f == 0:
+		return 0
+	case f == 1:
+		return 1
+	}
+	return math.Exp(float64(n) * math.Log(f))
+}
+
+// Log1mPow returns log(1 − f^n) without cancellation, valid for f ∈ [0, 1)
+// and n ≥ 1. This is the per-round log-survivor probability in eq. (3).
+func Log1mPow(f P, n int) float64 {
+	if f < 0 || f >= 1 {
+		panic(fmt.Sprintf("prob: Log1mPow needs f in [0,1), got %g", f))
+	}
+	if n < 1 {
+		panic("prob: Log1mPow needs n >= 1")
+	}
+	if f == 0 {
+		return 0
+	}
+	// log(1 − e^{n·log f}) via log1p. n·log f < 0 always, so e^{...} < 1.
+	return math.Log1p(-math.Exp(float64(n) * math.Log(f)))
+}
+
+// OneMinusExp returns 1 − e^x for x ≤ 0 with full precision near 0,
+// i.e. -expm1(x).
+func OneMinusExp(x float64) P {
+	if x > 0 {
+		panic(fmt.Sprintf("prob: OneMinusExp needs x <= 0, got %g", x))
+	}
+	return -math.Expm1(x)
+}
+
+// Complement returns 1 − p, clamped to [0, 1] against rounding spill.
+func Complement(p P) P {
+	c := 1 - p
+	if c < 0 {
+		return 0
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+// SurvivorProduct accumulates a product of per-term survivor probabilities
+//
+//	Π_i (1 − f_i^{n_i})^{r_i}
+//
+// in the log domain. It is the engine behind R(N'_HI, t) in eq. (3):
+// the probability that across r_i rounds of each task i, no round of any
+// task exhausts all n_i attempts.
+type SurvivorProduct struct {
+	logp float64 // log of the accumulated product, always ≤ 0
+}
+
+// MulPow multiplies the product by (1 − f^n)^r.
+func (s *SurvivorProduct) MulPow(f P, n int, r int64) {
+	if r < 0 {
+		panic("prob: negative round count")
+	}
+	if r == 0 || f == 0 {
+		return
+	}
+	s.logp += float64(r) * Log1mPow(f, n)
+}
+
+// Value returns the accumulated product as a probability.
+func (s *SurvivorProduct) Value() P { return math.Exp(s.logp) }
+
+// OneMinus returns 1 − product with full precision even when the product
+// is within 1e-16 of 1 (the common case: kill probabilities of ~1e-5).
+func (s *SurvivorProduct) OneMinus() P { return OneMinusExp(s.logp) }
+
+// Log returns the log of the accumulated product.
+func (s *SurvivorProduct) Log() float64 { return s.logp }
+
+// Log10 converts a probability to log10, the scale Figs. 1–2 plot pfh(LO)
+// on. Log10(0) is -Inf, which renders as an unbounded "safe" value.
+func Log10(p P) float64 {
+	if p == 0 {
+		return math.Inf(-1)
+	}
+	return math.Log10(p)
+}
+
+// KahanSum accumulates a sum of many small non-negative terms with
+// compensated (Kahan) summation. pfh(LO) under killing (eq. 5) sums tens of
+// thousands of terms each ~1e-5; plain summation would lose several digits.
+type KahanSum struct {
+	sum, c float64
+}
+
+// Add accumulates x.
+func (k *KahanSum) Add(x float64) {
+	y := x - k.c
+	t := k.sum + y
+	k.c = (t - k.sum) - y
+	k.sum = t
+}
+
+// Value returns the compensated sum.
+func (k *KahanSum) Value() float64 { return k.sum }

@@ -1,0 +1,223 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, relTol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= relTol*scale
+}
+
+func TestValidate(t *testing.T) {
+	for _, p := range []float64{0, 0.5, 1} {
+		if err := Validate(p); err != nil {
+			t.Errorf("Validate(%v): %v", p, err)
+		}
+	}
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if err := Validate(p); err == nil {
+			t.Errorf("Validate(%v): expected error", p)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	cases := []struct {
+		f    float64
+		n    int
+		want float64
+	}{
+		{1e-5, 3, 1e-15},
+		{1e-5, 1, 1e-5},
+		{1e-3, 4, 1e-12},
+		{0.5, 2, 0.25},
+		{0, 5, 0},
+		{1, 7, 1},
+		{0.3, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Pow(c.f, c.n); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Pow(%v, %d) = %v, want %v", c.f, c.n, got, c.want)
+		}
+	}
+}
+
+func TestPowPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pow(0.5, -1)
+}
+
+func TestLog1mPow(t *testing.T) {
+	// For tiny f^n, log(1-f^n) ≈ -f^n.
+	got := Log1mPow(1e-5, 3)
+	if !almostEqual(got, -1e-15, 1e-9) {
+		t.Errorf("Log1mPow(1e-5,3) = %g, want ≈ -1e-15", got)
+	}
+	// Moderate case, cross-check against direct computation.
+	want := math.Log(1 - math.Pow(0.3, 2))
+	if got := Log1mPow(0.3, 2); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Log1mPow(0.3,2) = %g, want %g", got, want)
+	}
+	if got := Log1mPow(0, 3); got != 0 {
+		t.Errorf("Log1mPow(0,3) = %g, want 0", got)
+	}
+}
+
+func TestLog1mPowPanics(t *testing.T) {
+	for _, c := range []struct {
+		f float64
+		n int
+	}{{1, 1}, {-0.1, 1}, {0.5, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Log1mPow(%v,%d): expected panic", c.f, c.n)
+				}
+			}()
+			Log1mPow(c.f, c.n)
+		}()
+	}
+}
+
+func TestOneMinusExp(t *testing.T) {
+	// 1 - e^{-1e-12} ≈ 1e-12; naive computation would return 1.000089e-12
+	// or worse. Check relative accuracy.
+	got := OneMinusExp(-1e-12)
+	if !almostEqual(got, 1e-12, 1e-6) {
+		t.Errorf("OneMinusExp(-1e-12) = %g", got)
+	}
+	if got := OneMinusExp(0); got != 0 {
+		t.Errorf("OneMinusExp(0) = %g, want 0", got)
+	}
+	if got := OneMinusExp(math.Inf(-1)); got != 1 {
+		t.Errorf("OneMinusExp(-inf) = %g, want 1", got)
+	}
+}
+
+func TestComplementClamps(t *testing.T) {
+	if got := Complement(0.25); got != 0.75 {
+		t.Errorf("Complement(0.25) = %v", got)
+	}
+	if got := Complement(1); got != 0 {
+		t.Errorf("Complement(1) = %v", got)
+	}
+	if got := Complement(0); got != 1 {
+		t.Errorf("Complement(0) = %v", got)
+	}
+}
+
+// The survivor product must match the naive product where the naive product
+// is computable, and must retain precision where it is not.
+func TestSurvivorProductMatchesNaive(t *testing.T) {
+	var s SurvivorProduct
+	s.MulPow(0.1, 2, 5)
+	s.MulPow(0.2, 1, 3)
+	naive := math.Pow(1-0.01, 5) * math.Pow(1-0.2, 3)
+	if !almostEqual(s.Value(), naive, 1e-12) {
+		t.Errorf("Value = %g, want %g", s.Value(), naive)
+	}
+	if !almostEqual(s.OneMinus(), 1-naive, 1e-10) {
+		t.Errorf("OneMinus = %g, want %g", s.OneMinus(), 1-naive)
+	}
+}
+
+func TestSurvivorProductTinyProbabilities(t *testing.T) {
+	// (1 - 1e-10)^{144000}: 1 - value ≈ 144000 * 1e-10 = 1.44e-5.
+	var s SurvivorProduct
+	s.MulPow(1e-5, 2, 144000)
+	want := 1.44e-5
+	if !almostEqual(s.OneMinus(), want, 1e-4) {
+		t.Errorf("OneMinus = %g, want ≈ %g", s.OneMinus(), want)
+	}
+	if s.Value() >= 1 || s.Value() < 1-2e-5 {
+		t.Errorf("Value = %g out of expected band", s.Value())
+	}
+}
+
+func TestSurvivorProductEmptyIsOne(t *testing.T) {
+	var s SurvivorProduct
+	if s.Value() != 1 || s.OneMinus() != 0 {
+		t.Errorf("empty product: Value=%g OneMinus=%g", s.Value(), s.OneMinus())
+	}
+}
+
+func TestSurvivorProductZeroRoundsNoop(t *testing.T) {
+	var s SurvivorProduct
+	s.MulPow(0.5, 1, 0)
+	s.MulPow(0, 3, 100)
+	if s.Value() != 1 {
+		t.Errorf("Value = %g, want 1", s.Value())
+	}
+}
+
+func TestSurvivorProductPanicsOnNegativeRounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var s SurvivorProduct
+	s.MulPow(0.5, 1, -1)
+}
+
+// Property: OneMinus and Value are consistent (sum to 1 within rounding)
+// and monotone in the number of rounds.
+func TestSurvivorProductProperties(t *testing.T) {
+	f := func(fRaw uint16, n8 uint8, r16 uint16) bool {
+		f0 := float64(fRaw) / (float64(math.MaxUint16) + 1) // [0, 1)
+		n := int(n8%8) + 1
+		r := int64(r16)
+		var a, b SurvivorProduct
+		a.MulPow(f0, n, r)
+		b.MulPow(f0, n, r+1)
+		if b.Value() > a.Value()+1e-15 {
+			return false // more rounds cannot increase survival
+		}
+		return math.Abs(a.Value()+a.OneMinus()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLog10(t *testing.T) {
+	if got := Log10(1e-11); !almostEqual(got, -11, 1e-12) {
+		t.Errorf("Log10(1e-11) = %v", got)
+	}
+	if got := Log10(0); !math.IsInf(got, -1) {
+		t.Errorf("Log10(0) = %v, want -Inf", got)
+	}
+}
+
+func TestKahanSumPrecision(t *testing.T) {
+	// Sum 1e7 copies of 1e-5: exact answer 100. Kahan should be exact to
+	// ~1 ulp; naive summation drifts noticeably.
+	var k KahanSum
+	for i := 0; i < 1e7; i++ {
+		k.Add(1e-5)
+	}
+	if !almostEqual(k.Value(), 100, 1e-12) {
+		t.Errorf("KahanSum = %.15g, want 100", k.Value())
+	}
+}
+
+func TestKahanSumMatchesExactSmallCases(t *testing.T) {
+	var k KahanSum
+	for _, x := range []float64{1, 2, 3.5, 0.25} {
+		k.Add(x)
+	}
+	if k.Value() != 6.75 {
+		t.Errorf("KahanSum = %v, want 6.75", k.Value())
+	}
+}

@@ -1,0 +1,164 @@
+package safety
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/prob"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+// Adaptation models the trigger for killing or degrading the LO tasks:
+// whenever any instance of HI task τ_i starts its (n′_i+1)-th execution
+// attempt, all LO criticality tasks are killed (or degraded) thereafter
+// (§3.3–3.4). n′_i is the killing/degradation ("adaptation") profile.
+type Adaptation struct {
+	hi     []task.Task
+	nprime []int
+	// logTerm[i] = log(1 − f_i^{n′_i}), hoisted out of logR: eq. (5)
+	// evaluates R at tens of thousands of time points and this is the
+	// only transcendental part that does not depend on the point.
+	logTerm []float64
+	cfg     Config
+}
+
+// NewAdaptation builds the adaptation model for the given HI tasks with
+// per-task adaptation profiles.
+func NewAdaptation(cfg Config, hiTasks []task.Task, nprime []int) (*Adaptation, error) {
+	if len(nprime) != len(hiTasks) {
+		return nil, fmt.Errorf("safety: %d adaptation profiles for %d HI tasks", len(nprime), len(hiTasks))
+	}
+	logTerm := make([]float64, len(nprime))
+	for i, n := range nprime {
+		if n < 1 {
+			return nil, fmt.Errorf("safety: adaptation profile of %q must be >= 1, got %d", hiTasks[i].Name, n)
+		}
+		if f := hiTasks[i].FailProb; f > 0 {
+			logTerm[i] = prob.Log1mPow(f, n)
+		}
+	}
+	return &Adaptation{hi: hiTasks, nprime: nprime, logTerm: logTerm, cfg: cfg}, nil
+}
+
+// NewUniformAdaptation builds the model with the same profile n′ for every
+// HI task, the restriction Algorithm 1 works under.
+func NewUniformAdaptation(cfg Config, hiTasks []task.Task, nprime int) (*Adaptation, error) {
+	ns := make([]int, len(hiTasks))
+	for i := range ns {
+		ns[i] = nprime
+	}
+	return NewAdaptation(cfg, hiTasks, ns)
+}
+
+// logR returns log R(N′_HI, t) per eq. (3):
+//
+//	R(N′_HI, t) = Π_{τ_i ∈ τ_HI} (1 − f_i^{n′_i})^{r_i(n′_i, t)}
+//
+// the probability that within [0, t] no HI instance starts its
+// (n′_i+1)-th attempt, i.e. the LO tasks are not yet adapted.
+func (a *Adaptation) logR(t timeunit.Time) float64 {
+	logp := 0.0
+	for i := range a.hi {
+		if a.logTerm[i] == 0 {
+			continue
+		}
+		r := a.cfg.Rounds(a.hi[i], a.nprime[i], t)
+		logp += float64(r) * a.logTerm[i]
+	}
+	return logp
+}
+
+// SurvivalProb returns R(N′_HI, t): the lower bound on the probability
+// that the LO tasks have not been killed/degraded within [0, t].
+func (a *Adaptation) SurvivalProb(t timeunit.Time) float64 {
+	return math.Exp(a.logR(t))
+}
+
+// AdaptProb returns 1 − R(N′_HI, t): the upper bound on the probability
+// that the LO tasks are killed/degraded within [0, t]. Computed in the log
+// domain so values of ~1e-10 keep full relative precision.
+func (a *Adaptation) AdaptProb(t timeunit.Time) float64 {
+	return prob.OneMinusExp(a.logR(t))
+}
+
+// KillingPFHLO implements eq. (5) of Lemma 3.3: the PFH of the LO
+// criticality level when the LO tasks can be killed, with per-task
+// re-execution profiles ns for the LO tasks:
+//
+//	pfh(LO) = [ Σ_{τ_i∈τ_LO} Σ_{α∈π_i(t)} (1 − R(N′_HI, α)·(1 − f_i^{n_i})) ] / OS
+//
+// with t = OS hours and π_i(t) the per-task sequence of latest round
+// finishing times of eq. (4):
+//
+//	π_i(t) = { t − n_i·C_i − m·T_i + D_i | 1 ≤ m < r_i(n_i, t) } ∪ {t}.
+//
+// A LO round finishing at α fails either because the LO tasks were killed
+// by then (prob. ≤ 1 − R(α)) or because, un-killed, all n_i attempts
+// failed (prob. f_i^{n_i}); the bracket combines both.
+//
+// When r_i(n_i, t) = 0 no round of τ_i fits in [0, t] and the task
+// contributes nothing (the number of summed terms equals the round count).
+func (c Config) KillingPFHLO(loTasks []task.Task, ns []int, adapt *Adaptation) float64 {
+	if len(ns) != len(loTasks) {
+		panic(fmt.Sprintf("safety: %d profiles for %d LO tasks", len(ns), len(loTasks)))
+	}
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	t := c.Horizon()
+	var sum prob.KahanSum
+	for i, lo := range loTasks {
+		r := c.Rounds(lo, ns[i], t)
+		if r == 0 {
+			continue
+		}
+		// 1 − R·(1−q) = −expm1(log R + log(1−q)): one transcendental call
+		// per α, no cancellation even when both factors are within 1e-15
+		// of 1. q = f^n is the round failure probability.
+		log1mq := 0.0
+		if f := lo.FailProb; f > 0 {
+			log1mq = prob.Log1mPow(f, ns[i])
+		}
+		roundCost := c.effectiveRoundCost(lo.WCET, ns[i])
+		// α = t (the ∪{t} member), then m = 1 .. r−1.
+		sum.Add(prob.OneMinusExp(adapt.logR(t) + log1mq))
+		for m := int64(1); m < r; m++ {
+			alpha := t - roundCost - timeunit.Time(m)*lo.Period + lo.Deadline
+			sum.Add(prob.OneMinusExp(adapt.logR(alpha) + log1mq))
+		}
+	}
+	return sum.Value() / float64(c.OperationHours)
+}
+
+// KillingPFHLOLimit returns the n′ → ∞ limit of eq. (5): with the LO
+// tasks (almost) never killed, each of the r_i(n_i, t) summed terms tends
+// to f_i^{n_i}, so
+//
+//	lim pfh(LO) = Σ_{τ_i∈τ_LO} r_i(n_i, OS·1h) · f_i^{n_i} / OS.
+//
+// The killing bound is non-increasing in n′ and never drops below this
+// limit; MinAdaptProfile uses it to fail fast when no adaptation profile
+// can meet the requirement.
+func (c Config) KillingPFHLOLimit(loTasks []task.Task, ns []int) float64 {
+	if len(ns) != len(loTasks) {
+		panic(fmt.Sprintf("safety: %d profiles for %d LO tasks", len(ns), len(loTasks)))
+	}
+	t := c.Horizon()
+	var sum prob.KahanSum
+	for i, lo := range loTasks {
+		r := c.Rounds(lo, ns[i], t)
+		sum.Add(float64(r) * prob.Pow(lo.FailProb, ns[i]))
+	}
+	return sum.Value() / float64(c.OperationHours)
+}
+
+// KillingPFHLOUniform is KillingPFHLO with a uniform LO re-execution
+// profile n_LO.
+func (c Config) KillingPFHLOUniform(loTasks []task.Task, nLO int, adapt *Adaptation) float64 {
+	ns := make([]int, len(loTasks))
+	for i := range ns {
+		ns[i] = nLO
+	}
+	return c.KillingPFHLO(loTasks, ns, adapt)
+}

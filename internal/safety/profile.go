@@ -1,0 +1,105 @@
+package safety
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/task"
+)
+
+// MaxProfile caps the profile searches. Re-execution profiles in practice
+// are tiny (the paper's experiments use 2–4); the cap only guards against
+// requirements that no finite amount of re-execution can meet (e.g. a task
+// with f close to 1 whose rounds stop fitting in the hour).
+const MaxProfile = 64
+
+// AdaptMode selects between the two LO-task adaptation mechanisms of the
+// paper: killing (§3.3) and service degradation (§3.4).
+type AdaptMode int
+
+const (
+	// Kill discards all LO tasks once triggered.
+	Kill AdaptMode = iota
+	// Degrade stretches all LO periods by the factor df once triggered.
+	Degrade
+)
+
+// String returns "kill" or "degrade".
+func (m AdaptMode) String() string {
+	if m == Degrade {
+		return "degrade"
+	}
+	return "kill"
+}
+
+// MinReexecProfile computes line 2 of Algorithm 1 for one task group:
+//
+//	n_χ ← inf{ n ∈ ℕ : pfh(χ) ≤ PFH_χ }   (eq. 2)
+//
+// i.e. the smallest uniform re-execution profile meeting the requirement.
+// A +Inf requirement (levels D/E) is met by n = 1: those tasks execute
+// once, as in Example 3.1. PlainPFH is non-increasing in n (each extra
+// attempt multiplies the round failure probability by f < 1, while the
+// round count can only shrink), so the linear scan finds the infimum.
+func (c Config) MinReexecProfile(tasks []task.Task, requirement float64) (int, error) {
+	if len(tasks) == 0 {
+		return 1, nil
+	}
+	if math.IsInf(requirement, 1) {
+		return 1, nil
+	}
+	for n := 1; n <= MaxProfile; n++ {
+		if c.PlainPFHUniform(tasks, n) <= requirement {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("safety: no re-execution profile <= %d meets PFH requirement %g (pfh at cap: %g)",
+		MaxProfile, requirement, c.PlainPFHUniform(tasks, MaxProfile))
+}
+
+// MinAdaptProfile computes line 4 of Algorithm 1:
+//
+//	n¹_HI ← inf{ n′ ∈ ℕ : pfh(LO) < PFH_LO }   (eq. 5 or eq. 7)
+//
+// the smallest uniform adaptation profile for the HI tasks that keeps the
+// LO tasks safe, given the LO re-execution profile nLO. Both pfh(LO)
+// bounds are non-increasing in n′ (larger n′ ⇒ LO tasks adapted less
+// often), so a linear scan finds the infimum. df is only used in Degrade
+// mode. A +Inf requirement is met by n′ = 1.
+func (c Config) MinAdaptProfile(mode AdaptMode, hiTasks, loTasks []task.Task, nLO int, df float64, requirement float64) (int, error) {
+	if math.IsInf(requirement, 1) {
+		return 1, nil
+	}
+	if mode == Kill {
+		// The killing bound never drops below its n′ → ∞ limit; refuse
+		// immediately when even that limit violates the requirement
+		// instead of scanning (and paying for eq. (5)) MaxProfile times.
+		ns := make([]int, len(loTasks))
+		for i := range ns {
+			ns[i] = nLO
+		}
+		if limit := c.KillingPFHLOLimit(loTasks, ns); limit >= requirement {
+			return 0, fmt.Errorf("safety: killing cannot keep pfh(LO) below %g: the no-kill limit is already %g", requirement, limit)
+		}
+	}
+	for n := 1; n <= MaxProfile; n++ {
+		adapt, err := NewUniformAdaptation(c, hiTasks, n)
+		if err != nil {
+			return 0, err
+		}
+		var pfh float64
+		switch mode {
+		case Kill:
+			pfh = c.KillingPFHLOUniform(loTasks, nLO, adapt)
+		case Degrade:
+			pfh = c.DegradationPFHLOUniform(loTasks, nLO, adapt, df)
+		default:
+			return 0, fmt.Errorf("safety: unknown adaptation mode %d", mode)
+		}
+		if pfh < requirement {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("safety: no adaptation profile <= %d keeps pfh(LO) below %g under %v",
+		MaxProfile, requirement, mode)
+}

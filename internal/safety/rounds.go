@@ -1,0 +1,55 @@
+package safety
+
+import (
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+// Rounds implements eq. (1): the maximum number of rounds of task τ that
+// the time domain [0, t] can accommodate when each job executes up to n
+// times,
+//
+//	r(n, t) = max( ⌊(t − n·C)/T⌋ + 1, 0 ).
+//
+// The shortest interval accommodating k rounds is (k−1)·T + n·C: rounds
+// are released T apart (sporadic minimum) and the last must fully fit.
+func (c Config) Rounds(t task.Task, n int, horizon timeunit.Time) int64 {
+	if n < 1 {
+		panic("safety: re-execution count must be >= 1")
+	}
+	num := horizon - c.effectiveRoundCost(t.WCET, n)
+	if num < 0 {
+		return 0
+	}
+	r := num.DivFloor(t.Period) + 1
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// RoundsStretched is Rounds with the period stretched by the service
+// degradation factor df ≥ 1, i.e. the round count in eq. (6):
+//
+//	max( ⌊(t − n·C)/(df·T)⌋ + 1, 0 ).
+//
+// df is a real number (> 1 in the paper, e.g. 6), so the division is done
+// in floating point; all involved magnitudes (≤ 3.6e10 µs) are exactly
+// representable in float64.
+func (c Config) RoundsStretched(t task.Task, n int, df float64, horizon timeunit.Time) int64 {
+	if n < 1 {
+		panic("safety: re-execution count must be >= 1")
+	}
+	if df < 1 {
+		panic("safety: degradation factor must be >= 1")
+	}
+	num := horizon - c.effectiveRoundCost(t.WCET, n)
+	if num < 0 {
+		return 0
+	}
+	r := int64(num.Float()/(df*t.Period.Float())) + 1
+	if r < 0 {
+		return 0
+	}
+	return r
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/timeunit"
+)
+
+// The paper's fault model assumes attempts fail independently with a
+// constant probability f. Real transient-fault processes are bursty:
+// a particle strike or voltage droop corrupts everything executing for a
+// short window. The time-aware models here let the simulator probe how
+// the independence-based PFH bounds behave under such correlation — a
+// sensitivity the analysis itself does not cover.
+
+// TimeAwareFaultModel extends FaultModel with the wall-clock instant of
+// the sanity check, enabling correlated fault processes. The simulator
+// prefers AttemptFailsAt when the configured model implements it.
+type TimeAwareFaultModel interface {
+	FaultModel
+	// AttemptFailsAt reports whether the attempt completing at time at
+	// fails its sanity check.
+	AttemptFailsAt(taskIndex int, seq int64, attempt int, at timeunit.Time) bool
+}
+
+// Window is a half-open time interval [Start, End).
+type Window struct {
+	Start, End timeunit.Time
+}
+
+// Contains reports whether t lies in the window.
+func (w Window) Contains(t timeunit.Time) bool { return t >= w.Start && t < w.End }
+
+// WindowFaults fails every attempt whose sanity check falls inside one of
+// the given windows — the deterministic burst adversary.
+type WindowFaults struct {
+	windows []Window
+}
+
+// NewWindowFaults builds the model; windows may be given in any order.
+func NewWindowFaults(windows []Window) (*WindowFaults, error) {
+	ws := append([]Window(nil), windows...)
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+	for i, w := range ws {
+		if w.End <= w.Start {
+			return nil, fmt.Errorf("sim: empty burst window [%v, %v)", w.Start, w.End)
+		}
+		if i > 0 && w.Start < ws[i-1].End {
+			return nil, fmt.Errorf("sim: overlapping burst windows at %v", w.Start)
+		}
+	}
+	return &WindowFaults{windows: ws}, nil
+}
+
+// AttemptFails implements FaultModel; without a time it cannot decide and
+// reports no fault. Use with the simulator, which always supplies the
+// time to time-aware models.
+func (*WindowFaults) AttemptFails(int, int64, int) bool { return false }
+
+// AttemptFailsAt implements TimeAwareFaultModel.
+func (w *WindowFaults) AttemptFailsAt(_ int, _ int64, _ int, at timeunit.Time) bool {
+	i := sort.Search(len(w.windows), func(i int) bool { return w.windows[i].End > at })
+	return i < len(w.windows) && w.windows[i].Contains(at)
+}
+
+// BurstFaults generates fault bursts as a renewal process: gaps between
+// bursts are exponential with the given mean, each burst lasts a fixed
+// length, and every sanity check inside a burst fails. The long-run
+// fraction of corrupted time is length/(meanGap+length), comparable to an
+// average per-attempt probability, but hits are maximally correlated.
+type BurstFaults struct {
+	rng      *rand.Rand
+	meanGap  timeunit.Time
+	length   timeunit.Time
+	start    timeunit.Time // current/next burst start
+	lastSeen timeunit.Time
+}
+
+// NewBurstFaults builds the process; meanGap and length must be positive.
+func NewBurstFaults(rng *rand.Rand, meanGap, length timeunit.Time) (*BurstFaults, error) {
+	if meanGap <= 0 || length <= 0 {
+		return nil, fmt.Errorf("sim: burst process needs positive meanGap and length, got %v/%v", meanGap, length)
+	}
+	b := &BurstFaults{rng: rng, meanGap: meanGap, length: length}
+	b.start = b.gap() // first burst after an initial gap
+	return b, nil
+}
+
+// gap draws one exponential inter-burst gap, at least 1 µs.
+func (b *BurstFaults) gap() timeunit.Time {
+	g := timeunit.Time(-float64(b.meanGap) * math.Log(1-b.rng.Float64()))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// AttemptFails implements FaultModel; see WindowFaults.AttemptFails.
+func (*BurstFaults) AttemptFails(int, int64, int) bool { return false }
+
+// AttemptFailsAt implements TimeAwareFaultModel. Queries must be
+// non-decreasing in time (the simulator's are); regressing queries panic
+// rather than silently desynchronize the renewal process.
+func (b *BurstFaults) AttemptFailsAt(_ int, _ int64, _ int, at timeunit.Time) bool {
+	if at < b.lastSeen {
+		panic(fmt.Sprintf("sim: burst process queried backwards (%v after %v)", at, b.lastSeen))
+	}
+	b.lastSeen = at
+	for at >= b.start+b.length {
+		b.start += b.length + b.gap()
+	}
+	return at >= b.start
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/criticality"
+	"repro/internal/safety"
+	"repro/internal/timeunit"
+)
+
+func TestWindowFaultsValidation(t *testing.T) {
+	if _, err := NewWindowFaults([]Window{{ms(10), ms(20)}, {ms(30), ms(40)}}); err != nil {
+		t.Fatalf("valid windows rejected: %v", err)
+	}
+	if _, err := NewWindowFaults([]Window{{ms(10), ms(10)}}); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := NewWindowFaults([]Window{{ms(10), ms(25)}, {ms(20), ms(30)}}); err == nil {
+		t.Error("overlapping windows accepted")
+	}
+}
+
+func TestWindowFaultsMembership(t *testing.T) {
+	w, err := NewWindowFaults([]Window{{ms(30), ms(40)}, {ms(10), ms(20)}}) // unsorted on purpose
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at   timeunit.Time
+		want bool
+	}{
+		{ms(5), false}, {ms(10), true}, {ms(19), true}, {ms(20), false},
+		{ms(29), false}, {ms(30), true}, {ms(39), true}, {ms(40), false}, {ms(100), false},
+	}
+	for _, c := range cases {
+		if got := w.AttemptFailsAt(0, 0, 1, c.at); got != c.want {
+			t.Errorf("at %v: %v, want %v", c.at, got, c.want)
+		}
+	}
+	if w.AttemptFails(0, 0, 1) {
+		t.Error("time-less query must not fault")
+	}
+}
+
+// A deterministic burst hitting the first job's sanity check: the attempt
+// fails, the re-execution (finishing outside the burst) succeeds.
+func TestWindowFaultsDriveReexecution(t *testing.T) {
+	s := pair(100, 10, 1000, 1)
+	cfg := baseConfig(s)
+	cfg.NHI, cfg.NPrime = 2, 2
+	// The LO job (d=1000) runs after HI (d=100): HI attempt 1 completes
+	// at t=10 — inside the burst. Attempt 2 completes at 20: outside.
+	faults, err := NewWindowFaults([]Window{{ms(9), ms(11)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = faults
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := st.PerTask[0]
+	if hi.FaultyAttempts != 1 {
+		t.Errorf("faulty attempts = %d, want 1", hi.FaultyAttempts)
+	}
+	if hi.Completed != 10 {
+		t.Errorf("completed = %d, want 10", hi.Completed)
+	}
+}
+
+func TestBurstFaultsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewBurstFaults(rng, 0, ms(1)); err == nil {
+		t.Error("zero gap accepted")
+	}
+	if _, err := NewBurstFaults(rng, ms(1), 0); err == nil {
+		t.Error("zero length accepted")
+	}
+}
+
+func TestBurstFaultsMonotoneQueries(t *testing.T) {
+	b, err := NewBurstFaults(rand.New(rand.NewSource(3)), ms(50), ms(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scan forward: inside-burst queries must come in contiguous stretches
+	// no longer than the burst length.
+	inBurst := timeunit.Time(0)
+	total := timeunit.Time(0)
+	for at := timeunit.Time(0); at < timeunit.Seconds(2); at += ms(1) {
+		if b.AttemptFailsAt(0, 0, 1, at) {
+			inBurst += ms(1)
+		}
+		total += ms(1)
+	}
+	// Expected corrupted fraction ≈ 5/(50+5) ≈ 9%; allow wide noise.
+	frac := inBurst.Float() / total.Float()
+	if frac < 0.02 || frac > 0.3 {
+		t.Errorf("corrupted fraction = %.3f, expected ≈ 0.09", frac)
+	}
+	// Regressing queries are a programming error.
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on backwards query")
+		}
+	}()
+	b.AttemptFailsAt(0, 0, 1, 0)
+}
+
+// Correlated bursts versus the independence-based bound: with the same
+// average corruption rate, a burst longer than a whole round defeats
+// re-execution (all n attempts fall inside it), so observed LO failures
+// can exceed what an equivalent independent-f bound predicts. This is a
+// documented limitation of the model assumptions, not of the
+// implementation — the test pins the phenomenon.
+func TestBurstsDefeatReexecution(t *testing.T) {
+	s := pair(100, 1, 100, 1)
+	cfg := baseConfig(s)
+	cfg.NHI, cfg.NLO, cfg.NPrime = 2, 2, 2 // re-execution, no adaptation
+	cfg.Mode = safety.Kill
+	cfg.Horizon = timeunit.Hours(1)
+	// Bursts of 10 ms every ~1 s: corrupted fraction ≈ 1%, so an
+	// equivalent independent model would have f ≈ 0.01 and round failures
+	// ≈ f² = 1e-4 per round. The burst covers both attempts of any round
+	// it touches, so the real round-failure rate stays ≈ 1%.
+	b, err := NewBurstFaults(rand.New(rand.NewSource(7)), timeunit.Seconds(1), ms(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = b
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := safety.DefaultConfig()
+	// Independence-based bound with the matched average f = 0.01.
+	independentBound := 0.0
+	for _, tk := range s.Tasks() {
+		tk.FailProb = 0.01
+		independentBound += float64(scfg.Rounds(tk, 2, timeunit.Hours(1))) * 0.01 * 0.01
+	}
+	observed := float64(st.ClassFailures(criticality.HI) + st.ClassFailures(criticality.LO))
+	if observed <= independentBound {
+		t.Errorf("bursts did not exceed the independent bound: observed %.0f <= bound %.1f (phenomenon unpinned)",
+			observed, independentBound)
+	}
+}

@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/criticality"
+	"repro/internal/gen"
+	"repro/internal/mcsched"
+	"repro/internal/safety"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+func TestVirtualDeadlineValidation(t *testing.T) {
+	s := pair(100, 10, 50, 5)
+	good := baseConfig(s)
+	good.Policy = PolicyEDFVD
+	good.VirtualDeadlines = map[string]timeunit.Time{"hi": ms(60)}
+	if _, err := New(good); err != nil {
+		t.Fatalf("valid per-task deadline rejected: %v", err)
+	}
+	cases := []map[string]timeunit.Time{
+		{"nosuch": ms(50)}, // unknown task
+		{"lo": ms(40)},     // LO task
+		{"hi": 0},          // non-positive
+		{"hi": ms(101)},    // above D
+	}
+	for i, vds := range cases {
+		cfg := good
+		cfg.VirtualDeadlines = vds
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// With full per-task coverage the x factor is not needed, even when it
+// could not be derived.
+func TestVirtualDeadlinesBypassFactorDerivation(t *testing.T) {
+	s := pair(100, 10, 100, 60) // NLO·U_LO would exceed 1 below
+	cfg := baseConfig(s)
+	cfg.Policy = PolicyEDFVD
+	cfg.NLO = 2 // 2·0.6 = 1.2 ≥ 1: factor underivable
+	cfg.VirtualDeadlines = map[string]timeunit.Time{"hi": ms(50)}
+	if _, err := New(cfg); err != nil {
+		t.Fatalf("per-task deadlines should bypass factor derivation: %v", err)
+	}
+}
+
+func TestVirtualDeadlineOrdersJobs(t *testing.T) {
+	// HI D=100 with explicit D^LO=30 beats LO job with D=60; without the
+	// entry (x=1 → VD=100) the LO job runs first.
+	s := task.MustNewSet([]task.Task{
+		{Name: "hi", Period: ms(100), Deadline: ms(100), WCET: ms(10), Level: criticality.LevelB, FailProb: 0},
+		{Name: "lo", Period: ms(100), Deadline: ms(60), WCET: ms(10), Level: criticality.LevelD, FailProb: 0},
+	})
+	run := func(vds map[string]timeunit.Time) string {
+		cfg := baseConfig(s)
+		cfg.Policy = PolicyEDFVD
+		cfg.VDFactor = 1
+		cfg.VirtualDeadlines = vds
+		cfg.Horizon = ms(100)
+		cfg.TraceLimit = 8
+		sm, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm.Run()
+		for _, ev := range sm.Trace() {
+			if ev.Kind == EvComplete {
+				return ev.Task
+			}
+		}
+		return ""
+	}
+	if first := run(map[string]timeunit.Time{"hi": ms(30)}); first != "hi" {
+		t.Errorf("tuned deadline: first completion = %q, want hi", first)
+	}
+	if first := run(nil); first != "lo" {
+		t.Errorf("untuned: first completion = %q, want lo", first)
+	}
+}
+
+// End-to-end soundness of the DBF-tune analysis: FT-S designs accepted
+// with Test = DBFTune run without deadline misses in the runtime, using
+// the tuned per-task virtual deadlines, both at the LO budget and across
+// the mode switch.
+func TestDBFTuneDesignsHoldAtRuntime(t *testing.T) {
+	accepted := 0
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := gen.TaskSet(rng, gen.PaperParams(criticality.LevelB, criticality.LevelD, 0.7, 1e-5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.FTS(s, core.Options{
+			Safety: safety.DefaultConfig(), Mode: safety.Kill, Test: mcsched.DBFTune{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK {
+			continue
+		}
+		accepted++
+		vds, ok := (mcsched.DBFTune{}).VirtualDeadlines(res.Converted)
+		if !ok {
+			t.Fatalf("seed %d: accepted set has no virtual deadlines", seed)
+		}
+		// Worst case without switch: HI jobs burn n′−1 attempts, LO jobs
+		// n_LO−1. Then the switch case: HI jobs burn n_HI−1.
+		for _, hiFails := range []int{res.Profiles.NPrime - 1, res.Profiles.NHI - 1} {
+			ks := make([]int, s.Len())
+			for i, tk := range s.Tasks() {
+				if s.Class(tk) == criticality.HI {
+					ks[i] = hiFails
+				} else {
+					ks[i] = res.Profiles.NLO - 1
+				}
+			}
+			stats, err := Run(Config{
+				Set: s, NHI: res.Profiles.NHI, NLO: res.Profiles.NLO, NPrime: res.Profiles.NPrime,
+				Mode: safety.Kill, Policy: PolicyEDFVD,
+				VirtualDeadlines: vds,
+				Horizon:          timeunit.Seconds(30),
+				Faults:           FirstAttemptsFail{K: ks},
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if m := stats.DeadlineMisses(criticality.HI); m != 0 {
+				t.Fatalf("seed %d (hiFails=%d): %d HI deadline misses", seed, hiFails, m)
+			}
+			if !stats.ModeSwitched {
+				// Within the LO budget the LO tasks are guaranteed too.
+				if m := stats.DeadlineMisses(criticality.LO); m != 0 {
+					t.Fatalf("seed %d (hiFails=%d): %d LO deadline misses pre-switch", seed, hiFails, m)
+				}
+			}
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no DBF-tune acceptances at U=0.7: test exercised nothing")
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/criticality"
+	"repro/internal/mcsched"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+// randomSingleCriticality draws a small random constrained-deadline task
+// set with U strictly below the given cap, in both the task and MC views.
+func randomSingleCriticality(rng *rand.Rand, uCap float64) (*task.Set, *mcsched.MCSet) {
+	n := 2 + rng.Intn(4)
+	var tasks []task.Task
+	var mcs []mcsched.MCTask
+	u := 0.0
+	for i := 0; i < n; i++ {
+		period := timeunit.Milliseconds(int64(20 + rng.Intn(180)))
+		wcet := timeunit.Time(1 + rng.Int63n(int64(period)/4))
+		if u+wcet.Float()/period.Float() > uCap {
+			break
+		}
+		u += wcet.Float() / period.Float()
+		// Constrained deadline in [max(C, T/2), T].
+		minD := wcet.Max(period / 2)
+		deadline := minD + timeunit.Time(rng.Int63n(int64(period-minD)+1))
+		level := criticality.LevelD
+		class := criticality.LO
+		if i == 0 {
+			level = criticality.LevelB
+			class = criticality.HI
+		}
+		name := string(rune('a' + i))
+		tasks = append(tasks, task.Task{
+			Name: name, Period: period, Deadline: deadline, WCET: wcet, Level: level, FailProb: 0,
+		})
+		mcs = append(mcs, mcsched.MCTask{
+			Name: name, Period: period, Deadline: deadline, CLO: wcet, CHI: wcet, Class: class,
+		})
+	}
+	if len(tasks) < 2 {
+		return nil, nil
+	}
+	return task.MustNewSet(tasks), mcsched.MustNewMCSet(mcs)
+}
+
+// EDF is optimal for uniprocessor sporadic tasks and the processor-demand
+// test is exact: every accepted set must run without a single deadline
+// miss under the synchronous periodic arrival sequence (the worst case),
+// for as long as we care to simulate.
+func TestPropertyEDFDemandTestSoundAgainstRuntime(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	checked := 0
+	for trial := 0; trial < 120; trial++ {
+		s, mc := randomSingleCriticality(rng, 0.95)
+		if s == nil {
+			continue
+		}
+		if !(mcsched.EDFWorstCase{}).Schedulable(mc) {
+			continue
+		}
+		checked++
+		cfg := baseConfig(s)
+		cfg.Horizon = timeunit.Seconds(5)
+		st, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := st.DeadlineMisses(criticality.HI) + st.DeadlineMisses(criticality.LO); m != 0 {
+			t.Fatalf("trial %d: demand-accepted set missed %d deadlines: %v", trial, m, s)
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d accepted sets: property under-exercised", checked)
+	}
+}
+
+// The exactness direction on a handcrafted instance: a set the demand
+// test rejects (demand 7 > 5 at t = 5) indeed misses a deadline in the
+// synchronous periodic run.
+func TestEDFDemandTestExactnessWitness(t *testing.T) {
+	s := task.MustNewSet([]task.Task{
+		{Name: "a", Period: ms(10), Deadline: ms(5), WCET: ms(4), Level: criticality.LevelB, FailProb: 0},
+		{Name: "b", Period: ms(10), Deadline: ms(5), WCET: ms(3), Level: criticality.LevelD, FailProb: 0},
+	})
+	mc := mcsched.MustNewMCSet([]mcsched.MCTask{
+		{Name: "a", Period: ms(10), Deadline: ms(5), CLO: ms(4), CHI: ms(4), Class: criticality.HI},
+		{Name: "b", Period: ms(10), Deadline: ms(5), CLO: ms(3), CHI: ms(3), Class: criticality.LO},
+	})
+	if (mcsched.EDFWorstCase{}).Schedulable(mc) {
+		t.Fatal("demand test should reject")
+	}
+	cfg := baseConfig(s)
+	cfg.Horizon = ms(100)
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := st.DeadlineMisses(criticality.HI) + st.DeadlineMisses(criticality.LO); m == 0 {
+		t.Fatal("rejected set ran clean: either the test is too pessimistic here or the runtime is wrong")
+	}
+}

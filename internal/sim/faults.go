@@ -1,0 +1,93 @@
+// Package sim is a discrete-event simulator for preemptive uniprocessor
+// scheduling of fault-tolerant dual-criticality task sets: the runtime
+// counterpart of the paper's analysis.
+//
+// It implements the EDF-VD runtime of reference [3] extended with the
+// paper's fault-tolerance semantics: every execution attempt of a job may
+// be corrupted by a transient fault (detected by a sanity check at the end
+// of the attempt), a job of task τ_i re-executes up to n_i times, and when
+// any HI job starts its (n′+1)-th attempt the system switches to HI mode,
+// killing the LO tasks or degrading their service. The simulator validates
+// the analytical bounds empirically: observed failure rates stay below the
+// PFH bounds, and FT-S-accepted sets meet all guaranteed deadlines under
+// in-model behaviour.
+package sim
+
+import (
+	"math/rand"
+)
+
+// FaultModel decides whether one execution attempt of a job is corrupted
+// by a transient fault. Implementations must be deterministic functions of
+// their own state and the arguments (the simulator replays decisions only
+// once per attempt).
+type FaultModel interface {
+	// AttemptFails reports whether the attempt-th execution (1-based) of
+	// job seq (0-based) of task taskIndex fails its sanity check.
+	AttemptFails(taskIndex int, seq int64, attempt int) bool
+}
+
+// NoFaults is a FaultModel under which every attempt succeeds.
+type NoFaults struct{}
+
+// AttemptFails implements FaultModel.
+func (NoFaults) AttemptFails(int, int64, int) bool { return false }
+
+// RandomFaults injects faults independently per attempt with a per-task
+// probability — the paper's fault model with constant f_i.
+type RandomFaults struct {
+	rng   *rand.Rand
+	probs []float64
+}
+
+// NewRandomFaults builds the model; probs[i] is f of task i.
+func NewRandomFaults(rng *rand.Rand, probs []float64) *RandomFaults {
+	return &RandomFaults{rng: rng, probs: probs}
+}
+
+// AttemptFails implements FaultModel.
+func (r *RandomFaults) AttemptFails(taskIndex int, _ int64, _ int) bool {
+	return r.rng.Float64() < r.probs[taskIndex]
+}
+
+// FirstAttemptsFail makes the first K attempts of every job of the
+// selected tasks fail and the rest succeed: the deterministic adversary
+// used to drive the system to exactly k·C of execution per job. With
+// K[i] = n′−1 every HI job consumes its full LO-criticality budget without
+// triggering the mode switch; with K[i] ≥ n′ the switch fires.
+type FirstAttemptsFail struct {
+	// K[i] is the number of leading attempts of every job of task i that
+	// fail. Tasks beyond len(K) never fail.
+	K []int
+}
+
+// AttemptFails implements FaultModel.
+func (f FirstAttemptsFail) AttemptFails(taskIndex int, _ int64, attempt int) bool {
+	if taskIndex >= len(f.K) {
+		return false
+	}
+	return attempt <= f.K[taskIndex]
+}
+
+// ScriptedFaults fails exactly the listed (task, job, attempt) triples —
+// for pinpoint tests such as "the third job of τ2 exhausts its round".
+type ScriptedFaults struct {
+	fail map[[3]int64]bool
+}
+
+// NewScriptedFaults builds an empty script.
+func NewScriptedFaults() *ScriptedFaults {
+	return &ScriptedFaults{fail: map[[3]int64]bool{}}
+}
+
+// Fail schedules the attempt-th execution of job seq of task taskIndex to
+// fail. It returns the receiver for chaining.
+func (s *ScriptedFaults) Fail(taskIndex int, seq int64, attempt int) *ScriptedFaults {
+	s.fail[[3]int64{int64(taskIndex), seq, int64(attempt)}] = true
+	return s
+}
+
+// AttemptFails implements FaultModel.
+func (s *ScriptedFaults) AttemptFails(taskIndex int, seq int64, attempt int) bool {
+	return s.fail[[3]int64{int64(taskIndex), seq, int64(attempt)}]
+}

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/criticality"
+	"repro/internal/gen"
+	"repro/internal/mcsched"
+	"repro/internal/safety"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+// mcSingle mirrors a single-criticality MC task for the RTA cross-check.
+func mcSingle(name string, T, D, C int64, class criticality.Class) mcsched.MCTask {
+	return mcsched.MCTask{Name: name, Period: ms(T), Deadline: ms(D), CLO: ms(C), CHI: ms(C), Class: class}
+}
+
+func taskOf(name string, T, D, C int64, l criticality.Level) task.Task {
+	return task.Task{Name: name, Period: ms(T), Deadline: ms(D), WCET: ms(C), Level: l, FailProb: 0}
+}
+
+// The classic three-task RTA example under the DM policy: the simulated
+// synchronous release (critical instant) must realize exactly the
+// analytical response bounds R = {3, 14, 40}.
+func TestDMPolicyRealizesRTABounds(t *testing.T) {
+	s := task.MustNewSet([]task.Task{
+		taskOf("a", 10, 10, 3, criticality.LevelB),
+		taskOf("b", 20, 20, 8, criticality.LevelD),
+		taskOf("c", 40, 40, 12, criticality.LevelD),
+	})
+	mc := mcsched.MustNewMCSet([]mcsched.MCTask{
+		mcSingle("a", 10, 10, 3, criticality.HI),
+		mcSingle("b", 20, 20, 8, criticality.LO),
+		mcSingle("c", 40, 40, 12, criticality.LO),
+	})
+	bounds, ok := (mcsched.DMRTA{}).ResponseTimes(mc)
+	if !ok {
+		t.Fatal("RTA should accept")
+	}
+	cfg := baseConfig(s)
+	cfg.Policy = PolicyDM
+	cfg.Horizon = ms(400)
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range st.PerTask {
+		bound := bounds[ts.Name]
+		if ts.MaxResponse > bound {
+			t.Errorf("%s: observed response %v exceeds RTA bound %v", ts.Name, ts.MaxResponse, bound)
+		}
+	}
+	// The critical instant (synchronous release at t = 0, all at WCET)
+	// attains the bounds exactly.
+	for _, want := range []struct {
+		name string
+		r    timeunit.Time
+	}{{"a", ms(3)}, {"b", ms(14)}, {"c", ms(40)}} {
+		var got timeunit.Time
+		for _, ts := range st.PerTask {
+			if ts.Name == want.name {
+				got = ts.MaxResponse
+			}
+		}
+		if got != want.r {
+			t.Errorf("%s: max response %v, want %v (tight at the critical instant)", want.name, got, want.r)
+		}
+		if bounds[want.name] != want.r {
+			t.Errorf("%s: RTA bound %v, want %v", want.name, bounds[want.name], want.r)
+		}
+	}
+}
+
+func TestDMPrioritiesOrder(t *testing.T) {
+	mc := mcsched.MustNewMCSet([]mcsched.MCTask{
+		mcSingle("slow", 40, 40, 1, criticality.LO),
+		mcSingle("fast", 10, 10, 1, criticality.HI),
+		mcSingle("mid", 20, 20, 1, criticality.LO),
+	})
+	got := mcsched.DMPriorities(mc)
+	want := []string{"fast", "mid", "slow"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DMPriorities = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExplicitPriorities(t *testing.T) {
+	s := task.MustNewSet([]task.Task{
+		taskOf("a", 100, 100, 10, criticality.LevelB),
+		taskOf("b", 100, 100, 10, criticality.LevelD),
+	})
+	cfg := baseConfig(s)
+	cfg.Policy = PolicyDM
+	cfg.Horizon = ms(100)
+	cfg.TraceLimit = 8
+	// Invert the natural order: b first.
+	cfg.Priorities = []string{"b", "a"}
+	sm, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.Run()
+	for _, ev := range sm.Trace() {
+		if ev.Kind == EvComplete {
+			if ev.Task != "b" {
+				t.Errorf("first completion = %q, want b (explicit top priority)", ev.Task)
+			}
+			break
+		}
+	}
+}
+
+func TestPriorityValidation(t *testing.T) {
+	s := task.MustNewSet([]task.Task{
+		taskOf("a", 100, 100, 10, criticality.LevelB),
+		taskOf("b", 100, 100, 10, criticality.LevelD),
+	})
+	cfg := baseConfig(s)
+	cfg.Policy = PolicyDM
+	for i, prios := range [][]string{
+		{"a"},           // wrong length
+		{"a", "nosuch"}, // unknown task
+		{"a", "a"},      // duplicate
+	} {
+		c := cfg
+		c.Priorities = prios
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// AMC-rtb designs hold at runtime under the DM policy: accepted FT-S
+// designs meet HI deadlines across the mode switch and LO deadlines
+// before it.
+func TestAMCDesignsHoldAtRuntime(t *testing.T) {
+	accepted := 0
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := gen.TaskSet(rng, gen.PaperParams(criticality.LevelB, criticality.LevelD, 0.65, 1e-5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.FTS(s, core.Options{
+			Safety: safety.DefaultConfig(), Mode: safety.Kill, Test: mcsched.AMCrtb{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK {
+			continue
+		}
+		accepted++
+		// The AMC analysis certifies one specific Audsley assignment;
+		// replay exactly that order at runtime.
+		prios, ok := (mcsched.AMCrtb{}).Priorities(res.Converted)
+		if !ok {
+			t.Fatalf("seed %d: accepted set has no priority assignment", seed)
+		}
+		for _, hiFails := range []int{res.Profiles.NPrime - 1, res.Profiles.NHI - 1} {
+			ks := make([]int, s.Len())
+			for i, tk := range s.Tasks() {
+				if s.Class(tk) == criticality.HI {
+					ks[i] = hiFails
+				} else {
+					ks[i] = res.Profiles.NLO - 1
+				}
+			}
+			stats, err := Run(Config{
+				Set: s, NHI: res.Profiles.NHI, NLO: res.Profiles.NLO, NPrime: res.Profiles.NPrime,
+				Mode: safety.Kill, Policy: PolicyDM, Priorities: prios,
+				Horizon: timeunit.Seconds(30),
+				Faults:  FirstAttemptsFail{K: ks},
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if m := stats.DeadlineMisses(criticality.HI); m != 0 {
+				t.Fatalf("seed %d (hiFails=%d): %d HI deadline misses under DM", seed, hiFails, m)
+			}
+			if !stats.ModeSwitched {
+				if m := stats.DeadlineMisses(criticality.LO); m != 0 {
+					t.Fatalf("seed %d (hiFails=%d): %d LO misses pre-switch", seed, hiFails, m)
+				}
+			}
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("no AMC acceptances: test exercised nothing")
+	}
+}

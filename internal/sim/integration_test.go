@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/criticality"
+	"repro/internal/safety"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+// example31 is the paper's Example 3.1 task set with a configurable
+// failure probability.
+func example31(f float64) *task.Set {
+	mk := func(name string, T, C int64, l criticality.Level) task.Task {
+		return task.Task{Name: name, Period: ms(T), Deadline: ms(T), WCET: ms(C), Level: l, FailProb: f}
+	}
+	return task.MustNewSet([]task.Task{
+		mk("τ1", 60, 5, criticality.LevelB),
+		mk("τ2", 25, 4, criticality.LevelB),
+		mk("τ3", 40, 7, criticality.LevelD),
+		mk("τ4", 90, 6, criticality.LevelD),
+		mk("τ5", 70, 8, criticality.LevelD),
+	})
+}
+
+// ftsConfig turns an FT-S result into a simulator configuration.
+func ftsConfig(s *task.Set, res core.Result, mode safety.AdaptMode, df float64, horizon timeunit.Time) Config {
+	return Config{
+		Set:     s,
+		NHI:     res.Profiles.NHI,
+		NLO:     res.Profiles.NLO,
+		NPrime:  res.Profiles.NPrime,
+		Mode:    mode,
+		DF:      df,
+		Policy:  PolicyEDFVD,
+		Horizon: horizon,
+	}
+}
+
+// In-model worst case without a mode switch: every HI job fails exactly
+// n′−1 attempts (consuming its full LO budget n′·C) and every LO job
+// fails n_LO−1 attempts. The FT-EDF-VD-accepted Example 3.1 must meet
+// every deadline.
+func TestFTSAcceptedSetMeetsDeadlinesAtLOBudget(t *testing.T) {
+	s := example31(1e-5)
+	res, err := core.FTEDFVD(s, safety.DefaultConfig())
+	if err != nil || !res.OK {
+		t.Fatalf("FT-EDF-VD should accept Example 3.1: %v %v", res, err)
+	}
+	cfg := ftsConfig(s, res, safety.Kill, 0, timeunit.Seconds(60))
+	// HI tasks (indices 0, 1): n′−1 = 1 failure per job. LO tasks: 0.
+	cfg.Faults = FirstAttemptsFail{K: []int{res.Profiles.NPrime - 1, res.Profiles.NPrime - 1, 0, 0, 0}}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ModeSwitched {
+		t.Fatal("n'−1 failures per job must not trigger the switch")
+	}
+	for _, c := range []criticality.Class{criticality.HI, criticality.LO} {
+		if m := st.DeadlineMisses(c); m != 0 {
+			t.Errorf("%v deadline misses = %d, want 0 (EDF-VD LO-mode guarantee)", c, m)
+		}
+	}
+	if st.ClassFailures(criticality.LO) != 0 || st.ClassFailures(criticality.HI) != 0 {
+		t.Error("no failures expected within the profiles")
+	}
+}
+
+// Driving the HI tasks past the trigger: the switch fires, the LO tasks
+// die, and the HI tasks still meet every deadline at their full n_HI
+// budget — the HI-mode guarantee of EDF-VD under the conversion.
+func TestFTSAcceptedSetSurvivesModeSwitch(t *testing.T) {
+	s := example31(1e-5)
+	res, err := core.FTEDFVD(s, safety.DefaultConfig())
+	if err != nil || !res.OK {
+		t.Fatalf("FT-EDF-VD should accept Example 3.1: %v %v", res, err)
+	}
+	cfg := ftsConfig(s, res, safety.Kill, 0, timeunit.Seconds(60))
+	// Every HI job burns all n_HI−1 = 2 re-execution slots: the first job
+	// to cross attempt n′+1 = 3 switches the system.
+	cfg.Faults = FirstAttemptsFail{K: []int{res.Profiles.NHI - 1, res.Profiles.NHI - 1, 0, 0, 0}}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ModeSwitched {
+		t.Fatal("expected a mode switch")
+	}
+	if m := st.DeadlineMisses(criticality.HI); m != 0 {
+		t.Errorf("HI deadline misses = %d, want 0 (EDF-VD HI-mode guarantee)", m)
+	}
+	if st.ClassFailures(criticality.LO) == 0 {
+		t.Error("killed LO tasks must show failures (killed or suppressed jobs)")
+	}
+	hiCompleted := st.PerTask[0].Completed + st.PerTask[1].Completed
+	if hiCompleted != st.PerTask[0].Released+st.PerTask[1].Released {
+		t.Errorf("every HI job must complete: %d of %d", hiCompleted,
+			st.PerTask[0].Released+st.PerTask[1].Released)
+	}
+}
+
+// Under random faults within the accepted profiles, HI tasks never miss a
+// deadline across seeds — they either complete or (with probability f^n)
+// exhaust their round, which is a safety event, not a scheduling one.
+func TestHIDeadlinesHoldUnderRandomFaults(t *testing.T) {
+	s := example31(0.05) // heavy fault rate to exercise re-execution
+	res, err := core.FTEDFVD(example31(1e-5), safety.DefaultConfig())
+	if err != nil || !res.OK {
+		t.Fatal("FT-EDF-VD should accept")
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		cfg := ftsConfig(s, res, safety.Kill, 0, timeunit.Seconds(30))
+		cfg.Faults = NewRandomFaults(rand.New(rand.NewSource(seed)), []float64{0.05, 0.05, 0.05, 0.05, 0.05})
+		st, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := st.DeadlineMisses(criticality.HI); m != 0 {
+			t.Fatalf("seed %d: HI deadline misses = %d", seed, m)
+		}
+	}
+}
+
+// The plain PFH bound of eq. (2) holds empirically: with f = 0.05 and
+// n = 2 the bound predicts r·f² failures per hour; the observed rate must
+// stay below the bound and (releases being periodic and attempts full-
+// WCET) land in its statistical neighbourhood.
+func TestEmpiricalFailureRateMatchesPlainBound(t *testing.T) {
+	f := 0.05
+	s := task.MustNewSet([]task.Task{
+		{Name: "hi", Period: ms(100), Deadline: ms(100), WCET: ms(2), Level: criticality.LevelB, FailProb: f},
+		{Name: "lo", Period: ms(200), Deadline: ms(200), WCET: ms(2), Level: criticality.LevelD, FailProb: f},
+	})
+	scfg := safety.DefaultConfig()
+	n := 2
+	bound := scfg.PlainPFHUniform(s.ByClass(criticality.HI), n)
+
+	cfg := Config{
+		Set: s, NHI: n, NLO: n, NPrime: n, // NPrime = NHI: trigger never fires
+		Mode: safety.Kill, Policy: PolicyEDF,
+		Horizon: timeunit.Hours(2),
+		Faults:  NewRandomFaults(rand.New(rand.NewSource(11)), []float64{f, f}),
+	}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ModeSwitched {
+		t.Fatal("NPrime = NHI must never switch")
+	}
+	observed := st.EmpiricalFailuresPerHour(criticality.HI)
+	// Expected ≈ 36000 · 0.0025 = 90/h; Poisson sd over 2 h ≈ ±6.7/h.
+	if observed > bound {
+		t.Errorf("observed HI failure rate %.1f/h exceeds the bound %.1f/h", observed, bound)
+	}
+	if observed < 0.5*bound {
+		t.Errorf("observed HI failure rate %.1f/h implausibly far below the bound %.1f/h", observed, bound)
+	}
+}
+
+// The killing bound of eq. (5) holds empirically: with aggressive faults
+// the LO tasks are killed almost immediately and nearly their entire
+// hour of jobs counts as failures; the analytical bound must dominate the
+// observation.
+func TestEmpiricalKillingRateBelowBound(t *testing.T) {
+	fHI, fLO := 0.3, 0.1
+	s := task.MustNewSet([]task.Task{
+		{Name: "hi", Period: ms(100), Deadline: ms(100), WCET: ms(1), Level: criticality.LevelB, FailProb: fHI},
+		{Name: "lo", Period: ms(100), Deadline: ms(100), WCET: ms(1), Level: criticality.LevelD, FailProb: fLO},
+	})
+	scfg := safety.DefaultConfig()
+	nHI, nLO, nPrime := 2, 1, 1
+	adapt, err := safety.NewUniformAdaptation(scfg, s.ByClass(criticality.HI), nPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := scfg.KillingPFHLOUniform(s.ByClass(criticality.LO), nLO, adapt)
+
+	cfg := Config{
+		Set: s, NHI: nHI, NLO: nLO, NPrime: nPrime,
+		Mode: safety.Kill, Policy: PolicyEDF,
+		Horizon: timeunit.Hours(1),
+		Faults:  NewRandomFaults(rand.New(rand.NewSource(5)), []float64{fHI, fLO}),
+	}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ModeSwitched {
+		t.Fatal("expected an early mode switch at f=0.3")
+	}
+	observed := st.EmpiricalFailuresPerHour(criticality.LO)
+	if observed > bound {
+		t.Errorf("observed LO failure rate %.1f/h exceeds the killing bound %.1f/h", observed, bound)
+	}
+	if observed < 0.9*36000 {
+		t.Errorf("observed LO failure rate %.1f/h too low: nearly all 36000 jobs/h should be suppressed", observed)
+	}
+}
+
+// Degradation keeps the LO tasks alive: under the same aggressive faults
+// the observed LO failure rate collapses to the (rare) round failures, far
+// below the killing scenario, matching the paper's §5.1 comparison.
+func TestDegradationKeepsLOServiceAlive(t *testing.T) {
+	fHI, fLO := 0.3, 0.1
+	s := task.MustNewSet([]task.Task{
+		{Name: "hi", Period: ms(100), Deadline: ms(100), WCET: ms(1), Level: criticality.LevelB, FailProb: fHI},
+		{Name: "lo", Period: ms(100), Deadline: ms(100), WCET: ms(1), Level: criticality.LevelD, FailProb: fLO},
+	})
+	cfg := Config{
+		Set: s, NHI: 2, NLO: 2, NPrime: 1,
+		Mode: safety.Degrade, DF: 6, Policy: PolicyEDF,
+		Horizon: timeunit.Hours(1),
+		Faults:  NewRandomFaults(rand.New(rand.NewSource(5)), []float64{fHI, fLO}),
+	}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ModeSwitched {
+		t.Fatal("expected a mode switch")
+	}
+	lo := st.PerTask[1]
+	if lo.KilledJobs != 0 || lo.SuppressedJobs != 0 {
+		t.Error("degradation must not kill")
+	}
+	// Degraded period 600 ms → ≈ 6000 jobs/h instead of 36000, each
+	// failing only with probability f² = 0.01.
+	if lo.Released < 5000 {
+		t.Errorf("lo released %d, want ≈ 6000 (degraded service continues)", lo.Released)
+	}
+	observed := st.EmpiricalFailuresPerHour(criticality.LO)
+	if observed > 200 {
+		t.Errorf("degraded LO failure rate %.1f/h: should be ≈ 6000·0.01 = 60", observed)
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/criticality"
+	"repro/internal/gen"
+	"repro/internal/safety"
+	"repro/internal/timeunit"
+)
+
+// Accounting conservation laws over random workloads, fault rates, modes
+// and policies: every released job is exactly one of completed, late,
+// round-failed, killed, or still pending at the horizon; processor time
+// is conserved; attempts dominate outcomes.
+func TestSimulatorConservationLaws(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := gen.TaskSet(rng, gen.PaperParams(criticality.LevelB, criticality.LevelD,
+			0.3+rng.Float64()*0.6, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode := safety.Kill
+		df := 0.0
+		if rng.Intn(2) == 0 {
+			mode = safety.Degrade
+			df = 2 + rng.Float64()*8
+		}
+		policy := []Policy{PolicyEDF, PolicyEDFVD, PolicyDM}[rng.Intn(3)]
+		cfg := Config{
+			Set: s, NHI: 1 + rng.Intn(3), NLO: 1, NPrime: 1 + rng.Intn(3),
+			Mode: mode, DF: df, Policy: policy,
+			Horizon: timeunit.Seconds(int64(5 + rng.Intn(20))),
+			Faults:  NewRandomFaults(rng, uniformProbs(s.Len(), 0.3*rng.Float64())),
+		}
+		if policy == PolicyEDFVD {
+			cfg.VDFactor = 1 // valid regardless of utilizations
+		}
+		sm, err := New(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		st := sm.Run()
+
+		var pendingInHeap int64 = int64(len(sm.ready))
+		var released, resolved, unfinished int64
+		for _, ts := range st.PerTask {
+			released += ts.Released
+			resolved += ts.Completed + ts.LateCompletions + ts.RoundFailures + ts.KilledJobs
+			unfinished += ts.UnfinishedMisses
+			if ts.Completed+ts.LateCompletions+ts.RoundFailures+ts.KilledJobs > ts.Released {
+				t.Fatalf("seed %d task %s: outcomes exceed releases: %+v", seed, ts.Name, ts)
+			}
+			if ts.FaultyAttempts > ts.Attempts {
+				t.Fatalf("seed %d task %s: faulty > attempts", seed, ts.Name)
+			}
+			if ts.Attempts < ts.Completed+ts.LateCompletions {
+				t.Fatalf("seed %d task %s: fewer attempts than completions", seed, ts.Name)
+			}
+		}
+		if released != resolved+pendingInHeap {
+			t.Fatalf("seed %d: released %d != resolved %d + pending %d",
+				seed, released, resolved, pendingInHeap)
+		}
+		if unfinished > pendingInHeap {
+			t.Fatalf("seed %d: unfinished misses %d exceed pending %d", seed, unfinished, pendingInHeap)
+		}
+		if st.BusyTime > st.Horizon {
+			t.Fatalf("seed %d: busy %v exceeds horizon %v", seed, st.BusyTime, st.Horizon)
+		}
+		if st.ModeSwitched && st.ModeSwitchAt >= st.Horizon {
+			t.Fatalf("seed %d: switch at %v past horizon", seed, st.ModeSwitchAt)
+		}
+	}
+}
+
+func uniformProbs(n int, f float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = f
+	}
+	return out
+}

@@ -1,0 +1,660 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/criticality"
+	"repro/internal/safety"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+// Policy selects the runtime scheduling discipline.
+type Policy int
+
+const (
+	// PolicyEDFVD schedules HI jobs by virtual deadlines (release + x·D)
+	// in LO mode and by real deadlines after the mode switch — the EDF-VD
+	// runtime of reference [3].
+	PolicyEDFVD Policy = iota
+	// PolicyEDF schedules every job by its real deadline (x = 1). The
+	// adaptation trigger still fires; only the priority rule differs.
+	PolicyEDF
+	// PolicyDM is preemptive fixed-priority scheduling in deadline-
+	// monotonic order (or the explicit Config.Priorities), the runtime
+	// matching the DM-RTA, SMC and AMC-rtb analyses.
+	PolicyDM
+)
+
+// Sporadic adds random extra inter-arrival delay, exercising the sporadic
+// (rather than strictly periodic) release model.
+type Sporadic struct {
+	// MaxDelay bounds the uniform extra delay added to every
+	// inter-arrival (and to the first release).
+	MaxDelay timeunit.Time
+	// Rng drives the delays.
+	Rng *rand.Rand
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Set is the dual-criticality task set.
+	Set *task.Set
+	// NHI, NLO are the re-execution profiles: maximum attempts per job.
+	NHI, NLO int
+	// NPrime is the adaptation profile: the mode switch fires when a HI
+	// job starts its (NPrime+1)-th attempt. NPrime ≥ NHI never fires.
+	NPrime int
+	// Mode selects killing or degradation of the LO tasks at the switch.
+	Mode safety.AdaptMode
+	// DF is the degradation factor (> 1), read in Degrade mode: after the
+	// switch LO tasks release with period df·T and deadline df·D.
+	DF float64
+	// DFs optionally overrides DF per LO task (by name) for runs with
+	// per-task degradation factors (mcsched.EDFVDDegradeMulti designs).
+	// Tasks absent from the map fall back to DF.
+	DFs map[string]float64
+	// Policy is the scheduling discipline.
+	Policy Policy
+	// VDFactor is the EDF-VD virtual deadline factor x ∈ (0, 1]. Zero
+	// computes the analytical factor min(NPrime,NHI)·U_HI/(1 − NLO·U_LO).
+	VDFactor float64
+	// VirtualDeadlines optionally assigns per-task relative virtual
+	// deadlines to HI tasks (keyed by task name), as produced by
+	// deadline-tuning analyses such as mcsched.DBFTune. When a HI task
+	// has an entry it overrides the x·D virtual deadline under
+	// PolicyEDFVD. Entries must lie in (0, D].
+	VirtualDeadlines map[string]timeunit.Time
+	// Faults injects transient faults; nil means NoFaults.
+	Faults FaultModel
+	// Horizon is the simulated duration.
+	Horizon timeunit.Time
+	// Sporadic optionally randomizes release times; nil means strictly
+	// periodic releases from time zero (the densest legal arrival
+	// pattern).
+	Sporadic *Sporadic
+	// TraceLimit keeps the first N trace events in Stats-independent
+	// storage retrievable via Simulator.Trace; 0 disables tracing.
+	TraceLimit int
+	// SliceLimit records up to N execution slices (contiguous processor
+	// assignments) retrievable via Simulator.Slices and exportable with
+	// WriteChromeTrace; 0 disables slice recording.
+	SliceLimit int
+	// Priorities optionally fixes the PolicyDM priority order (task
+	// names, highest priority first). Nil derives deadline-monotonic
+	// order from the task set. Ignored by the EDF policies.
+	Priorities []string
+	// PreemptionOverhead charges the processor this much time on every
+	// preemption (context-switch cost). The paper's analyses assume zero;
+	// a positive value probes how much margin a certified design retains
+	// against scheduler overheads.
+	PreemptionOverhead timeunit.Time
+}
+
+// EventKind tags trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EvRelease EventKind = iota
+	EvComplete
+	EvAttemptFail
+	EvRoundFail
+	EvModeSwitch
+	EvKill
+	EvMiss
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvRelease:
+		return "release"
+	case EvComplete:
+		return "complete"
+	case EvAttemptFail:
+		return "attempt-fail"
+	case EvRoundFail:
+		return "round-fail"
+	case EvModeSwitch:
+		return "mode-switch"
+	case EvKill:
+		return "kill"
+	case EvMiss:
+		return "miss"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	At      timeunit.Time
+	Kind    EventKind
+	Task    string
+	Seq     int64
+	Attempt int
+}
+
+// String renders e.g. "12ms release τ2#3".
+func (e Event) String() string {
+	return fmt.Sprintf("%v %v %s#%d(attempt %d)", e.At, e.Kind, e.Task, e.Seq, e.Attempt)
+}
+
+// job is one released, incomplete job.
+type job struct {
+	taskIdx   int
+	seq       int64
+	release   timeunit.Time
+	deadline  timeunit.Time // absolute real deadline
+	eff       timeunit.Time // EDF key (virtual deadline for HI in LO mode)
+	remaining timeunit.Time // left in the current attempt
+	attempt   int           // 1-based
+	heapIdx   int
+}
+
+// jobHeap orders jobs by (effective deadline, task index, sequence).
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.eff != b.eff {
+		return a.eff < b.eff
+	}
+	if a.taskIdx != b.taskIdx {
+		return a.taskIdx < b.taskIdx
+	}
+	return a.seq < b.seq
+}
+func (h jobHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *jobHeap) Push(x any) {
+	j := x.(*job)
+	j.heapIdx = len(*h)
+	*h = append(*h, j)
+}
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// taskState is the runtime state of one task.
+type taskState struct {
+	t           task.Task
+	class       criticality.Class
+	maxAttempts int
+	nextRelease timeunit.Time
+	lastRelease timeunit.Time
+	seq         int64
+	dead        bool // killed: no further releases
+	degraded    bool
+}
+
+// Simulator runs one configuration. Create with New, run with Run.
+type Simulator struct {
+	cfg    Config
+	faults FaultModel
+	x      float64
+
+	now    timeunit.Time
+	mode   criticality.Class
+	tasks  []taskState
+	ready  jobHeap
+	stats  Stats
+	trace  []Event
+	slices []Slice
+	prio   []timeunit.Time // PolicyDM: fixed priority rank per task index
+	runIdx int             // taskIdx of the job that ran last, -1 if idle
+	runSeq int64
+}
+
+// priorityRanks resolves the PolicyDM priority order to a per-task-index
+// rank (smaller = higher priority).
+func priorityRanks(cfg Config) ([]timeunit.Time, error) {
+	tasks := cfg.Set.Tasks()
+	ranks := make([]timeunit.Time, len(tasks))
+	if cfg.Priorities == nil {
+		// Deadline-monotonic with ties broken by position.
+		order := make([]int, len(tasks))
+		for i := range order {
+			order[i] = i
+		}
+		for a := 0; a < len(order); a++ {
+			best := a
+			for b := a + 1; b < len(order); b++ {
+				ta, tb := tasks[order[best]], tasks[order[b]]
+				if tb.Deadline < ta.Deadline || (tb.Deadline == ta.Deadline && order[b] < order[best]) {
+					best = b
+				}
+			}
+			order[a], order[best] = order[best], order[a]
+		}
+		for rank, idx := range order {
+			ranks[idx] = timeunit.Time(rank)
+		}
+		return ranks, nil
+	}
+	if len(cfg.Priorities) != len(tasks) {
+		return nil, fmt.Errorf("sim: %d priorities for %d tasks", len(cfg.Priorities), len(tasks))
+	}
+	byName := map[string]int{}
+	for i, t := range tasks {
+		byName[t.Name] = i
+	}
+	seen := map[int]bool{}
+	for rank, name := range cfg.Priorities {
+		idx, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("sim: priority for unknown task %q", name)
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("sim: duplicate priority for task %q", name)
+		}
+		seen[idx] = true
+		ranks[idx] = timeunit.Time(rank)
+	}
+	return ranks, nil
+}
+
+// New validates the configuration and builds a simulator.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Set == nil {
+		return nil, fmt.Errorf("sim: nil task set")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: horizon must be positive, got %v", cfg.Horizon)
+	}
+	if cfg.NHI < 1 || cfg.NLO < 1 || cfg.NPrime < 1 {
+		return nil, fmt.Errorf("sim: profiles must be >= 1 (NHI=%d NLO=%d NPrime=%d)", cfg.NHI, cfg.NLO, cfg.NPrime)
+	}
+	if cfg.PreemptionOverhead < 0 {
+		return nil, fmt.Errorf("sim: negative preemption overhead %v", cfg.PreemptionOverhead)
+	}
+	switch cfg.Mode {
+	case safety.Kill:
+	case safety.Degrade:
+		// Every LO task must resolve to a factor > 1, whether from the
+		// per-task map or the uniform fallback.
+		for _, t := range cfg.Set.Tasks() {
+			if cfg.Set.Class(t) != criticality.LO {
+				continue
+			}
+			df, ok := cfg.DFs[t.Name]
+			if !ok {
+				df = cfg.DF
+			}
+			if df <= 1 {
+				return nil, fmt.Errorf("sim: degradation factor of %q must be > 1, got %g", t.Name, df)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown adaptation mode %d", cfg.Mode)
+	}
+	// The x factor is only needed for HI tasks without an explicit
+	// per-task virtual deadline.
+	needFactor := false
+	for _, t := range cfg.Set.Tasks() {
+		if cfg.Set.Class(t) == criticality.HI {
+			if _, ok := cfg.VirtualDeadlines[t.Name]; !ok {
+				needFactor = true
+				break
+			}
+		}
+	}
+	x := 1.0
+	if cfg.Policy == PolicyEDFVD && needFactor {
+		x = cfg.VDFactor
+		if x == 0 {
+			np := cfg.NPrime
+			if np > cfg.NHI {
+				np = cfg.NHI
+			}
+			uLO := float64(cfg.NLO) * cfg.Set.UtilizationClass(criticality.LO)
+			if uLO >= 1 {
+				return nil, fmt.Errorf("sim: cannot derive virtual deadline factor: n_LO·U_LO = %g >= 1", uLO)
+			}
+			x = float64(np) * cfg.Set.UtilizationClass(criticality.HI) / (1 - uLO)
+		}
+		if x <= 0 || x > 1 {
+			return nil, fmt.Errorf("sim: virtual deadline factor must be in (0,1], got %g", x)
+		}
+	}
+	faults := cfg.Faults
+	if faults == nil {
+		faults = NoFaults{}
+	}
+	if len(cfg.VirtualDeadlines) > 0 {
+		byName := map[string]task.Task{}
+		for _, t := range cfg.Set.Tasks() {
+			byName[t.Name] = t
+		}
+		for name, vd := range cfg.VirtualDeadlines {
+			t, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("sim: virtual deadline for unknown task %q", name)
+			}
+			if cfg.Set.Class(t) != criticality.HI {
+				return nil, fmt.Errorf("sim: virtual deadline for LO task %q", name)
+			}
+			if vd <= 0 || vd > t.Deadline {
+				return nil, fmt.Errorf("sim: virtual deadline %v of %q outside (0, D=%v]", vd, name, t.Deadline)
+			}
+		}
+	}
+	s := &Simulator{cfg: cfg, faults: faults, x: x, mode: criticality.LO, runIdx: -1}
+	if cfg.Policy == PolicyDM {
+		ranks, err := priorityRanks(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.prio = ranks
+	}
+	for i, t := range cfg.Set.Tasks() {
+		class := cfg.Set.Class(t)
+		maxAttempts := cfg.NLO
+		if class == criticality.HI {
+			maxAttempts = cfg.NHI
+		}
+		st := taskState{t: t, class: class, maxAttempts: maxAttempts}
+		st.nextRelease = s.delay(0)
+		s.tasks = append(s.tasks, st)
+		s.stats.PerTask = append(s.stats.PerTask, TaskStats{Name: t.Name, Class: class, period: t.Period})
+		_ = i
+	}
+	s.stats.Horizon = cfg.Horizon
+	return s, nil
+}
+
+// delay returns base plus the sporadic extra delay, if configured.
+func (s *Simulator) delay(base timeunit.Time) timeunit.Time {
+	if s.cfg.Sporadic == nil || s.cfg.Sporadic.MaxDelay <= 0 {
+		return base
+	}
+	return base + timeunit.Time(s.cfg.Sporadic.Rng.Int63n(int64(s.cfg.Sporadic.MaxDelay)+1))
+}
+
+// Trace returns the collected trace events (nil unless TraceLimit > 0).
+func (s *Simulator) Trace() []Event { return s.trace }
+
+// Mode returns the current operating mode (HI after the switch).
+func (s *Simulator) Mode() criticality.Class { return s.mode }
+
+func (s *Simulator) emit(kind EventKind, at timeunit.Time, taskIdx int, seq int64, attempt int) {
+	if len(s.trace) >= s.cfg.TraceLimit {
+		return
+	}
+	s.trace = append(s.trace, Event{At: at, Kind: kind, Task: s.tasks[taskIdx].t.Name, Seq: seq, Attempt: attempt})
+}
+
+// Run executes the simulation and returns the statistics.
+func (s *Simulator) Run() Stats {
+	horizon := s.cfg.Horizon
+	for s.now < horizon {
+		s.releaseDue()
+		next := s.nextReleaseTime(horizon)
+		if len(s.ready) == 0 {
+			s.now = next
+			s.runIdx = -1
+			continue
+		}
+		j := s.ready[0]
+		if s.runIdx >= 0 && (s.runIdx != j.taskIdx || s.runSeq != j.seq) {
+			// A different job than the one running last takes the
+			// processor while that one is still live: a preemption —
+			// unless the previous job just finished (runIdx reset).
+			s.stats.Preemptions++
+			if o := s.cfg.PreemptionOverhead; o > 0 {
+				// The context switch consumes processor time before the
+				// preempting job runs.
+				end := s.now + o
+				if end > horizon {
+					end = horizon
+				}
+				s.stats.BusyTime += end - s.now
+				s.now = end
+				if s.now >= horizon {
+					break
+				}
+				// A release may have become due during the switch; clamp
+				// so the slice below is zero-length and the top of the
+				// loop processes it.
+				if next < s.now {
+					next = s.now
+				}
+			}
+		}
+		s.runIdx, s.runSeq = j.taskIdx, j.seq
+
+		end := s.now + j.remaining
+		if next < end {
+			end = next
+		}
+		if horizon < end {
+			end = horizon
+		}
+		s.stats.BusyTime += end - s.now
+		j.remaining -= end - s.now
+		s.recordSlice(j, s.now, end)
+		s.now = end
+		if j.remaining == 0 {
+			s.finishAttempt(j)
+			s.runIdx = -1
+		}
+	}
+	s.windDown()
+	return s.stats
+}
+
+// releaseDue releases every job due at or before the current instant.
+func (s *Simulator) releaseDue() {
+	for i := range s.tasks {
+		st := &s.tasks[i]
+		for !st.dead && st.nextRelease <= s.now && st.nextRelease < s.cfg.Horizon {
+			s.release(i, st.nextRelease)
+		}
+	}
+}
+
+// release issues one job of task i at time r and schedules the next.
+func (s *Simulator) release(i int, r timeunit.Time) {
+	st := &s.tasks[i]
+	period, deadline := st.t.Period, st.t.Deadline
+	if st.degraded {
+		df := s.degradeFactor(st.t.Name)
+		period = timeunit.Time(df * period.Float())
+		deadline = timeunit.Time(df * deadline.Float())
+	}
+	j := &job{
+		taskIdx:   i,
+		seq:       st.seq,
+		release:   r,
+		deadline:  r + deadline,
+		remaining: st.t.WCET,
+		attempt:   1,
+	}
+	j.eff = s.effectiveDeadline(j)
+	heap.Push(&s.ready, j)
+	s.stats.PerTask[i].Released++
+	s.emit(EvRelease, r, i, j.seq, 1)
+	st.seq++
+	st.lastRelease = r
+	st.nextRelease = s.delay(r + period)
+}
+
+// degradeFactor resolves the per-task degradation factor, falling back
+// to the uniform DF.
+func (s *Simulator) degradeFactor(name string) float64 {
+	if df, ok := s.cfg.DFs[name]; ok {
+		return df
+	}
+	return s.cfg.DF
+}
+
+// effectiveDeadline computes the EDF key: HI jobs use virtual deadlines
+// release + x·D while in LO mode under EDF-VD.
+func (s *Simulator) effectiveDeadline(j *job) timeunit.Time {
+	st := &s.tasks[j.taskIdx]
+	if s.cfg.Policy == PolicyDM {
+		return s.prio[j.taskIdx]
+	}
+	if s.cfg.Policy == PolicyEDFVD && st.class == criticality.HI && s.mode == criticality.LO {
+		if vd, ok := s.cfg.VirtualDeadlines[st.t.Name]; ok {
+			return j.release + vd
+		}
+		return j.release + timeunit.Time(s.x*st.t.Deadline.Float())
+	}
+	return j.deadline
+}
+
+// nextReleaseTime returns the earliest pending release, capped at the
+// horizon.
+func (s *Simulator) nextReleaseTime(horizon timeunit.Time) timeunit.Time {
+	next := horizon
+	for i := range s.tasks {
+		st := &s.tasks[i]
+		if !st.dead && st.nextRelease < next {
+			next = st.nextRelease
+		}
+	}
+	return next
+}
+
+// finishAttempt handles the sanity check at the end of an attempt.
+func (s *Simulator) finishAttempt(j *job) {
+	i := j.taskIdx
+	st := &s.tasks[i]
+	ts := &s.stats.PerTask[i]
+	ts.Attempts++
+	failed := false
+	if ta, ok := s.faults.(TimeAwareFaultModel); ok {
+		failed = ta.AttemptFailsAt(i, j.seq, j.attempt, s.now)
+	} else {
+		failed = s.faults.AttemptFails(i, j.seq, j.attempt)
+	}
+	if !failed {
+		if resp := s.now - j.release; resp > ts.MaxResponse {
+			ts.MaxResponse = resp
+		}
+		if s.now <= j.deadline {
+			ts.Completed++
+			s.emit(EvComplete, s.now, i, j.seq, j.attempt)
+		} else {
+			ts.LateCompletions++
+			s.emit(EvMiss, s.now, i, j.seq, j.attempt)
+		}
+		heap.Remove(&s.ready, j.heapIdx)
+		return
+	}
+	ts.FaultyAttempts++
+	s.emit(EvAttemptFail, s.now, i, j.seq, j.attempt)
+	if j.attempt >= st.maxAttempts {
+		ts.RoundFailures++
+		s.emit(EvRoundFail, s.now, i, j.seq, j.attempt)
+		heap.Remove(&s.ready, j.heapIdx)
+		return
+	}
+	j.attempt++
+	j.remaining = st.t.WCET
+	// The (NPrime+1)-th attempt of a HI job starts right now: the
+	// adaptation trigger of §3.3/§3.4.
+	if s.mode == criticality.LO && st.class == criticality.HI && j.attempt > s.cfg.NPrime {
+		s.switchMode()
+	}
+}
+
+// switchMode performs the LO → HI transition: HI jobs revert to real
+// deadlines; LO tasks are killed or degraded.
+func (s *Simulator) switchMode() {
+	s.mode = criticality.HI
+	s.stats.ModeSwitched = true
+	s.stats.ModeSwitchAt = s.now
+	if len(s.trace) < s.cfg.TraceLimit {
+		s.trace = append(s.trace, Event{At: s.now, Kind: EvModeSwitch})
+	}
+	switch s.cfg.Mode {
+	case safety.Kill:
+		// Discard live LO jobs and suppress all further LO releases.
+		kept := s.ready[:0]
+		for _, j := range s.ready {
+			st := &s.tasks[j.taskIdx]
+			if st.class == criticality.LO {
+				s.stats.PerTask[j.taskIdx].KilledJobs++
+				s.emit(EvKill, s.now, j.taskIdx, j.seq, j.attempt)
+				continue
+			}
+			kept = append(kept, j)
+		}
+		s.ready = kept
+		for i := range s.tasks {
+			if s.tasks[i].class == criticality.LO {
+				s.tasks[i].dead = true
+			}
+		}
+	case safety.Degrade:
+		// Future LO releases move to the stretched period; the next
+		// release is postponed to lastRelease + df·T so the degraded
+		// inter-arrival holds across the switch.
+		for i := range s.tasks {
+			st := &s.tasks[i]
+			if st.class != criticality.LO {
+				continue
+			}
+			st.degraded = true
+			stretched := st.lastRelease + timeunit.Time(s.degradeFactor(st.t.Name)*st.t.Period.Float())
+			if st.seq == 0 {
+				stretched = st.nextRelease // nothing released yet
+			}
+			if stretched > st.nextRelease {
+				st.nextRelease = stretched
+			}
+		}
+	}
+	// Re-key every remaining job (HI virtual deadlines expire), repair the
+	// heap indices invalidated by the compaction above, and restore the
+	// heap invariant.
+	for idx, j := range s.ready {
+		j.eff = s.effectiveDeadline(j)
+		j.heapIdx = idx
+	}
+	heap.Init(&s.ready)
+}
+
+// windDown classifies jobs still pending at the horizon and counts the
+// releases suppressed by killing.
+func (s *Simulator) windDown() {
+	for _, j := range s.ready {
+		if j.deadline < s.cfg.Horizon {
+			s.stats.PerTask[j.taskIdx].UnfinishedMisses++
+			s.emit(EvMiss, s.cfg.Horizon, j.taskIdx, j.seq, j.attempt)
+		}
+	}
+	for i := range s.tasks {
+		st := &s.tasks[i]
+		if !st.dead || st.nextRelease >= s.cfg.Horizon {
+			continue
+		}
+		// Releases the undegraded timeline would have produced in
+		// [nextRelease, horizon) at the original period.
+		missedSpan := s.cfg.Horizon - st.nextRelease
+		s.stats.PerTask[i].SuppressedJobs = int64((missedSpan + st.t.Period - 1) / st.t.Period)
+	}
+}
+
+// Run is a convenience wrapper: build a Simulator and run it.
+func Run(cfg Config) (Stats, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.Run(), nil
+}

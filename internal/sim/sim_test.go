@@ -1,0 +1,561 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/criticality"
+	"repro/internal/safety"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+func ms(v int64) timeunit.Time { return timeunit.Milliseconds(v) }
+
+func mkTask(name string, T, D, C int64, l criticality.Level, f float64) task.Task {
+	return task.Task{Name: name, Period: ms(T), Deadline: ms(D), WCET: ms(C), Level: l, FailProb: f}
+}
+
+// pair builds a minimal dual-criticality set: one HI (level B) and one LO
+// (level D) task.
+func pair(hiT, hiC, loT, loC int64) *task.Set {
+	return task.MustNewSet([]task.Task{
+		mkTask("hi", hiT, hiT, hiC, criticality.LevelB, 0),
+		mkTask("lo", loT, loT, loC, criticality.LevelD, 0),
+	})
+}
+
+func baseConfig(s *task.Set) Config {
+	return Config{
+		Set: s, NHI: 1, NLO: 1, NPrime: 1,
+		Mode: safety.Kill, Policy: PolicyEDF,
+		Horizon: ms(1000),
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := pair(100, 10, 50, 5)
+	good := baseConfig(s)
+	if _, err := New(good); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Set = nil },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.NHI = 0 },
+		func(c *Config) { c.NLO = 0 },
+		func(c *Config) { c.NPrime = 0 },
+		func(c *Config) { c.Mode = safety.AdaptMode(9) },
+		func(c *Config) { c.Mode = safety.Degrade; c.DF = 1 },
+		func(c *Config) { c.Policy = PolicyEDFVD; c.VDFactor = 1.5 },
+		func(c *Config) { c.Policy = PolicyEDFVD; c.VDFactor = -0.1 },
+	}
+	for i, mutate := range cases {
+		cfg := good
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected config error", i)
+		}
+	}
+}
+
+func TestVDFactorDerivedFromProfiles(t *testing.T) {
+	// U_HI = 0.1, U_LO = 0.1; NPrime=2, NLO=1 → x = 2·0.1/(1−0.1) = 2/9.
+	s := pair(100, 10, 100, 10)
+	cfg := baseConfig(s)
+	cfg.Policy = PolicyEDFVD
+	cfg.NHI, cfg.NPrime = 3, 2
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sim.x, 2.0*0.1/0.9; got < want-1e-12 || got > want+1e-12 {
+		t.Errorf("derived x = %v, want %v", got, want)
+	}
+	// Overloaded LO tasks make the derivation impossible.
+	cfg2 := cfg
+	cfg2.NLO = 10
+	if _, err := New(cfg2); err == nil {
+		t.Error("expected error for n_LO·U_LO >= 1")
+	}
+}
+
+func TestSingleTaskNoFaults(t *testing.T) {
+	s := pair(100, 10, 1000, 1) // LO task nearly idle
+	cfg := baseConfig(s)
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := st.PerTask[0]
+	if hi.Released != 10 || hi.Completed != 10 {
+		t.Errorf("hi released %d completed %d, want 10/10", hi.Released, hi.Completed)
+	}
+	if hi.Attempts != 10 || hi.FaultyAttempts != 0 || hi.Failures() != 0 {
+		t.Errorf("hi attempts %d faulty %d failures %d", hi.Attempts, hi.FaultyAttempts, hi.Failures())
+	}
+	if st.ModeSwitched {
+		t.Error("no faults: mode must not switch")
+	}
+	if want := ms(10*10 + 1*1); st.BusyTime != want {
+		t.Errorf("busy = %v, want %v", st.BusyTime, want)
+	}
+	if st.Utilization() <= 0.1 || st.Utilization() >= 0.2 {
+		t.Errorf("utilization = %v", st.Utilization())
+	}
+}
+
+func TestEDFOrderAndPreemption(t *testing.T) {
+	// LO: T=50 C=5 (deadline 50); HI: T=100 C=40 (deadline 100).
+	// t=0: LO (d=50) runs before HI (d=100); LO releases again at 50 with
+	// d=100 — ties broken by task index, HI (index 0) keeps running, so
+	// the release at 50 does NOT preempt. HI finishes at 45.
+	s := pair(100, 40, 50, 5)
+	cfg := baseConfig(s)
+	cfg.Horizon = ms(100)
+	cfg.TraceLimit = 64
+	sm, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sm.Run()
+	if got := st.DeadlineMisses(criticality.HI) + st.DeadlineMisses(criticality.LO); got != 0 {
+		t.Errorf("misses = %d", got)
+	}
+	var order []string
+	for _, ev := range sm.Trace() {
+		if ev.Kind == EvComplete {
+			order = append(order, ev.Task)
+		}
+	}
+	want := []string{"lo", "hi", "lo"}
+	if len(order) != len(want) {
+		t.Fatalf("completions = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("completion order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPreemptionCounted(t *testing.T) {
+	// HI: T=100 C=50 d=100 starts at 0 (LO not yet due at its period...)
+	// Use LO with shorter deadline releasing at 0: LO d=20 preempts
+	// nothing (it runs first); instead make HI run first then LO arrive
+	// with an earlier deadline: HI T=200 C=100 d=200; LO T=70 C=5 d=70.
+	// t=0: LO(d=70) < HI(d=200): LO runs 0–5, HI runs 5–75 (preempted at
+	// 70 by LO#1 with d=140 < 200).
+	s := pair(200, 100, 70, 5)
+	cfg := baseConfig(s)
+	cfg.Horizon = ms(200)
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Preemptions == 0 {
+		t.Error("expected at least one preemption")
+	}
+	if st.DeadlineMisses(criticality.HI) != 0 {
+		t.Errorf("HI misses = %d", st.DeadlineMisses(criticality.HI))
+	}
+}
+
+func TestReexecutionOnFault(t *testing.T) {
+	// One scripted fault on the first attempt of hi#0: re-executes and
+	// completes.
+	s := pair(100, 10, 1000, 1)
+	cfg := baseConfig(s)
+	cfg.NHI = 2
+	cfg.NPrime = 2 // trigger never fires (needs attempt 3)
+	cfg.Faults = NewScriptedFaults().Fail(0, 0, 1)
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := st.PerTask[0]
+	if hi.Completed != 10 || hi.FaultyAttempts != 1 || hi.Attempts != 11 {
+		t.Errorf("completed %d faulty %d attempts %d", hi.Completed, hi.FaultyAttempts, hi.Attempts)
+	}
+	if st.ModeSwitched {
+		t.Error("switch must not fire below NPrime+1 attempts")
+	}
+}
+
+func TestRoundFailure(t *testing.T) {
+	// Every attempt of the HI task fails: each job exhausts its NHI=2
+	// attempts and is a round failure.
+	s := pair(100, 10, 1000, 1)
+	cfg := baseConfig(s)
+	cfg.NHI = 2
+	cfg.NPrime = 2
+	cfg.Faults = FirstAttemptsFail{K: []int{99}}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi := st.PerTask[0]
+	if hi.RoundFailures != 10 || hi.Completed != 0 {
+		t.Errorf("round failures %d completed %d, want 10/0", hi.RoundFailures, hi.Completed)
+	}
+	if hi.Failures() != 10 {
+		t.Errorf("Failures = %d", hi.Failures())
+	}
+}
+
+// Deterministic mode-switch timeline: HI T=100 C=10 NHI=3 NPrime=2,
+// LO T=50 C=5. Scripted: hi#0 fails attempts 1 and 2.
+// t=0–5 LO runs (d=50 < 100); 5–15 HI attempt 1 (fails); 15–25 attempt 2
+// (fails) → attempt 3 starts at 25: mode switch, LO killed; 25–35 attempt
+// 3 succeeds.
+func TestModeSwitchKillTimeline(t *testing.T) {
+	s := pair(100, 10, 50, 5)
+	cfg := baseConfig(s)
+	cfg.NHI, cfg.NPrime = 3, 2
+	cfg.Horizon = ms(200)
+	cfg.Faults = NewScriptedFaults().Fail(0, 0, 1).Fail(0, 0, 2)
+	cfg.TraceLimit = 64
+	sm, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sm.Run()
+	if !st.ModeSwitched || st.ModeSwitchAt != ms(25) {
+		t.Fatalf("switch at %v (switched=%v), want 25ms", st.ModeSwitchAt, st.ModeSwitched)
+	}
+	if sm.Mode() != criticality.HI {
+		t.Error("mode should be HI")
+	}
+	hi, lo := st.PerTask[0], st.PerTask[1]
+	if hi.Completed != 2 || hi.FaultyAttempts != 2 {
+		t.Errorf("hi completed %d faulty %d (want 2 completions: jobs 0 and 1)", hi.Completed, hi.FaultyAttempts)
+	}
+	if lo.Completed != 1 {
+		t.Errorf("lo completed %d, want 1 (the t=0 job)", lo.Completed)
+	}
+	if lo.KilledJobs != 0 {
+		t.Errorf("lo killed %d, want 0 (no live LO job at switch)", lo.KilledJobs)
+	}
+	// Suppressed releases at 50, 100, 150 before the 200 ms horizon.
+	if lo.SuppressedJobs != 3 {
+		t.Errorf("lo suppressed %d, want 3", lo.SuppressedJobs)
+	}
+	if lo.Failures() != 3 {
+		t.Errorf("lo failures %d, want 3", lo.Failures())
+	}
+	if st.DeadlineMisses(criticality.HI) != 0 {
+		t.Errorf("HI misses = %d", st.DeadlineMisses(criticality.HI))
+	}
+}
+
+// A live LO job at the switch instant is discarded and counted as killed.
+func TestKillDiscardsLiveLOJob(t *testing.T) {
+	// LO T=200 C=50 d=200 (long-running); HI T=100 C=10 NPrime=1.
+	// t=0: HI (d=100) runs first, attempt 1 fails at 10 → attempt 2
+	// starts: switch at 10 with the LO job still pending → killed.
+	s := pair(100, 10, 200, 50)
+	cfg := baseConfig(s)
+	cfg.NHI, cfg.NPrime = 2, 1
+	cfg.Horizon = ms(400)
+	cfg.Faults = NewScriptedFaults().Fail(0, 0, 1)
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ModeSwitched || st.ModeSwitchAt != ms(10) {
+		t.Fatalf("switch at %v, want 10ms", st.ModeSwitchAt)
+	}
+	lo := st.PerTask[1]
+	if lo.KilledJobs != 1 {
+		t.Errorf("killed %d, want 1", lo.KilledJobs)
+	}
+	if lo.Completed != 0 {
+		t.Errorf("completed %d, want 0", lo.Completed)
+	}
+	// Suppressed: releases at 200 before 400 → 1.
+	if lo.SuppressedJobs != 1 {
+		t.Errorf("suppressed %d, want 1", lo.SuppressedJobs)
+	}
+}
+
+// Degradation stretches the LO period instead of killing: after the
+// switch at t=10, the LO task (T=50, df=4 → 200) keeps running but
+// releases only at the stretched pace.
+func TestModeSwitchDegrade(t *testing.T) {
+	s := pair(100, 10, 50, 5)
+	cfg := baseConfig(s)
+	cfg.NHI, cfg.NPrime = 2, 1
+	cfg.Mode = safety.Degrade
+	cfg.DF = 4
+	cfg.Horizon = ms(1000)
+	cfg.Faults = NewScriptedFaults().Fail(0, 0, 1)
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ModeSwitched || st.ModeSwitchAt != ms(15) {
+		// t=0–5 LO (d=50 < 100), 5–15 HI attempt 1 fails → switch at 15.
+		t.Fatalf("switch at %v, want 15ms", st.ModeSwitchAt)
+	}
+	lo := st.PerTask[1]
+	if lo.KilledJobs != 0 || lo.SuppressedJobs != 0 {
+		t.Errorf("degradation must not kill or suppress: %+v", lo)
+	}
+	// Releases: t=0 (pre-switch), then from lastRelease=0 stretched to
+	// 200, 400, 600, 800 → 5 total before 1000.
+	if lo.Released != 5 {
+		t.Errorf("lo released %d, want 5", lo.Released)
+	}
+	if lo.Completed != lo.Released {
+		t.Errorf("lo completed %d of %d", lo.Completed, lo.Released)
+	}
+	if st.DeadlineMisses(criticality.LO) != 0 {
+		t.Errorf("LO misses = %d", st.DeadlineMisses(criticality.LO))
+	}
+}
+
+// EDF-VD promotes HI jobs in LO mode via virtual deadlines: with x = 0.5
+// the HI job (D=100 → eff 50) beats the LO job (D=60), while plain EDF
+// runs the LO job first.
+func TestVirtualDeadlinesChangeOrder(t *testing.T) {
+	s := task.MustNewSet([]task.Task{
+		mkTask("hi", 100, 100, 10, criticality.LevelB, 0),
+		mkTask("lo", 100, 60, 10, criticality.LevelD, 0),
+	})
+	run := func(policy Policy) []string {
+		cfg := baseConfig(s)
+		cfg.Policy = policy
+		cfg.VDFactor = 0.5
+		cfg.Horizon = ms(100)
+		cfg.TraceLimit = 16
+		sm, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm.Run()
+		var order []string
+		for _, ev := range sm.Trace() {
+			if ev.Kind == EvComplete {
+				order = append(order, ev.Task)
+			}
+		}
+		return order
+	}
+	vd := run(PolicyEDFVD)
+	edf := run(PolicyEDF)
+	if len(vd) != 2 || vd[0] != "hi" {
+		t.Errorf("EDF-VD order = %v, want hi first", vd)
+	}
+	if len(edf) != 2 || edf[0] != "lo" {
+		t.Errorf("EDF order = %v, want lo first", edf)
+	}
+}
+
+func TestSporadicReleasesRespectMinInterArrival(t *testing.T) {
+	s := pair(100, 10, 50, 5)
+	cfg := baseConfig(s)
+	cfg.Horizon = ms(5000)
+	cfg.Sporadic = &Sporadic{MaxDelay: ms(30), Rng: rand.New(rand.NewSource(3))}
+	cfg.TraceLimit = 1 << 12
+	sm, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sm.Run()
+	last := map[string]timeunit.Time{}
+	minT := map[string]timeunit.Time{"hi": ms(100), "lo": ms(50)}
+	for _, ev := range sm.Trace() {
+		if ev.Kind != EvRelease {
+			continue
+		}
+		if prev, ok := last[ev.Task]; ok {
+			if gap := ev.At - prev; gap < minT[ev.Task] {
+				t.Fatalf("%s released after %v < T=%v", ev.Task, gap, minT[ev.Task])
+			}
+		}
+		last[ev.Task] = ev.At
+	}
+	// Jitter reduces the number of releases below the periodic count.
+	if st.PerTask[0].Released >= 50 {
+		t.Errorf("hi released %d, expected < 50 with jitter", st.PerTask[0].Released)
+	}
+}
+
+func TestUnfinishedMissAtHorizon(t *testing.T) {
+	// One job with more work (200 ms) than its deadline (100 ms) allows:
+	// it is still running at every horizon.
+	s := task.MustNewSet([]task.Task{
+		mkTask("hi", 1000, 100, 200, criticality.LevelB, 0),
+		mkTask("lo", 1000, 1000, 1, criticality.LevelD, 0),
+	})
+	cfg := baseConfig(s)
+	cfg.Horizon = ms(50)
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deadline 100 ≥ horizon 50 → censored, no miss recorded.
+	if st.PerTask[0].UnfinishedMisses != 0 {
+		t.Errorf("censored job counted as miss")
+	}
+	// With the horizon past the deadline the pending job is a miss.
+	cfg.Horizon = ms(150)
+	st, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PerTask[0].UnfinishedMisses != 1 {
+		t.Errorf("UnfinishedMisses = %d, want 1", st.PerTask[0].UnfinishedMisses)
+	}
+}
+
+func TestStatsStringAndEventString(t *testing.T) {
+	s := pair(100, 10, 50, 5)
+	cfg := baseConfig(s)
+	cfg.TraceLimit = 4
+	sm, _ := New(cfg)
+	st := sm.Run()
+	if st.String() == "" {
+		t.Error("empty Stats string")
+	}
+	for _, ev := range sm.Trace() {
+		if ev.String() == "" {
+			t.Error("empty event string")
+		}
+	}
+	kinds := []EventKind{EvRelease, EvComplete, EvAttemptFail, EvRoundFail, EvModeSwitch, EvKill, EvMiss, EventKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", int(k))
+		}
+	}
+}
+
+// Per-task degradation factors at runtime: after the switch, each LO task
+// stretches by its own factor.
+func TestModeSwitchDegradePerTaskFactors(t *testing.T) {
+	s := task.MustNewSet([]task.Task{
+		mkTask("hi", 100, 100, 10, criticality.LevelB, 0),
+		mkTask("heavy", 50, 50, 5, criticality.LevelD, 0),
+		mkTask("light", 50, 50, 5, criticality.LevelD, 0),
+	})
+	cfg := Config{
+		Set: s, NHI: 2, NLO: 1, NPrime: 1,
+		Mode: safety.Degrade, DF: 2, DFs: map[string]float64{"heavy": 10},
+		Policy:  PolicyEDF,
+		Horizon: ms(1000),
+		Faults:  NewScriptedFaults().Fail(0, 0, 1),
+	}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ModeSwitched {
+		t.Fatal("expected a switch")
+	}
+	var heavy, light int64
+	for _, ts := range st.PerTask {
+		switch ts.Name {
+		case "heavy":
+			heavy = ts.Released
+		case "light":
+			light = ts.Released
+		}
+	}
+	// heavy stretches to T = 500 ms (≈ 2-3 releases in 1 s); light to
+	// T = 100 ms (≈ 10). The selective stretch must be visible.
+	if heavy >= light {
+		t.Errorf("heavy released %d >= light %d: per-task factor not applied", heavy, light)
+	}
+	if light < 8 || heavy > 4 {
+		t.Errorf("release counts off: heavy=%d light=%d", heavy, light)
+	}
+}
+
+// Partial DFs with an invalid fallback must be rejected.
+func TestDegradePerTaskFactorValidation(t *testing.T) {
+	s := pair(100, 10, 50, 5)
+	cfg := baseConfig(s)
+	cfg.Mode = safety.Degrade
+	cfg.DF = 0
+	cfg.DFs = map[string]float64{"other": 3} // does not cover task "lo"
+	if _, err := New(cfg); err == nil {
+		t.Error("uncovered LO task with DF=0 accepted")
+	}
+	cfg.DFs = map[string]float64{"lo": 3}
+	if _, err := New(cfg); err != nil {
+		t.Errorf("fully covered map rejected: %v", err)
+	}
+}
+
+// ServiceRatio contrasts the two mechanisms on the same workload: killing
+// zeroes the LO service after the switch, degradation retains ≈ 1/df.
+func TestServiceRatio(t *testing.T) {
+	s := pair(100, 1, 100, 1)
+	run := func(mode safety.AdaptMode, df float64) Stats {
+		cfg := baseConfig(s)
+		cfg.NHI, cfg.NPrime = 2, 1
+		cfg.Mode = mode
+		cfg.DF = df
+		cfg.Horizon = ms(100_000)
+		cfg.Faults = NewScriptedFaults().Fail(0, 0, 1) // switch immediately
+		st, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	kill := run(safety.Kill, 0)
+	if r := kill.ServiceRatio(1); r > 0.05 {
+		t.Errorf("killed LO service ratio = %.3f, want ≈ 0", r)
+	}
+	deg := run(safety.Degrade, 4)
+	if r := deg.ServiceRatio(1); r < 0.2 || r > 0.35 {
+		t.Errorf("degraded LO service ratio = %.3f, want ≈ 1/4", r)
+	}
+	if r := deg.ServiceRatio(0); r < 0.99 {
+		t.Errorf("HI service ratio = %.3f, want ≈ 1", r)
+	}
+}
+
+// Preemption overhead consumes processor time: on a tight workload it
+// erodes the margin until deadlines start missing, while the default
+// (zero) leaves behaviour unchanged.
+func TestPreemptionOverhead(t *testing.T) {
+	// hi (T=100, C=60) is preempted twice per period by lo (T=30, C=10)
+	// and completes exactly at its deadline under zero overhead; any
+	// switch cost pushes it over.
+	s := pair(100, 60, 30, 10)
+	base := baseConfig(s)
+	base.Horizon = ms(10_000)
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := clean.DeadlineMisses(criticality.HI) + clean.DeadlineMisses(criticality.LO); m != 0 {
+		t.Fatalf("zero-overhead run missed %d deadlines", m)
+	}
+	if clean.Preemptions == 0 {
+		t.Fatal("workload should preempt")
+	}
+	loaded := base
+	loaded.PreemptionOverhead = ms(10)
+	st, err := Run(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := st.DeadlineMisses(criticality.HI) + st.DeadlineMisses(criticality.LO); m == 0 {
+		t.Error("a 10 ms switch cost should exhaust the 6 ms slack and cause misses")
+	}
+	if st.BusyTime > st.Horizon {
+		t.Errorf("busy %v exceeds horizon %v", st.BusyTime, st.Horizon)
+	}
+}
+
+func TestPreemptionOverheadValidation(t *testing.T) {
+	cfg := baseConfig(pair(100, 10, 50, 5))
+	cfg.PreemptionOverhead = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("negative overhead accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/criticality"
+	"repro/internal/gen"
+	"repro/internal/safety"
+	"repro/internal/timeunit"
+)
+
+// Soak test: the full FMS mission. The certified degradation design runs
+// for its entire 10-hour operation duration under random transient faults
+// at the paper's f = 1e-5; the HI tasks must never miss a deadline and
+// the observed LO failure rate must stay below the certified bound.
+// Skipped under -short (a 10-hour simulation executes a few million
+// jobs).
+func TestSoakFMSFullMission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	s := gen.FMSAt(gen.DefaultFMSDegradeSeed)
+	cfg := safety.Config{OperationHours: gen.FMSOperationHours, AssumeFullWCET: true}
+	res, err := core.FTEDFVDDegrade(s, cfg, gen.FMSDegradeFactor)
+	if err != nil || !res.OK {
+		t.Fatalf("FMS degradation design must certify: %v %v", res, err)
+	}
+	probs := make([]float64, s.Len())
+	for i := range probs {
+		probs[i] = gen.FMSFailProb
+	}
+	stats, err := Run(Config{
+		Set: s, NHI: res.Profiles.NHI, NLO: res.Profiles.NLO, NPrime: res.Profiles.NPrime,
+		Mode: safety.Degrade, DF: gen.FMSDegradeFactor, Policy: PolicyEDFVD,
+		Horizon: timeunit.Hours(gen.FMSOperationHours),
+		Faults:  NewRandomFaults(rand.New(rand.NewSource(2014)), probs),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := stats.DeadlineMisses(criticality.HI); m != 0 {
+		t.Fatalf("HI deadline misses over the mission: %d", m)
+	}
+	// The seven B tasks release 67 770 jobs per hour (Table 4 periods).
+	if got := stats.ClassReleased(criticality.HI); got != 677_700 {
+		t.Fatalf("HI jobs = %d, want 677700 (Table 4 rates over 10 h)", got)
+	}
+	// The certified bound is per-hour over OS hours.
+	if obs := stats.EmpiricalFailuresPerHour(criticality.LO); obs > res.PFHLO {
+		t.Errorf("observed LO failures %g/h exceed the certified bound %g/h", obs, res.PFHLO)
+	}
+	if obs := stats.EmpiricalFailuresPerHour(criticality.HI); obs > res.PFHHI {
+		t.Errorf("observed HI failures %g/h exceed the certified bound %g/h", obs, res.PFHHI)
+	}
+}

@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/criticality"
+	"repro/internal/timeunit"
+)
+
+// TaskStats accumulates per-task counters over one simulation run.
+type TaskStats struct {
+	// Name of the task.
+	Name string
+	// Class is the task's HI/LO role.
+	Class criticality.Class
+	// Released counts jobs actually released.
+	Released int64
+	// Completed counts jobs that finished successfully by their deadline.
+	Completed int64
+	// LateCompletions counts jobs that finished successfully but after
+	// their deadline (deadline misses with eventual completion).
+	LateCompletions int64
+	// RoundFailures counts jobs whose every allowed attempt failed its
+	// sanity check — the f^n event of the analysis.
+	RoundFailures int64
+	// KilledJobs counts released jobs discarded by the mode switch.
+	KilledJobs int64
+	// SuppressedJobs counts jobs that would have been released before the
+	// horizon at the original period but were not, because the task was
+	// killed (the analysis bound in eq. (5) counts these as failures of
+	// the undegraded timeline).
+	SuppressedJobs int64
+	// UnfinishedMisses counts jobs still incomplete at the horizon whose
+	// deadline had already passed.
+	UnfinishedMisses int64
+	// Attempts counts execution attempts (including failed ones).
+	Attempts int64
+	// MaxResponse is the largest observed response time (completion −
+	// release) over successfully completed jobs, late or not.
+	MaxResponse timeunit.Time
+	// FaultyAttempts counts attempts whose sanity check failed.
+	FaultyAttempts int64
+
+	// period is retained for ServiceRatio.
+	period timeunit.Time
+}
+
+// Failures returns the total temporal-domain failures of the task: jobs
+// that did not successfully finish by their deadline, per the paper's
+// failure definition (§2.1), including jobs never released because the
+// task was killed.
+func (ts TaskStats) Failures() int64 {
+	return ts.RoundFailures + ts.KilledJobs + ts.SuppressedJobs + ts.UnfinishedMisses + ts.LateCompletions
+}
+
+// Stats reports one simulation run.
+type Stats struct {
+	// PerTask holds the per-task counters in task-set order.
+	PerTask []TaskStats
+	// ModeSwitched reports whether the system entered HI mode.
+	ModeSwitched bool
+	// ModeSwitchAt is the switch instant (meaningful iff ModeSwitched).
+	ModeSwitchAt timeunit.Time
+	// Preemptions counts job preemptions.
+	Preemptions int64
+	// BusyTime is the total processor time spent executing attempts.
+	BusyTime timeunit.Time
+	// Horizon is the simulated duration.
+	Horizon timeunit.Time
+}
+
+// ClassFailures sums Failures over the tasks of one class.
+func (s Stats) ClassFailures(c criticality.Class) int64 {
+	var sum int64
+	for _, ts := range s.PerTask {
+		if ts.Class == c {
+			sum += ts.Failures()
+		}
+	}
+	return sum
+}
+
+// ClassReleased sums Released over the tasks of one class.
+func (s Stats) ClassReleased(c criticality.Class) int64 {
+	var sum int64
+	for _, ts := range s.PerTask {
+		if ts.Class == c {
+			sum += ts.Released
+		}
+	}
+	return sum
+}
+
+// DeadlineMisses sums all deadline violations (late completions plus
+// unfinished jobs past their deadline) over the tasks of one class.
+// Guaranteed tasks of a schedulable system must show zero here.
+func (s Stats) DeadlineMisses(c criticality.Class) int64 {
+	var sum int64
+	for _, ts := range s.PerTask {
+		if ts.Class == c {
+			sum += ts.LateCompletions + ts.UnfinishedMisses
+		}
+	}
+	return sum
+}
+
+// EmpiricalFailuresPerHour estimates the observed failure rate of one
+// class: total failures divided by the horizon in hours. Comparable to
+// (and, by Lemmas 3.1–3.4, bounded by) the analytical pfh of that class
+// when the run is long enough for the estimate to stabilize.
+func (s Stats) EmpiricalFailuresPerHour(c criticality.Class) float64 {
+	hours := s.Horizon.Float() / timeunit.Hour.Float()
+	if hours == 0 {
+		return 0
+	}
+	return float64(s.ClassFailures(c)) / hours
+}
+
+// ServiceRatio reports, per task, the fraction of the undegraded
+// expected job count that actually completed successfully: 1.0 means full
+// service, killing drives it toward 0 after the switch, degradation to
+// roughly 1/df. The undegraded expectation is horizon/period (the
+// strictly periodic release count).
+func (s Stats) ServiceRatio(taskIndex int) float64 {
+	ts := s.PerTask[taskIndex]
+	if s.Horizon <= 0 || ts.period <= 0 {
+		return 0
+	}
+	expected := float64(s.Horizon / ts.period)
+	if expected == 0 {
+		return 0
+	}
+	return float64(ts.Completed) / expected
+}
+
+// Utilization is the fraction of processor time spent executing.
+func (s Stats) Utilization() float64 {
+	if s.Horizon == 0 {
+		return 0
+	}
+	return s.BusyTime.Float() / s.Horizon.Float()
+}
+
+// String summarizes the run.
+func (s Stats) String() string {
+	sw := "no mode switch"
+	if s.ModeSwitched {
+		sw = fmt.Sprintf("switched at %v", s.ModeSwitchAt)
+	}
+	return fmt.Sprintf("sim over %v: %s, busy %.1f%%, %d preemptions, HI failures %d, LO failures %d",
+		s.Horizon, sw, 100*s.Utilization(), s.Preemptions,
+		s.ClassFailures(criticality.HI), s.ClassFailures(criticality.LO))
+}

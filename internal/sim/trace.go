@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/timeunit"
+)
+
+// Slice is one contiguous stretch of processor time given to one attempt
+// of one job.
+type Slice struct {
+	// Task is the task name.
+	Task string
+	// Seq is the job sequence number within the task.
+	Seq int64
+	// Attempt is the 1-based execution attempt.
+	Attempt int
+	// Start and End delimit the slice.
+	Start, End timeunit.Time
+}
+
+// Duration is End − Start.
+func (s Slice) Duration() timeunit.Time { return s.End - s.Start }
+
+// String renders e.g. "τ2#3/1 [5ms, 9ms)".
+func (s Slice) String() string {
+	return fmt.Sprintf("%s#%d/%d [%v, %v)", s.Task, s.Seq, s.Attempt, s.Start, s.End)
+}
+
+// Slices returns the recorded execution slices (nil unless
+// Config.SliceLimit > 0). Contiguous segments of the same attempt are
+// merged.
+func (s *Simulator) Slices() []Slice { return s.slices }
+
+// recordSlice appends or extends the execution record.
+func (s *Simulator) recordSlice(j *job, start, end timeunit.Time) {
+	if s.cfg.SliceLimit <= 0 || start == end {
+		return
+	}
+	name := s.tasks[j.taskIdx].t.Name
+	if n := len(s.slices); n > 0 {
+		last := &s.slices[n-1]
+		if last.Task == name && last.Seq == j.seq && last.Attempt == j.attempt && last.End == start {
+			last.End = end
+			return
+		}
+	}
+	if len(s.slices) >= s.cfg.SliceLimit {
+		return
+	}
+	s.slices = append(s.slices, Slice{Task: name, Seq: j.seq, Attempt: j.attempt, Start: start, End: end})
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto). Timestamps are microseconds, matching the
+// simulator's time base exactly.
+type chromeEvent struct {
+	Name     string `json:"name"`
+	Phase    string `json:"ph"`
+	TS       int64  `json:"ts"`
+	Duration int64  `json:"dur,omitempty"`
+	PID      int    `json:"pid"`
+	TID      int    `json:"tid"`
+}
+
+// WriteChromeTrace renders the recorded execution slices and trace events
+// as a Chrome trace-event JSON array, loadable in chrome://tracing or
+// Perfetto. Each task becomes one "thread" row; instantaneous runtime
+// events (mode switch, kills, misses) appear as instant markers.
+func (s *Simulator) WriteChromeTrace(w io.Writer) error {
+	tids := map[string]int{}
+	for i, st := range s.tasks {
+		tids[st.t.Name] = i + 1
+	}
+	events := make([]chromeEvent, 0, len(s.slices)+len(s.trace))
+	for _, sl := range s.slices {
+		events = append(events, chromeEvent{
+			Name:     fmt.Sprintf("%s#%d attempt %d", sl.Task, sl.Seq, sl.Attempt),
+			Phase:    "X",
+			TS:       sl.Start.Micros(),
+			Duration: sl.Duration().Micros(),
+			PID:      1,
+			TID:      tids[sl.Task],
+		})
+	}
+	for _, ev := range s.trace {
+		switch ev.Kind {
+		case EvModeSwitch, EvKill, EvMiss, EvRoundFail:
+			tid := tids[ev.Task] // 0 (whole-process row) for the switch
+			events = append(events, chromeEvent{
+				Name:  ev.Kind.String(),
+				Phase: "i",
+				TS:    ev.At.Micros(),
+				PID:   1,
+				TID:   tid,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSliceRecording(t *testing.T) {
+	// HI T=200 C=100 d=200; LO T=70 C=5 d=70: LO runs 0–5, HI 5–70,
+	// LO 70–75, HI 75–110 (finishes), ... slices capture the preemption.
+	s := pair(200, 100, 70, 5)
+	cfg := baseConfig(s)
+	cfg.Horizon = ms(200)
+	cfg.SliceLimit = 64
+	sm, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.Run()
+	slices := sm.Slices()
+	if len(slices) < 4 {
+		t.Fatalf("slices = %v", slices)
+	}
+	if slices[0].Task != "lo" || slices[0].Start != 0 || slices[0].End != ms(5) {
+		t.Errorf("first slice = %v", slices[0])
+	}
+	if slices[1].Task != "hi" || slices[1].Start != ms(5) || slices[1].End != ms(70) {
+		t.Errorf("second slice = %v (merging across the release boundary expected)", slices[1])
+	}
+	// Slices never overlap and are ordered.
+	for i := 1; i < len(slices); i++ {
+		if slices[i].Start < slices[i-1].End {
+			t.Errorf("overlap: %v after %v", slices[i], slices[i-1])
+		}
+	}
+	// Total sliced time equals busy time when nothing was truncated.
+	var total int64
+	for _, sl := range slices {
+		total += sl.Duration().Micros()
+	}
+	if total != sm.stats.BusyTime.Micros() {
+		t.Errorf("sliced %dµs, busy %dµs", total, sm.stats.BusyTime.Micros())
+	}
+}
+
+func TestSliceLimitRespected(t *testing.T) {
+	s := pair(100, 10, 50, 5)
+	cfg := baseConfig(s)
+	cfg.Horizon = ms(5000)
+	cfg.SliceLimit = 3
+	sm, _ := New(cfg)
+	sm.Run()
+	if got := len(sm.Slices()); got > 3 {
+		t.Errorf("slices = %d, limit 3", got)
+	}
+	// Disabled by default.
+	cfg.SliceLimit = 0
+	sm2, _ := New(cfg)
+	sm2.Run()
+	if sm2.Slices() != nil {
+		t.Error("slices recorded with SliceLimit = 0")
+	}
+}
+
+func TestSliceString(t *testing.T) {
+	sl := Slice{Task: "τ2", Seq: 3, Attempt: 1, Start: ms(5), End: ms(9)}
+	if got := sl.String(); !strings.Contains(got, "τ2#3/1") {
+		t.Errorf("String = %q", got)
+	}
+	if sl.Duration() != ms(4) {
+		t.Errorf("Duration = %v", sl.Duration())
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	s := pair(100, 10, 50, 5)
+	cfg := baseConfig(s)
+	cfg.NHI, cfg.NPrime = 2, 1
+	cfg.Horizon = ms(300)
+	cfg.SliceLimit = 64
+	cfg.TraceLimit = 64
+	cfg.Faults = NewScriptedFaults().Fail(0, 0, 1) // force a mode switch
+	sm, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.Run()
+	var buf strings.Builder
+	if err := sm.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var sawSlice, sawSwitch, sawKillOrMiss bool
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			sawSlice = true
+			if ev["dur"] == nil {
+				t.Error("duration event without dur")
+			}
+		case "i":
+			if ev["name"] == "mode-switch" {
+				sawSwitch = true
+			}
+			if ev["name"] == "kill" || ev["name"] == "miss" {
+				sawKillOrMiss = true
+			}
+		}
+	}
+	if !sawSlice {
+		t.Error("no execution slices in trace")
+	}
+	if !sawSwitch {
+		t.Error("no mode-switch marker in trace")
+	}
+	_ = sawKillOrMiss // kills only occur if a LO job is live at the switch
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	if Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate variance should be 0")
+	}
+	// Sample variance of {2, 4, 4, 4, 5, 5, 7, 9} is 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got, want := Variance(xs), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.5, 2}, {1, 3}, {0.25, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single-element quantile = %v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestWilson95KnownValues(t *testing.T) {
+	// k=0: the interval starts at exactly 0 and excludes large p.
+	iv := Wilson95(0, 500)
+	if iv.Lo != 0 {
+		t.Errorf("Lo = %v", iv.Lo)
+	}
+	if iv.Hi < 0.001 || iv.Hi > 0.02 {
+		t.Errorf("Hi = %v, want ≈ 0.0076", iv.Hi)
+	}
+	// k=n mirrors k=0.
+	iv2 := Wilson95(500, 500)
+	if iv2.Hi != 1 {
+		t.Errorf("Hi = %v", iv2.Hi)
+	}
+	if math.Abs((1-iv2.Lo)-iv.Hi) > 1e-12 {
+		t.Errorf("asymmetric mirror: %v vs %v", 1-iv2.Lo, iv.Hi)
+	}
+	// Textbook value: k=5, n=10 → approx [0.237, 0.763].
+	iv3 := Wilson95(5, 10)
+	if math.Abs(iv3.Lo-0.2366) > 0.002 || math.Abs(iv3.Hi-0.7634) > 0.002 {
+		t.Errorf("Wilson(5,10) = %v", iv3)
+	}
+}
+
+func TestWilsonPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Wilson95(0, 0) },
+		func() { Wilson95(-1, 10) },
+		func() { Wilson95(11, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Properties: the interval is within [0,1], contains the point estimate,
+// and shrinks as n grows.
+func TestWilsonProperties(t *testing.T) {
+	f := func(k16, n16 uint16) bool {
+		n := int(n16%1000) + 1
+		k := int(k16) % (n + 1)
+		iv := Wilson95(k, n)
+		p := float64(k) / float64(n)
+		if iv.Lo < 0 || iv.Hi > 1 || iv.Lo > iv.Hi {
+			return false
+		}
+		if !iv.Contains(p) {
+			return false
+		}
+		big := Wilson95(k*10, n*10)
+		return big.Hi-big.Lo <= iv.Hi-iv.Lo+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Lo: 0.2, Hi: 0.4}
+	if !iv.Contains(0.3) || iv.Contains(0.5) || iv.Contains(0.1) {
+		t.Error("Contains wrong")
+	}
+	if iv.String() != "[0.200, 0.400]" {
+		t.Errorf("String = %q", iv.String())
+	}
+}

@@ -1,0 +1,40 @@
+package task
+
+import (
+	"repro/internal/timeunit"
+)
+
+// HyperPeriod returns the least common multiple of all task periods — the
+// natural horizon for exact simulation of the synchronous periodic
+// arrival pattern — and ok = false when the LCM overflows int64
+// microseconds (mutually prime millisecond-scale periods can blow past
+// 2⁶³ quickly; callers should then fall back to a fixed horizon).
+func (s *Set) HyperPeriod() (timeunit.Time, bool) {
+	l := int64(1)
+	for _, t := range s.tasks {
+		var ok bool
+		l, ok = lcm(l, int64(t.Period))
+		if !ok {
+			return 0, false
+		}
+	}
+	return timeunit.Time(l), true
+}
+
+// gcd is the Euclidean greatest common divisor for positive inputs.
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// lcm returns the least common multiple with an overflow check.
+func lcm(a, b int64) (int64, bool) {
+	g := gcd(a, b)
+	q := a / g
+	if q != 0 && b > (1<<62)/q {
+		return 0, false
+	}
+	return q * b, true
+}

@@ -1,0 +1,89 @@
+package task
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/criticality"
+	"repro/internal/timeunit"
+)
+
+// Example 3.1's hyperperiod: lcm(60, 25, 40, 90, 70) ms = 12 600 ms.
+func TestHyperPeriodExample31(t *testing.T) {
+	s := MustNewSet(example31())
+	h, ok := s.HyperPeriod()
+	if !ok {
+		t.Fatal("overflow on a tiny set")
+	}
+	if h != timeunit.Milliseconds(12600) {
+		t.Errorf("hyperperiod = %v, want 12600ms", h)
+	}
+}
+
+func TestHyperPeriodDivisibility(t *testing.T) {
+	s := MustNewSet(example31())
+	h, _ := s.HyperPeriod()
+	for _, tk := range s.Tasks() {
+		if h%tk.Period != 0 {
+			t.Errorf("hyperperiod %v not divisible by %v", h, tk.Period)
+		}
+	}
+}
+
+func TestHyperPeriodOverflow(t *testing.T) {
+	// Large mutually-prime periods in microseconds overflow quickly.
+	mk := func(name string, Tus int64) Task {
+		return Task{Name: name, Period: timeunit.Time(Tus), Deadline: timeunit.Time(Tus),
+			WCET: 1, Level: criticality.LevelB, FailProb: 0}
+	}
+	big := []Task{
+		mk("a", 1_000_000_007),
+		mk("b", 1_000_000_009),
+		mk("c", 999_999_937),
+	}
+	big[2].Level = criticality.LevelD
+	s := MustNewSet(big)
+	if _, ok := s.HyperPeriod(); ok {
+		t.Error("expected overflow")
+	}
+}
+
+func TestGcdLcm(t *testing.T) {
+	if gcd(12, 18) != 6 || gcd(7, 13) != 1 || gcd(5, 5) != 5 {
+		t.Error("gcd wrong")
+	}
+	if v, ok := lcm(4, 6); !ok || v != 12 {
+		t.Errorf("lcm(4,6) = %d, %v", v, ok)
+	}
+	if _, ok := lcm(1<<62, 3); ok {
+		t.Error("lcm overflow not detected")
+	}
+}
+
+// Property: the hyperperiod is a positive multiple of every period.
+func TestHyperPeriodProperty(t *testing.T) {
+	f := func(p1, p2, p3 uint16) bool {
+		tasks := []Task{
+			{Name: "a", Period: timeunit.Time(p1%500) + 1, Deadline: 1000, WCET: 1,
+				Level: criticality.LevelB, FailProb: 0},
+			{Name: "b", Period: timeunit.Time(p2%500) + 1, Deadline: 1000, WCET: 1,
+				Level: criticality.LevelD, FailProb: 0},
+			{Name: "c", Period: timeunit.Time(p3%500) + 1, Deadline: 1000, WCET: 1,
+				Level: criticality.LevelD, FailProb: 0},
+		}
+		s := MustNewSet(tasks)
+		h, ok := s.HyperPeriod()
+		if !ok {
+			return false // cannot overflow at these magnitudes
+		}
+		for _, tk := range s.Tasks() {
+			if h <= 0 || h%tk.Period != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

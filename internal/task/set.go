@@ -1,0 +1,143 @@
+package task
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/criticality"
+)
+
+// Set is a dual-criticality sporadic task set: every task carries one of
+// exactly two distinct DO-178B levels, the more critical of which plays
+// the HI role and the other the LO role (§2.1).
+type Set struct {
+	tasks []Task
+	dual  criticality.DualLevels
+}
+
+// NewSet validates the tasks and classifies them into the HI/LO roles.
+// The tasks may be given in any order; the set keeps the input order.
+func NewSet(tasks []Task) (*Set, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("task: empty task set")
+	}
+	levels := map[criticality.Level]bool{}
+	for i, t := range tasks {
+		if t.Name == "" {
+			tasks[i].Name = fmt.Sprintf("τ%d", i+1)
+		}
+		if err := tasks[i].Validate(); err != nil {
+			return nil, err
+		}
+		levels[t.Level] = true
+	}
+	if len(levels) != 2 {
+		var names []string
+		for l := range levels {
+			names = append(names, l.String())
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("task: dual-criticality set needs exactly 2 distinct levels, got %d (%v)", len(levels), names)
+	}
+	var ls []criticality.Level
+	for l := range levels {
+		ls = append(ls, l)
+	}
+	hi, lo := ls[0], ls[1]
+	if lo.MoreCriticalThan(hi) {
+		hi, lo = lo, hi
+	}
+	dual, err := criticality.NewDualLevels(hi, lo)
+	if err != nil {
+		return nil, err
+	}
+	s := &Set{tasks: append([]Task(nil), tasks...), dual: dual}
+	return s, nil
+}
+
+// MustNewSet is NewSet panicking on error, for tests and literals.
+func MustNewSet(tasks []Task) *Set {
+	s, err := NewSet(tasks)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Tasks returns the tasks in input order. The slice is shared; callers
+// must not mutate it.
+func (s *Set) Tasks() []Task { return s.tasks }
+
+// Len returns the number of tasks.
+func (s *Set) Len() int { return len(s.tasks) }
+
+// Dual returns the two DO-178B levels of the set.
+func (s *Set) Dual() criticality.DualLevels { return s.dual }
+
+// Class returns the HI/LO role of the given task.
+func (s *Set) Class(t Task) criticality.Class {
+	if t.Level == s.dual.HI {
+		return criticality.HI
+	}
+	return criticality.LO
+}
+
+// ByClass returns the tasks playing the given role, in input order.
+func (s *Set) ByClass(c criticality.Class) []Task {
+	var out []Task
+	for _, t := range s.tasks {
+		if s.Class(t) == c {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Utilization returns ΣC/T over all tasks (no re-execution).
+func (s *Set) Utilization() float64 {
+	u := 0.0
+	for _, t := range s.tasks {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// UtilizationClass returns ΣC/T over the tasks of one role: the paper's
+// U_HI and U_LO.
+func (s *Set) UtilizationClass(c criticality.Class) float64 {
+	u := 0.0
+	for _, t := range s.ByClass(c) {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// ScaledUtilization returns Σ n·C/T over the tasks of one role — the
+// utilization when every job performs up to n execution attempts. With
+// re-execution profiles n_HI, n_LO the total fault-tolerant load is
+// ScaledUtilization(HI, n_HI) + ScaledUtilization(LO, n_LO)
+// (cf. Example 3.1: U = 3·ΣC/T over HI + ΣC/T over LO = 1.08595).
+func (s *Set) ScaledUtilization(c criticality.Class, n int) float64 {
+	if n < 0 {
+		panic("task: negative re-execution count")
+	}
+	return float64(n) * s.UtilizationClass(c)
+}
+
+// AllImplicit reports whether every task has D = T.
+func (s *Set) AllImplicit() bool {
+	for _, t := range s.tasks {
+		if !t.Implicit() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short summary, e.g.
+// "5 tasks, HI=B/LO=D, U=1.086 (UHI=0.243 ULO=0.356)".
+func (s *Set) String() string {
+	return fmt.Sprintf("%d tasks, %v, U=%.3f (UHI=%.3f ULO=%.3f)",
+		len(s.tasks), s.dual, s.Utilization(),
+		s.UtilizationClass(criticality.HI), s.UtilizationClass(criticality.LO))
+}

@@ -1,0 +1,87 @@
+// Package task implements the sporadic task model of the paper (§2.1).
+//
+// A system is a finite set of independent sporadic tasks on a
+// uniprocessor. Each task has a minimal inter-arrival time T, a relative
+// deadline D, a worst-case execution time C, a DO-178B criticality level χ
+// and a per-job failure probability f (the probability that one execution
+// attempt of a job is corrupted by a transient hardware fault, detected by
+// a sanity check).
+package task
+
+import (
+	"fmt"
+
+	"repro/internal/criticality"
+	"repro/internal/prob"
+	"repro/internal/timeunit"
+)
+
+// Task is one sporadic task.
+type Task struct {
+	// Name identifies the task in reports; free-form, may be empty.
+	Name string
+	// Period is the minimal inter-arrival time T between jobs.
+	Period timeunit.Time
+	// Deadline is the relative deadline D. The model allows arbitrary
+	// deadlines (D may be smaller or larger than T).
+	Deadline timeunit.Time
+	// WCET is the worst-case execution time C of a single execution
+	// attempt. Re-execution multiplies the demand: a "round" of up to n
+	// attempts takes at most n·C.
+	WCET timeunit.Time
+	// Level is the DO-178B criticality level χ.
+	Level criticality.Level
+	// FailProb is f: the probability that one execution attempt of a job
+	// fails (is detected faulty by its sanity check). The paper assumes a
+	// constant per-attempt probability, e.g. 1e-5.
+	FailProb prob.P
+}
+
+// Validate checks the structural invariants of a single task.
+func (t Task) Validate() error {
+	if t.Period <= 0 {
+		return fmt.Errorf("task %q: period %v must be positive", t.Name, t.Period)
+	}
+	if t.Deadline <= 0 {
+		return fmt.Errorf("task %q: deadline %v must be positive", t.Name, t.Deadline)
+	}
+	if t.WCET <= 0 {
+		return fmt.Errorf("task %q: WCET %v must be positive", t.Name, t.WCET)
+	}
+	if !t.Level.Valid() {
+		return fmt.Errorf("task %q: invalid criticality level %d", t.Name, int(t.Level))
+	}
+	if err := prob.Validate(t.FailProb); err != nil {
+		return fmt.Errorf("task %q: failure probability: %v", t.Name, err)
+	}
+	if t.FailProb >= 1 {
+		return fmt.Errorf("task %q: failure probability must be < 1, got %g", t.Name, t.FailProb)
+	}
+	return nil
+}
+
+// Utilization is C/T, the long-run processor demand of the task without
+// any re-execution.
+func (t Task) Utilization() float64 {
+	return t.WCET.Float() / t.Period.Float()
+}
+
+// Implicit reports whether the task has an implicit deadline (D = T).
+// The paper's evaluation (both the FMS case study and the synthetic
+// experiments) uses implicit-deadline tasks, matching the EDF-VD test.
+func (t Task) Implicit() bool { return t.Deadline == t.Period }
+
+// RoundLength returns n·C: the worst-case span of a round of up to n
+// execution attempts of one job.
+func (t Task) RoundLength(n int) timeunit.Time { return t.WCET.MulSafe(n) }
+
+// String renders the task compactly, e.g.
+// "τ2(T=25ms D=25ms C=4ms χ=B f=1e-05)".
+func (t Task) String() string {
+	name := t.Name
+	if name == "" {
+		name = "τ?"
+	}
+	return fmt.Sprintf("%s(T=%v D=%v C=%v χ=%v f=%.3g)",
+		name, t.Period, t.Deadline, t.WCET, t.Level, t.FailProb)
+}

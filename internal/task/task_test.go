@@ -1,0 +1,239 @@
+package task
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/criticality"
+	"repro/internal/timeunit"
+)
+
+func ms(v int64) timeunit.Time { return timeunit.Milliseconds(v) }
+
+// example31 builds the task set of Example 3.1 / Table 2.
+func example31() []Task {
+	mk := func(name string, T, C int64, l criticality.Level) Task {
+		return Task{Name: name, Period: ms(T), Deadline: ms(T), WCET: ms(C), Level: l, FailProb: 1e-5}
+	}
+	return []Task{
+		mk("τ1", 60, 5, criticality.LevelB),
+		mk("τ2", 25, 4, criticality.LevelB),
+		mk("τ3", 40, 7, criticality.LevelD),
+		mk("τ4", 90, 6, criticality.LevelD),
+		mk("τ5", 70, 8, criticality.LevelD),
+	}
+}
+
+func TestValidateAcceptsExample31(t *testing.T) {
+	for _, tk := range example31() {
+		if err := tk.Validate(); err != nil {
+			t.Errorf("%v: %v", tk.Name, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	good := Task{Name: "x", Period: ms(10), Deadline: ms(10), WCET: ms(1),
+		Level: criticality.LevelB, FailProb: 1e-5}
+	cases := []struct {
+		mutate func(*Task)
+		substr string
+	}{
+		{func(t *Task) { t.Period = 0 }, "period"},
+		{func(t *Task) { t.Period = -ms(1) }, "period"},
+		{func(t *Task) { t.Deadline = 0 }, "deadline"},
+		{func(t *Task) { t.WCET = 0 }, "WCET"},
+		{func(t *Task) { t.Level = criticality.Level(9) }, "level"},
+		{func(t *Task) { t.FailProb = -0.1 }, "probability"},
+		{func(t *Task) { t.FailProb = 1 }, "probability"},
+		{func(t *Task) { t.FailProb = math.NaN() }, "probability"},
+	}
+	for _, c := range cases {
+		tk := good
+		c.mutate(&tk)
+		err := tk.Validate()
+		if err == nil {
+			t.Errorf("mutation expecting %q: no error", c.substr)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("error %q does not mention %q", err, c.substr)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	tk := Task{Period: ms(60), Deadline: ms(60), WCET: ms(5),
+		Level: criticality.LevelB, FailProb: 1e-5}
+	if got, want := tk.Utilization(), 5.0/60.0; math.Abs(got-want) > 1e-15 {
+		t.Errorf("Utilization = %v, want %v", got, want)
+	}
+}
+
+func TestImplicit(t *testing.T) {
+	tk := Task{Period: ms(60), Deadline: ms(60), WCET: ms(5)}
+	if !tk.Implicit() {
+		t.Error("D=T should be implicit")
+	}
+	tk.Deadline = ms(50)
+	if tk.Implicit() {
+		t.Error("D<T should not be implicit")
+	}
+}
+
+func TestRoundLength(t *testing.T) {
+	tk := Task{WCET: ms(5)}
+	if got := tk.RoundLength(3); got != ms(15) {
+		t.Errorf("RoundLength(3) = %v", got)
+	}
+}
+
+func TestNewSetExample31(t *testing.T) {
+	s, err := NewSet(example31())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	d := s.Dual()
+	if d.HI != criticality.LevelB || d.LO != criticality.LevelD {
+		t.Fatalf("Dual = %v", d)
+	}
+	if got := len(s.ByClass(criticality.HI)); got != 2 {
+		t.Errorf("HI tasks = %d, want 2", got)
+	}
+	if got := len(s.ByClass(criticality.LO)); got != 3 {
+		t.Errorf("LO tasks = %d, want 3", got)
+	}
+}
+
+// The utilizations behind Example 3.1: U_HI = 5/60+4/25, U_LO =
+// 7/40+6/90+8/70, and 3·U_HI + U_LO = 1.08595 as the paper states.
+func TestExample31Utilizations(t *testing.T) {
+	s := MustNewSet(example31())
+	uhi := s.UtilizationClass(criticality.HI)
+	ulo := s.UtilizationClass(criticality.LO)
+	if want := 5.0/60 + 4.0/25; math.Abs(uhi-want) > 1e-12 {
+		t.Errorf("UHI = %v, want %v", uhi, want)
+	}
+	if want := 7.0/40 + 6.0/90 + 8.0/70; math.Abs(ulo-want) > 1e-12 {
+		t.Errorf("ULO = %v, want %v", ulo, want)
+	}
+	total := s.ScaledUtilization(criticality.HI, 3) + s.ScaledUtilization(criticality.LO, 1)
+	if math.Abs(total-1.08595) > 1e-4 {
+		t.Errorf("3·UHI + ULO = %.5f, want 1.08595 (paper)", total)
+	}
+	if total <= 1 {
+		t.Error("Example 3.1 must be over-utilized without killing")
+	}
+	if math.Abs(s.Utilization()-(uhi+ulo)) > 1e-12 {
+		t.Error("Utilization() does not equal class sum")
+	}
+}
+
+func TestScaledUtilizationPanicsOnNegative(t *testing.T) {
+	s := MustNewSet(example31())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.ScaledUtilization(criticality.HI, -1)
+}
+
+func TestNewSetRejectsEmpty(t *testing.T) {
+	if _, err := NewSet(nil); err == nil {
+		t.Error("expected error for empty set")
+	}
+}
+
+func TestNewSetRejectsSingleLevel(t *testing.T) {
+	tk := example31()[:2] // both level B
+	if _, err := NewSet(tk); err == nil {
+		t.Error("expected error for single-level set")
+	}
+}
+
+func TestNewSetRejectsThreeLevels(t *testing.T) {
+	tk := example31()
+	tk[4].Level = criticality.LevelA
+	if _, err := NewSet(tk); err == nil {
+		t.Error("expected error for three-level set")
+	}
+}
+
+func TestNewSetNamesUnnamedTasks(t *testing.T) {
+	tk := example31()
+	tk[0].Name = ""
+	s := MustNewSet(tk)
+	if s.Tasks()[0].Name != "τ1" {
+		t.Errorf("auto name = %q", s.Tasks()[0].Name)
+	}
+}
+
+func TestNewSetCopiesInput(t *testing.T) {
+	tk := example31()
+	s := MustNewSet(tk)
+	tk[0].WCET = ms(999)
+	if s.Tasks()[0].WCET == ms(999) {
+		t.Error("set aliases caller slice")
+	}
+}
+
+func TestMustNewSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNewSet(nil)
+}
+
+func TestAllImplicit(t *testing.T) {
+	s := MustNewSet(example31())
+	if !s.AllImplicit() {
+		t.Error("Example 3.1 tasks are implicit-deadline")
+	}
+	tk := example31()
+	tk[1].Deadline = ms(20)
+	s2 := MustNewSet(tk)
+	if s2.AllImplicit() {
+		t.Error("modified set should not be all-implicit")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := MustNewSet(example31())
+	got := s.String()
+	for _, want := range []string{"5 tasks", "HI=B/LO=D", "U=0.599"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String %q missing %q", got, want)
+		}
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	tk := example31()[1]
+	got := tk.String()
+	for _, want := range []string{"τ2", "T=25ms", "C=4ms", "χ=B"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String %q missing %q", got, want)
+		}
+	}
+	var anon Task
+	if !strings.Contains(anon.String(), "τ?") {
+		t.Errorf("anonymous task String = %q", anon.String())
+	}
+}
+
+func TestClassOfTask(t *testing.T) {
+	s := MustNewSet(example31())
+	if s.Class(s.Tasks()[0]) != criticality.HI {
+		t.Error("τ1 should be HI")
+	}
+	if s.Class(s.Tasks()[2]) != criticality.LO {
+		t.Error("τ3 should be LO")
+	}
+}

@@ -1,0 +1,29 @@
+package timeunit
+
+import (
+	"testing"
+)
+
+// FuzzParse checks that Parse never panics and that successful parses
+// round-trip through String back to the same value.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"25ms", "2s", "1h", "500us", "500µs", "0.5ms", "25", "", "abc",
+		"-3ms", "1m", "9223372036854775807", "1.5h", "0", "  40ms ",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(v.String())
+		if err != nil {
+			t.Fatalf("Parse(%q) = %v, but its String %q does not re-parse: %v", s, v, v.String(), err)
+		}
+		if back != v {
+			t.Fatalf("round trip %q: %v -> %q -> %v", s, v, v.String(), back)
+		}
+	})
+}

@@ -1,0 +1,203 @@
+package timeunit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnitRatios(t *testing.T) {
+	if Millisecond != 1000*Microsecond {
+		t.Fatalf("Millisecond = %d µs", int64(Millisecond))
+	}
+	if Second != 1000*Millisecond {
+		t.Fatalf("Second = %d ms", int64(Second/Millisecond))
+	}
+	if Hour != 3600*Second {
+		t.Fatalf("Hour = %d s", int64(Hour/Second))
+	}
+	if got := Hours(1); got != 3_600_000_000 {
+		t.Fatalf("Hours(1) = %d µs, want 3.6e9", int64(got))
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	if Milliseconds(25) != 25*Millisecond {
+		t.Errorf("Milliseconds(25) wrong")
+	}
+	if Seconds(2) != 2*Second {
+		t.Errorf("Seconds(2) wrong")
+	}
+	if Hours(10) != 10*Hour {
+		t.Errorf("Hours(10) wrong")
+	}
+}
+
+func TestMs(t *testing.T) {
+	if got := Milliseconds(25).Ms(); got != 25 {
+		t.Errorf("Ms() = %v, want 25", got)
+	}
+	if got := (Millisecond + 500*Microsecond).Ms(); got != 1.5 {
+		t.Errorf("Ms() = %v, want 1.5", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := Time(3), Time(7)
+	if a.Min(b) != 3 || b.Min(a) != 3 {
+		t.Errorf("Min wrong")
+	}
+	if a.Max(b) != 7 || b.Max(a) != 7 {
+		t.Errorf("Max wrong")
+	}
+}
+
+func TestMulSafe(t *testing.T) {
+	if got := Milliseconds(5).MulSafe(3); got != Milliseconds(15) {
+		t.Errorf("MulSafe = %v", got)
+	}
+	if got := Time(0).MulSafe(1000); got != 0 {
+		t.Errorf("MulSafe zero = %v", got)
+	}
+	if got := Milliseconds(5).MulSafe(0); got != 0 {
+		t.Errorf("MulSafe by 0 = %v", got)
+	}
+}
+
+func TestMulSafePanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overflow")
+		}
+	}()
+	Time(math.MaxInt64 / 2).MulSafe(3)
+}
+
+func TestMulSafePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative multiplier")
+		}
+	}()
+	Time(1).MulSafe(-1)
+}
+
+func TestDivFloor(t *testing.T) {
+	cases := []struct {
+		t, u Time
+		want int64
+	}{
+		{10, 3, 3},
+		{9, 3, 3},
+		{0, 5, 0},
+		{-1, 5, -1},
+		{-5, 5, -1},
+		{-6, 5, -2},
+		{3_599_985, 60, 59999}, // Example 3.1: (3600000-15)/60 in ms-scale
+	}
+	for _, c := range cases {
+		if got := c.t.DivFloor(c.u); got != c.want {
+			t.Errorf("DivFloor(%d, %d) = %d, want %d", c.t, c.u, got, c.want)
+		}
+	}
+}
+
+func TestDivFloorPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero divisor")
+		}
+	}()
+	Time(1).DivFloor(0)
+}
+
+// DivFloor must agree with mathematical floor for all sign combinations.
+func TestDivFloorProperty(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		if b == 0 {
+			return true
+		}
+		d := Time(b)
+		if d < 0 {
+			d = -d
+		}
+		if d == 0 {
+			return true
+		}
+		got := Time(a).DivFloor(d)
+		want := int64(math.Floor(float64(a) / float64(d)))
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0"},
+		{Milliseconds(25), "25ms"},
+		{Seconds(2), "2s"},
+		{Hours(1), "1h"},
+		{1500, "1500µs"},
+		{-Milliseconds(5), "-5ms"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Time
+	}{
+		{"25ms", Milliseconds(25)},
+		{"25", Milliseconds(25)}, // bare numbers are milliseconds
+		{"2s", Seconds(2)},
+		{"1h", Hours(1)},
+		{"1m", Minute},
+		{"500us", 500},
+		{"500µs", 500},
+		{"0.5ms", 500},
+		{" 40ms ", Milliseconds(40)},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %d, want %d", c.in, int64(got), int64(c.want))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "1.2345us", "12x"} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q): expected error", in)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func(ms uint16) bool {
+		v := Milliseconds(int64(ms))
+		got, err := Parse(v.String())
+		if v == 0 {
+			// "0" parses as 0 ms which is still 0.
+			return err == nil && got == 0
+		}
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
