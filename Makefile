@@ -1,0 +1,35 @@
+GO ?= go
+DATE := $(shell date +%F)
+
+.PHONY: all check vet build test race benchcheck bench clean
+
+all: check
+
+# check is the pre-commit gate: static analysis, a full build, the test
+# suite under the race detector, and one pass over the safety-kernel
+# benchmarks (so a kernel regression breaks the build loudly even when
+# nobody reads timings).
+check: vet build race benchcheck
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+benchcheck:
+	$(GO) test -run '^$$' -bench=SafetyKillingPFH -benchtime=1x ./...
+
+# bench writes the machine-readable performance report BENCH_$(DATE).json
+# (see cmd/ftmc-bench); commit it to extend the performance history.
+bench:
+	$(GO) run ./cmd/ftmc-bench -v -out BENCH_$(DATE).json
+
+clean:
+	$(GO) clean ./...

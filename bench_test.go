@@ -139,6 +139,26 @@ func BenchmarkSafetyKillingPFH(b *testing.B) {
 	}
 }
 
+// BenchmarkSafetyKillingPFHNaive is the same workload through the naive
+// per-point evaluation the boundary-merge kernel replaced; the ratio to
+// BenchmarkSafetyKillingPFH is the kernel speedup reported by ftmc-bench.
+func BenchmarkSafetyKillingPFHNaive(b *testing.B) {
+	s := FMSAt(gen.DefaultFMSKillSeed)
+	cfg := safety.Config{OperationHours: gen.FMSOperationHours, AssumeFullWCET: true}
+	adapt, err := safety.NewUniformAdaptation(cfg, s.ByClass(HI), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo := s.ByClass(LO)
+	ns := []int{2, 2, 2, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cfg.KillingPFHLONaive(lo, ns, adapt) <= 0 {
+			b.Fatal("bad bound")
+		}
+	}
+}
+
 // BenchmarkSimulatorHour measures runtime throughput: one simulated hour
 // of the Example 3.1 system under EDF-VD with random faults.
 func BenchmarkSimulatorHour(b *testing.B) {

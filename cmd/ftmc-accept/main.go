@@ -10,6 +10,10 @@
 // 3d degrade/LO=C; each panel plots f = 1e-3 and f = 1e-5 with the
 // baseline (no adaptation) and adapted curves — the vertical gap is the
 // shadow shaded in the paper.
+//
+// Task sets are evaluated in parallel; set FTMC_WORKERS to override the
+// worker count (default: number of CPUs). Results are deterministic in
+// -seed regardless of the worker count.
 package main
 
 import (

@@ -1,0 +1,208 @@
+// ftmc-bench runs the repository's key performance benchmarks and emits
+// a machine-readable JSON report, so kernel regressions show up as a
+// number in version control rather than an anecdote. The committed
+// BENCH_<date>.json files form the performance history; compare a fresh
+// run against the newest one before touching the safety kernel.
+//
+// Usage:
+//
+//	ftmc-bench [-out BENCH_<date>.json] [-benchtime 1s] [-v]
+//
+// The report includes the eq. (5) kernel benchmark in both its
+// boundary-merge and naive per-point forms and derives their ratio
+// (kernel_speedup), plus end-to-end analysis benchmarks (FMS sweeps,
+// design-space exploration, one reduced Fig. 3 point) and the adaptation
+// cache hit rate observed during the run. FTMC_WORKERS caps the sweep
+// fan-out as in the other CLIs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	ftmc "repro"
+	"repro/internal/criticality"
+	"repro/internal/expt"
+	"repro/internal/explore"
+	"repro/internal/gen"
+	"repro/internal/safety"
+)
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the JSON document ftmc-bench writes.
+type Report struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	NumCPU     int           `json:"num_cpu"`
+	Workers    int           `json:"workers"`
+	Benchtime  string        `json:"benchtime"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+	// KernelSpeedup is naive/fast ns-per-op of the eq. (5) evaluation.
+	KernelSpeedup float64 `json:"kernel_speedup"`
+	// CacheHitRate is the process-wide adaptation-cache hit rate over the
+	// whole run.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+func main() {
+	testing.Init() // register the -test.* flags testing.Benchmark reads
+	date := time.Now().Format("2006-01-02")
+	out := flag.String("out", "BENCH_"+date+".json", "output JSON path (- for stdout)")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
+	verbose := flag.Bool("v", false, "print each result as it completes")
+	flag.Parse()
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintf(os.Stderr, "ftmc-bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		Date:      date,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Workers:   expt.Workers(),
+		Benchtime: benchtime.String(),
+	}
+	safety.ResetTotalCacheStats()
+
+	var fastNs, naiveNs float64
+	for _, bench := range benches() {
+		r := testing.Benchmark(bench.fn)
+		br := BenchResult{
+			Name:        bench.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, br)
+		switch bench.name {
+		case "SafetyKillingPFH":
+			fastNs = br.NsPerOp
+		case "SafetyKillingPFHNaive":
+			naiveNs = br.NsPerOp
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%-28s %12d iter %14.0f ns/op\n", bench.name, br.Iterations, br.NsPerOp)
+		}
+	}
+	if fastNs > 0 {
+		rep.KernelSpeedup = naiveNs / fastNs
+	}
+	rep.CacheHitRate = safety.TotalCacheStats().HitRate()
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftmc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ftmc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ftmc-bench: kernel speedup %.1fx (naive %.2fms vs fast %.3fms), cache hit rate %.0f%%; wrote %s\n",
+			rep.KernelSpeedup, naiveNs/1e6, fastNs/1e6, 100*rep.CacheHitRate, *out)
+	}
+}
+
+// namedBench pairs a benchmark closure with its report name.
+type namedBench struct {
+	name string
+	fn   func(*testing.B)
+}
+
+// benches lists the measured workloads. The kernel pair mirrors
+// BenchmarkSafetyKillingPFH / ...Naive in bench_test.go; the rest are
+// end-to-end analyses dominated by the safety kernel and the sweeps.
+func benches() []namedBench {
+	fmsKill := gen.FMSAt(gen.DefaultFMSKillSeed)
+	cfg := safety.Config{OperationHours: gen.FMSOperationHours, AssumeFullWCET: true}
+	hi := fmsKill.ByClass(criticality.HI)
+	lo := fmsKill.ByClass(criticality.LO)
+	adapt, err := safety.NewUniformAdaptation(cfg, hi, 2)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftmc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	ns := []int{2, 2, 2, 2}
+	return []namedBench{
+		{"SafetyKillingPFH", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if cfg.KillingPFHLOUniform(lo, 2, adapt) <= 0 {
+					b.Fatal("bad bound")
+				}
+			}
+		}},
+		{"SafetyKillingPFHNaive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if cfg.KillingPFHLONaive(lo, ns, adapt) <= 0 {
+					b.Fatal("bad bound")
+				}
+			}
+		}},
+		{"Fig1FMSKilling", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := expt.Fig1(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"Fig2FMSDegradation", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := expt.Fig2(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ExploreDesignSpace", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ds, err := explore.Explore(fmsKill, explore.Options{Safety: cfg})
+				if err != nil || len(ds) == 0 {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"FTSAnalyzeFMS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ftmc.AnalyzeEDFVD(fmsKill, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res
+			}
+		}},
+		{"Fig3PointKillD", func(b *testing.B) {
+			pcfg, err := expt.PanelConfig("3a", 10, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pcfg.Utils = []float64{0.8}
+			for i := 0; i < b.N; i++ {
+				if _, err := expt.Fig3(pcfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}

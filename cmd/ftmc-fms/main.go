@@ -8,6 +8,9 @@
 //
 // With -seed 0 (default) the calibrated per-figure instances are used;
 // any other seed draws a fresh Table 4 instance for both figures.
+//
+// The n′ sweep points are evaluated in parallel; set FTMC_WORKERS to
+// override the worker count (default: number of CPUs).
 package main
 
 import (

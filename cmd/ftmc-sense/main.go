@@ -6,6 +6,10 @@
 // Usage:
 //
 //	ftmc-sense [-what df|fms|os|ckpt|phi|all] [-u 0.8] [-f 1e-5] [-sets 200] [-instances 100] [-seed 1]
+//
+// The df, fms, os and phi sweeps fan out across workers; set
+// FTMC_WORKERS to override the worker count (default: number of CPUs).
+// Results are deterministic in -seed regardless of the worker count.
 package main
 
 import (

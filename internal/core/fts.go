@@ -23,6 +23,14 @@ type Options struct {
 	// mode and EDF-VD-with-degradation in Degrade mode, the paper's
 	// Appendix B instantiations.
 	Test mcsched.Test
+	// Cache, when non-nil, memoizes the adaptation models and pfh(LO)
+	// bounds across FTS calls. It must have been built with
+	// safety.NewAdaptationCache(Safety, hi, lo) for the same Safety config
+	// and the same HI/LO task partition of the set passed to FTS — sweeps
+	// that vary only the schedulability test S or the degradation factor
+	// df can share one cache across every design point. Nil means a
+	// transient cache per call (correct, no reuse).
+	Cache *safety.AdaptationCache
 }
 
 // test resolves the default scheduling technique.
@@ -130,6 +138,10 @@ func FTS(s *task.Set, opt Options) (Result, error) {
 	dual := s.Dual()
 	hi := s.ByClass(criticality.HI)
 	lo := s.ByClass(criticality.LO)
+	cache := opt.Cache
+	if cache == nil {
+		cache = safety.NewAdaptationCache(cfg, hi, lo)
+	}
 
 	// Lines 1–3: minimal re-execution profiles per criticality level.
 	nHI, err := cfg.MinReexecProfile(hi, dual.Requirement(criticality.HI))
@@ -146,7 +158,7 @@ func FTS(s *task.Set, opt Options) (Result, error) {
 	res.NLO = nLO
 
 	// Line 4: minimal adaptation profile preserving LO safety.
-	n1, err := cfg.MinAdaptProfile(opt.Mode, hi, lo, nLO, opt.DF, dual.Requirement(criticality.LO))
+	n1, err := cache.MinAdaptProfile(opt.Mode, nLO, opt.DF, dual.Requirement(criticality.LO))
 	if err != nil {
 		// No finite profile keeps pfh(LO) below the requirement: at least
 		// as bad as n¹_HI > n_HI.
@@ -187,7 +199,16 @@ func FTS(s *task.Set, opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res.PFHHI, res.PFHLO, err = PFHBounds(cfg, s, res.Profiles, opt.Mode, opt.DF)
+	// The achieved bounds reuse the cache: the line-4 scan has already
+	// evaluated pfh(LO) for every n′ ≤ n¹_HI, and n²_HI ≤ n_HI often falls
+	// in that range.
+	res.PFHHI = cfg.PlainPFHUniform(hi, nHI)
+	switch opt.Mode {
+	case safety.Kill:
+		res.PFHLO, err = cache.KillingPFHLOUniform(nLO, n2)
+	case safety.Degrade:
+		res.PFHLO, err = cache.DegradationPFHLOUniform(nLO, n2, opt.DF)
+	}
 	if err != nil {
 		return Result{}, err
 	}

@@ -155,6 +155,10 @@ func FTSPerTask(s *task.Set, opt Options) (PerTaskResult, error) {
 	dual := s.Dual()
 	hi := s.ByClass(criticality.HI)
 	lo := s.ByClass(criticality.LO)
+	cache := opt.Cache
+	if cache == nil {
+		cache = safety.NewAdaptationCache(cfg, hi, lo)
+	}
 
 	// Per-class greedy optimization replaces lines 1–3.
 	nsHI, err := OptimizeReexecProfiles(cfg, hi, dual.Requirement(criticality.HI))
@@ -187,7 +191,7 @@ func FTSPerTask(s *task.Set, opt Options) (PerTaskResult, error) {
 
 	// Line 4: minimal safe adaptation profile with the per-task LO
 	// profiles.
-	n1, err := minAdaptPerTask(cfg, opt, hi, lo, nsLO, dual.Requirement(criticality.LO))
+	n1, err := minAdaptPerTask(cfg, opt, cache, lo, nsLO, dual.Requirement(criticality.LO))
 	if err != nil {
 		res.N1HI = safety.MaxProfile + 1
 		res.Reason = FailSafetyAdapt
@@ -223,7 +227,7 @@ func FTSPerTask(s *task.Set, opt Options) (PerTaskResult, error) {
 		return PerTaskResult{}, err
 	}
 	res.PFHHI = cfg.PlainPFH(hi, nsHI)
-	adapt, err := safety.NewUniformAdaptation(cfg, hi, n2)
+	adapt, err := cache.Uniform(n2)
 	if err != nil {
 		return PerTaskResult{}, err
 	}
@@ -237,8 +241,9 @@ func FTSPerTask(s *task.Set, opt Options) (PerTaskResult, error) {
 }
 
 // minAdaptPerTask mirrors safety.MinAdaptProfile with per-task LO
-// re-execution profiles.
-func minAdaptPerTask(cfg safety.Config, opt Options, hi, lo []task.Task, nsLO []int, requirement float64) (int, error) {
+// re-execution profiles. The per-task pfh(LO) values are not memoizable
+// under the uniform-keyed cache, but the per-n′ Adaptation models are.
+func minAdaptPerTask(cfg safety.Config, opt Options, cache *safety.AdaptationCache, lo []task.Task, nsLO []int, requirement float64) (int, error) {
 	if math.IsInf(requirement, 1) {
 		return 1, nil
 	}
@@ -248,7 +253,7 @@ func minAdaptPerTask(cfg safety.Config, opt Options, hi, lo []task.Task, nsLO []
 		}
 	}
 	for n := 1; n <= safety.MaxProfile; n++ {
-		adapt, err := safety.NewUniformAdaptation(cfg, hi, n)
+		adapt, err := cache.Uniform(n)
 		if err != nil {
 			return 0, err
 		}

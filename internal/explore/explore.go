@@ -90,9 +90,15 @@ func Explore(s *task.Set, opt Options) ([]Design, error) {
 	if len(killTests) == 0 {
 		killTests = []mcsched.Test{mcsched.EDFVD{}, mcsched.AMCrtb{}, mcsched.SMC{}, mcsched.DBFTune{}}
 	}
+	// Every design point analyzes the same task set under the same safety
+	// config — only S and df vary. One shared adaptation cache serves the
+	// line-4 searches and bound evaluations of all of them: after the
+	// first killing and first degradation point, the remaining FT-S runs
+	// hit only the schedulability test.
+	cache := safety.NewAdaptationCache(opt.Safety, s.ByClass(criticality.HI), s.ByClass(criticality.LO))
 	var designs []Design
 	for _, test := range killTests {
-		d, err := evaluate(s, core.Options{Safety: opt.Safety, Mode: safety.Kill, Test: test}, 0)
+		d, err := evaluate(s, core.Options{Safety: opt.Safety, Mode: safety.Kill, Test: test, Cache: cache}, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -102,7 +108,7 @@ func Explore(s *task.Set, opt Options) ([]Design, error) {
 		if df <= 1 {
 			return nil, fmt.Errorf("explore: degradation factor must be > 1, got %g", df)
 		}
-		d, err := evaluate(s, core.Options{Safety: opt.Safety, Mode: safety.Degrade, DF: df}, df)
+		d, err := evaluate(s, core.Options{Safety: opt.Safety, Mode: safety.Degrade, DF: df, Cache: cache}, df)
 		if err != nil {
 			return nil, err
 		}
@@ -136,9 +142,14 @@ func evaluate(s *task.Set, opt core.Options, df float64) (Design, error) {
 }
 
 // loService weights the post-trigger LO service by the probability the
-// trigger fires within the mission (eq. 3).
+// trigger fires within the mission (eq. 3). The adaptation model comes
+// from the shared cache when the caller provided one.
 func loService(s *task.Set, opt core.Options, res core.Result) float64 {
-	adapt, err := safety.NewUniformAdaptation(opt.Safety, s.ByClass(criticality.HI), res.Profiles.NPrime)
+	cache := opt.Cache
+	if cache == nil {
+		cache = safety.NewAdaptationCache(opt.Safety, s.ByClass(criticality.HI), nil)
+	}
+	adapt, err := cache.Uniform(res.Profiles.NPrime)
 	if err != nil {
 		return 0
 	}

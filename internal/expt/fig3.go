@@ -3,8 +3,6 @@ package expt
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/criticality"
@@ -132,35 +130,17 @@ func pointSeed(seed int64, pi, ui int) int64 {
 }
 
 // fig3Point evaluates one data point, fanning the task sets across
-// workers.
+// Workers() goroutines (ForEach).
 func fig3Point(cfg Fig3Config, f, u float64, seed int64) (baseline, adapted float64) {
 	params := gen.PaperParams(cfg.HI, cfg.LO, u, f)
 	type verdict struct{ base, adapt bool }
 	verdicts := make([]verdict, cfg.SetsPerPoint)
 
-	workers := runtime.NumCPU()
-	if workers > cfg.SetsPerPoint {
-		workers = cfg.SetsPerPoint
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	go func() {
-		for i := 0; i < cfg.SetsPerPoint; i++ {
-			next <- i
-		}
-		close(next)
-	}()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				rng := rand.New(rand.NewSource(seed + int64(i)))
-				verdicts[i] = evalOne(cfg, params, rng)
-			}
-		}()
-	}
-	wg.Wait()
+	ForEach(cfg.SetsPerPoint, func(i int) error {
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		verdicts[i] = evalOne(cfg, params, rng)
+		return nil
+	})
 
 	var nb, na int
 	for _, v := range verdicts {

@@ -68,31 +68,41 @@ func FMSSweep(s *task.Set, mode safety.AdaptMode, df float64, maxNPrime int) (FM
 	if err != nil {
 		return FMSResult{}, fmt.Errorf("expt: LO re-execution profile: %w", err)
 	}
+	if mode != safety.Kill && mode != safety.Degrade {
+		return FMSResult{}, fmt.Errorf("expt: unknown adaptation mode %d", mode)
+	}
 	res := FMSResult{Mode: mode, Set: s, NHI: nHI, NLO: nLO}
 	req := dual.Requirement(criticality.LO)
-	for n := 1; n <= maxNPrime; n++ {
-		adapt, err := safety.NewUniformAdaptation(cfg, hi, n)
-		if err != nil {
-			return FMSResult{}, err
-		}
+	// The n′ points share one analysis context; the cache deduplicates the
+	// Adaptation models and pfh bounds when several points (or a later
+	// re-sweep) request the same n′.
+	cache := safety.NewAdaptationCache(cfg, hi, lo)
+	res.Points = make([]FMSPoint, maxNPrime)
+	err = ForEach(maxNPrime, func(idx int) error {
+		n := idx + 1
 		var pfhLO float64
-		switch mode {
-		case safety.Kill:
-			pfhLO = cfg.KillingPFHLOUniform(lo, nLO, adapt)
-		case safety.Degrade:
-			pfhLO = cfg.DegradationPFHLOUniform(lo, nLO, adapt, df)
-		default:
-			return FMSResult{}, fmt.Errorf("expt: unknown adaptation mode %d", mode)
+		var err error
+		if mode == safety.Kill {
+			pfhLO, err = cache.KillingPFHLOUniform(nLO, n)
+		} else {
+			pfhLO, err = cache.DegradationPFHLOUniform(nLO, n, df)
+		}
+		if err != nil {
+			return err
 		}
 		umc := core.UMC(s, nHI, nLO, n, mode, df)
-		res.Points = append(res.Points, FMSPoint{
+		res.Points[idx] = FMSPoint{
 			NPrime:      n,
 			UMC:         umc,
 			PFHLO:       pfhLO,
 			Log10PFHLO:  prob.Log10(pfhLO),
 			Schedulable: umc <= 1,
 			Safe:        pfhLO < req,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return FMSResult{}, err
 	}
 	return res, nil
 }

@@ -1,0 +1,71 @@
+package expt
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// Workers returns the fan-out width of the experiment sweeps: the value
+// of the FTMC_WORKERS environment variable when it parses as a positive
+// integer, else runtime.NumCPU(). The env override exists for pinning
+// reproductions to a fixed width (or to 1 for profiling) without code
+// changes; every CLI that sweeps (ftmc-accept, ftmc-sense, ftmc-fms)
+// honors it.
+func Workers() int {
+	if v := os.Getenv("FTMC_WORKERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+}
+
+// ForEach runs fn(i) for every i in [0, n) across at most Workers()
+// goroutines and returns the error of the lowest failing index (nil when
+// all succeed). All n iterations run regardless of individual failures,
+// so callers can fill per-index result slices and reduce them serially
+// afterwards — the idiom that keeps parallel sweeps deterministic: any
+// order-sensitive accumulation (Kahan sums, appends) happens in the
+// reduction, never in fn.
+func ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		go func() {
+			for i := 0; i < n; i++ {
+				next <- i
+			}
+			close(next)
+		}()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

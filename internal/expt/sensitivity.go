@@ -47,21 +47,36 @@ func DFSweep(hi, lo criticality.Level, u, failProb float64, dfs []float64, setsP
 		if df <= 1 {
 			return nil, fmt.Errorf("expt: degradation factor must be > 1, got %g", df)
 		}
-		accepted := 0
-		var pfhSum prob.KahanSum
-		for i := 0; i < setsPerPoint; i++ {
+		// Parallel evaluation into per-index slots, serial reduction: the
+		// Kahan sum accumulates in index order, keeping the result
+		// bit-identical to the serial sweep regardless of worker count.
+		type verdict struct {
+			ok  bool
+			pfh float64
+		}
+		verdicts := make([]verdict, setsPerPoint)
+		err := ForEach(setsPerPoint, func(i int) error {
 			rng := rand.New(rand.NewSource(seed + int64(i)))
 			s, err := gen.TaskSet(rng, params)
 			if err != nil {
-				continue
+				return nil // degenerate draw: counts as rejected
 			}
 			res, err := core.FTS(s, core.Options{Safety: scfg, Mode: safety.Degrade, DF: df})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if res.OK {
+			verdicts[i] = verdict{ok: res.OK, pfh: res.PFHLO}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		accepted := 0
+		var pfhSum prob.KahanSum
+		for _, v := range verdicts {
+			if v.ok {
 				accepted++
-				pfhSum.Add(res.PFHLO)
+				pfhSum.Add(v.pfh)
 			}
 		}
 		p := DFPoint{
@@ -105,30 +120,43 @@ func RunFMSRobustness(n int, seed int64) (FMSRobustness, error) {
 	}
 	cfg := safety.Config{OperationHours: gen.FMSOperationHours, AssumeFullWCET: true}
 	r := FMSRobustness{Instances: n}
-	for i := 0; i < n; i++ {
+	// Instances are independent: evaluate them across Workers() goroutines
+	// into per-index verdicts, then count serially.
+	type verdict struct{ profiles, killFail, degOK bool }
+	verdicts := make([]verdict, n)
+	err := ForEach(n, func(i int) error {
 		s := gen.FMSAt(seed + int64(i))
 		hi := s.ByClass(criticality.HI)
 		lo := s.ByClass(criticality.LO)
 		nHI, err1 := cfg.MinReexecProfile(hi, s.Dual().Requirement(criticality.HI))
 		nLO, err2 := cfg.MinReexecProfile(lo, s.Dual().Requirement(criticality.LO))
-		if err1 == nil && err2 == nil && nHI == 3 && nLO == 2 {
-			r.ProfilesMatch++
-		}
+		verdicts[i].profiles = err1 == nil && err2 == nil && nHI == 3 && nLO == 2
 		kill, err := core.FTEDFVD(s, cfg)
 		if err != nil {
-			return FMSRobustness{}, err
+			return err
 		}
 		deg, err := core.FTEDFVDDegrade(s, cfg, gen.FMSDegradeFactor)
 		if err != nil {
-			return FMSRobustness{}, err
+			return err
 		}
-		if !kill.OK {
+		verdicts[i].killFail = !kill.OK
+		verdicts[i].degOK = deg.OK
+		return nil
+	})
+	if err != nil {
+		return FMSRobustness{}, err
+	}
+	for _, v := range verdicts {
+		if v.profiles {
+			r.ProfilesMatch++
+		}
+		if v.killFail {
 			r.KillUncertifiable++
 		}
-		if deg.OK {
+		if v.degOK {
 			r.DegradeCertifiable++
 		}
-		if !kill.OK && deg.OK {
+		if v.killFail && v.degOK {
 			r.StoryHolds++
 		}
 	}
@@ -166,21 +194,26 @@ func OSSweep(s *task.Set, hours []int) ([]OSPoint, error) {
 	if len(hours) == 0 {
 		return nil, fmt.Errorf("expt: need at least one OS value")
 	}
-	out := make([]OSPoint, 0, len(hours))
 	for _, h := range hours {
 		if h < 1 {
 			return nil, fmt.Errorf("expt: OS must be >= 1 hour, got %d", h)
 		}
+	}
+	// Each OS value is an independent analysis (its own safety config, so
+	// no adaptation cache is shared across points): fan out by index.
+	out := make([]OSPoint, len(hours))
+	err := ForEach(len(hours), func(idx int) error {
+		h := hours[idx]
 		cfg := safety.Config{OperationHours: h, AssumeFullWCET: true}
 		hi := s.ByClass(criticality.HI)
 		lo := s.ByClass(criticality.LO)
 		nLO, err := cfg.MinReexecProfile(lo, s.Dual().Requirement(criticality.LO))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		adapt, err := safety.NewUniformAdaptation(cfg, hi, 2)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p := OSPoint{
 			Hours:        h,
@@ -189,15 +222,19 @@ func OSSweep(s *task.Set, hours []int) ([]OSPoint, error) {
 		}
 		kill, err := core.FTEDFVD(s, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p.KillCertifiable = kill.OK
 		deg, err := core.FTEDFVDDegrade(s, cfg, gen.FMSDegradeFactor)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p.DegradeCertifiable = deg.OK
-		out = append(out, p)
+		out[idx] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -227,31 +264,41 @@ func PHISweep(mode safety.AdaptMode, df float64, u, failProb float64, phis []flo
 		}
 		params := gen.PaperParams(criticality.LevelB, criticality.LevelD, u, failProb)
 		params.PHI = phi
-		var nb, na int
-		for i := 0; i < setsPerPoint; i++ {
+		type verdict struct{ base, adapt bool }
+		verdicts := make([]verdict, setsPerPoint)
+		err := ForEach(setsPerPoint, func(i int) error {
 			rng := rand.New(rand.NewSource(seed + int64(i)))
 			s, err := gen.TaskSet(rng, params)
 			if err != nil {
-				continue
+				return nil // degenerate draw: rejected both ways
 			}
 			scfg := safety.DefaultConfig()
 			dual := s.Dual()
 			nHI, errHI := scfg.MinReexecProfile(s.ByClass(criticality.HI), dual.Requirement(criticality.HI))
 			nLO, errLO := scfg.MinReexecProfile(s.ByClass(criticality.LO), dual.Requirement(criticality.LO))
-			base := false
 			if errHI == nil && errLO == nil {
-				base = s.ScaledUtilization(criticality.HI, nHI)+s.ScaledUtilization(criticality.LO, nLO) <= 1
+				verdicts[i].base = s.ScaledUtilization(criticality.HI, nHI)+s.ScaledUtilization(criticality.LO, nLO) <= 1
 			}
-			if base {
-				nb++
-				na++
-				continue
+			if verdicts[i].base {
+				verdicts[i].adapt = true
+				return nil
 			}
 			res, err := core.FTS(s, core.Options{Safety: scfg, Mode: mode, DF: df})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if res.OK {
+			verdicts[i].adapt = res.OK
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var nb, na int
+		for _, v := range verdicts {
+			if v.base {
+				nb++
+			}
+			if v.adapt {
 				na++
 			}
 		}

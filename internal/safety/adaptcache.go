@@ -1,0 +1,213 @@
+package safety
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/task"
+)
+
+// AdaptationCache memoizes the adaptation-side quantities of the FT-S
+// profile searches for one fixed analysis context (Config, HI tasks, LO
+// tasks): the per-n′ Adaptation models of eq. (3) and the per-profile
+// pfh(LO) bounds of eq. (5) and eq. (7). The searches of Algorithm 1 —
+// and, far more so, design-space sweeps that re-run Algorithm 1 on the
+// same set under several schedulability tests S or degradation factors df
+// (internal/explore, the Fig. 1/2 n′ sweeps) — evaluate these values
+// repeatedly with identical arguments; the cache collapses the repeats
+// into lookups. Eq. (7) factors as (1 − R(t))·ω(1, t)/OS with neither
+// factor depending on df, so every degrade design point after the first
+// is served entirely from cache.
+//
+// The cache is safe for concurrent use (the experiment sweeps fan FT-S
+// across workers) and keeps hit/miss counters, exposed per cache via
+// Stats and aggregated process-wide via TotalCacheStats.
+type AdaptationCache struct {
+	cfg Config
+	hi  []task.Task
+	lo  []task.Task
+
+	mu      sync.Mutex
+	models  map[int]*Adaptation // n′ → eq. (3) model
+	kill    map[[2]int]float64  // (n′, nLO) → eq. (5) bound
+	adaptPr map[int]float64     // n′ → 1 − R(t) at t = Horizon
+	omega   map[int]float64     // nLO → ω(1, t)
+	hits    uint64
+	misses  uint64
+}
+
+// CacheStats reports cache effectiveness.
+type CacheStats struct {
+	Hits, Misses uint64
+}
+
+// HitRate returns Hits/(Hits+Misses), 0 when empty.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// String renders e.g. "adaptation cache: 42 hits / 7 misses (85.7%)".
+func (s CacheStats) String() string {
+	return fmt.Sprintf("adaptation cache: %d hits / %d misses (%.1f%%)", s.Hits, s.Misses, 100*s.HitRate())
+}
+
+// Process-wide counters, aggregated across every AdaptationCache so CLIs
+// can report effectiveness without threading cache handles around.
+var totalCacheHits, totalCacheMisses atomic.Uint64
+
+// TotalCacheStats returns the process-wide hit/miss counters.
+func TotalCacheStats() CacheStats {
+	return CacheStats{Hits: totalCacheHits.Load(), Misses: totalCacheMisses.Load()}
+}
+
+// ResetTotalCacheStats zeroes the process-wide counters (benchmarks).
+func ResetTotalCacheStats() {
+	totalCacheHits.Store(0)
+	totalCacheMisses.Store(0)
+}
+
+// NewAdaptationCache builds an empty cache for the given analysis
+// context. The task slices must not be mutated while the cache is live.
+func NewAdaptationCache(cfg Config, hiTasks, loTasks []task.Task) *AdaptationCache {
+	return &AdaptationCache{
+		cfg: cfg, hi: hiTasks, lo: loTasks,
+		models:  make(map[int]*Adaptation),
+		kill:    make(map[[2]int]float64),
+		adaptPr: make(map[int]float64),
+		omega:   make(map[int]float64),
+	}
+}
+
+// Config returns the analysis configuration the cache is bound to.
+func (c *AdaptationCache) Config() Config { return c.cfg }
+
+// Stats returns this cache's hit/miss counters.
+func (c *AdaptationCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses}
+}
+
+func (c *AdaptationCache) hit()  { c.hits++; totalCacheHits.Add(1) }
+func (c *AdaptationCache) miss() { c.misses++; totalCacheMisses.Add(1) }
+
+// Uniform returns the (memoized) uniform-profile Adaptation model for n′.
+func (c *AdaptationCache) Uniform(nprime int) (*Adaptation, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.uniformLocked(nprime)
+}
+
+func (c *AdaptationCache) uniformLocked(nprime int) (*Adaptation, error) {
+	if a, ok := c.models[nprime]; ok {
+		c.hit()
+		return a, nil
+	}
+	a, err := NewUniformAdaptation(c.cfg, c.hi, nprime)
+	if err != nil {
+		return nil, err
+	}
+	c.miss()
+	c.models[nprime] = a
+	return a, nil
+}
+
+// KillingPFHLOUniform returns the (memoized) eq. (5) bound for the cached
+// LO tasks under the uniform profiles (nLO, n′).
+func (c *AdaptationCache) KillingPFHLOUniform(nLO, nprime int) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := [2]int{nprime, nLO}
+	if v, ok := c.kill[key]; ok {
+		c.hit()
+		return v, nil
+	}
+	a, err := c.uniformLocked(nprime)
+	if err != nil {
+		return 0, err
+	}
+	v := c.cfg.KillingPFHLOUniform(c.lo, nLO, a)
+	c.kill[key] = v
+	return v, nil
+}
+
+// DegradationPFHLOUniform returns the (memoized) eq. (7) bound for the
+// cached LO tasks under the uniform profiles (nLO, n′). df only scales
+// the post-trigger service, not the bound (eq. 7 uses ω(1, t)), so both
+// memoized factors are df-independent; df is still validated to keep the
+// contract of Config.DegradationPFHLO.
+func (c *AdaptationCache) DegradationPFHLOUniform(nLO, nprime int, df float64) (float64, error) {
+	if df <= 1 {
+		return 0, fmt.Errorf("safety: degradation factor must be > 1, got %g", df)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.cfg.Horizon()
+	pAdapt, ok := c.adaptPr[nprime]
+	if !ok {
+		a, err := c.uniformLocked(nprime)
+		if err != nil {
+			return 0, err
+		}
+		pAdapt = a.AdaptProb(t)
+		c.adaptPr[nprime] = pAdapt
+	}
+	w, ok := c.omega[nLO]
+	if !ok {
+		ns := uniformProfiles(len(c.lo), nLO)
+		w = c.cfg.Omega(c.lo, ns, 1, t)
+		c.omega[nLO] = w
+	}
+	return pAdapt * w / float64(c.cfg.OperationHours), nil
+}
+
+// MinAdaptProfile is Config.MinAdaptProfile served from the cache: line 4
+// of Algorithm 1 on the cached (HI, LO) context.
+func (c *AdaptationCache) MinAdaptProfile(mode AdaptMode, nLO int, df float64, requirement float64) (int, error) {
+	if math.IsInf(requirement, 1) {
+		return 1, nil
+	}
+	if mode == Kill {
+		// The killing bound never drops below its n′ → ∞ limit; refuse
+		// immediately when even that limit violates the requirement
+		// instead of scanning (and paying for eq. (5)) MaxProfile times.
+		ns := uniformProfiles(len(c.lo), nLO)
+		if limit := c.cfg.KillingPFHLOLimit(c.lo, ns); limit >= requirement {
+			return 0, fmt.Errorf("safety: killing cannot keep pfh(LO) below %g: the no-kill limit is already %g", requirement, limit)
+		}
+	}
+	for n := 1; n <= MaxProfile; n++ {
+		var pfh float64
+		var err error
+		switch mode {
+		case Kill:
+			pfh, err = c.KillingPFHLOUniform(nLO, n)
+		case Degrade:
+			pfh, err = c.DegradationPFHLOUniform(nLO, n, df)
+		default:
+			return 0, fmt.Errorf("safety: unknown adaptation mode %d", mode)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if pfh < requirement {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("safety: no adaptation profile <= %d keeps pfh(LO) below %g under %v",
+		MaxProfile, requirement, mode)
+}
+
+// uniformProfiles returns a length-k slice filled with n.
+func uniformProfiles(k, n int) []int {
+	ns := make([]int, k)
+	for i := range ns {
+		ns[i] = n
+	}
+	return ns
+}

@@ -99,7 +99,27 @@ func (a *Adaptation) AdaptProb(t timeunit.Time) float64 {
 //
 // When r_i(n_i, t) = 0 no round of τ_i fits in [0, t] and the task
 // contributes nothing (the number of summed terms equals the round count).
+//
+// KillingPFHLO evaluates the bound with the O(r_LO + Σ r_i) boundary-merge
+// kernel of killing_fast.go; killingPFHLONaive below is the direct
+// per-point evaluation, kept as the reference for differential tests and
+// baseline benchmarks. The two agree to ≤ 1e-12 relative error
+// (TestKillingKernelDifferential).
 func (c Config) KillingPFHLO(loTasks []task.Task, ns []int, adapt *Adaptation) float64 {
+	return c.killingPFHLOFast(loTasks, ns, adapt)
+}
+
+// KillingPFHLONaive exposes the naive reference evaluation of eq. (5) for
+// benchmarking the boundary-merge kernel against the original
+// implementation (cmd/ftmc-bench). Analyses should use KillingPFHLO.
+func (c Config) KillingPFHLONaive(loTasks []task.Task, ns []int, adapt *Adaptation) float64 {
+	return c.killingPFHLONaive(loTasks, ns, adapt)
+}
+
+// killingPFHLONaive evaluates eq. (5) point by point: every α ∈ π_i(t)
+// pays one Adaptation.logR call, i.e. one Rounds division per HI task —
+// O(r_LO × |τ_HI|) divisions overall.
+func (c Config) killingPFHLONaive(loTasks []task.Task, ns []int, adapt *Adaptation) float64 {
 	if len(ns) != len(loTasks) {
 		panic(fmt.Sprintf("safety: %d profiles for %d LO tasks", len(ns), len(loTasks)))
 	}

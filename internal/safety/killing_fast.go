@@ -1,0 +1,268 @@
+package safety
+
+import (
+	"fmt"
+
+	"repro/internal/prob"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+// This file implements the boundary-merge evaluation of eq. (5).
+//
+// The naive evaluation visits every LO round-finish point α ∈ π_i(t) and
+// recomputes logR(α) = Σ_j r_j(n′_j, α)·log(1 − f_j^{n′_j}) from scratch,
+// one Rounds division per HI task per point — O(r_LO × |τ_HI|) divisions
+// for ≈ 36 000 points per LO task on the FMS workload (DESIGN.md §3).
+//
+// The α points of one LO task form a decreasing arithmetic progression
+// (step T), and each HI round count r_j(n′_j, α) = ⌊(α − n′_j·C_j)/T_j⌋+1
+// is a non-decreasing staircase in α whose breakpoints are exactly
+// n′_j·C_j + k·T_j. Sweeping α downward therefore only ever *decreases*
+// every r_j, and the per-step drop d_j ∈ {⌊T/T_j⌋, ⌈T/T_j⌉} is determined
+// by the phase φ_j = (α − n′_j·C_j) mod T_j, which follows a pure
+// subtract-and-wrap recurrence — no division per step. The kernel keeps
+// the running sum S = Σ_j r_j·logTerm_j incrementally (integer round
+// counts exact, float sum Kahan-compensated): O(r_LO + Σ_j r_j)
+// integer arithmetic with one cheap transcendental per α point
+// (prob.OneMinusExpFast).
+//
+// Because the phase recurrence of staircase j cycles with period
+// P_j = T_j / gcd(T, T_j) steps, the combined per-step ΔS sequence is
+// periodic with P = lcm_j P_j. When P is small — any task set whose
+// periods share a coarse time grid, e.g. the FMS table (P = 40) — the
+// kernel precomputes the P ΔS values once and the sweep degenerates to a
+// table lookup per α; incommensurate (e.g. µs-random) periods fall back
+// to the per-staircase recurrence, still division-free.
+//
+// All staircase positions are exact integer microseconds, so the merged
+// round counts match Config.Rounds bit for bit; the only float departures
+// from the naive path are the order of Kahan accumulation and the
+// polynomial fast path of prob.OneMinusExpFast, both bounded well under
+// the guaranteed 1e-12 relative agreement (TestKillingKernelDifferential).
+
+// hiStair tracks one HI task's round-count staircase during the downward
+// α sweep of one LO task.
+type hiStair struct {
+	r       int64 // current round count r_j(n′_j, α)
+	phi     int64 // (α − n′_j·C_j) mod T_j at the current point
+	rem     int64 // T mod T_j: per-step phase decrement
+	base    int64 // T div T_j: per-step base drop of r_j
+	period  int64 // T_j
+	cost    int64 // n′_j·C_j (0 under footnote 1)
+	logTerm float64
+}
+
+// maxPattern caps the precomputed ΔS table length; beyond it the table
+// would outgrow cache (and its one-off build cost) for no benefit.
+const maxPattern = 1024
+
+// killingPFHLOFast evaluates eq. (5) with the boundary-merge kernel.
+func (c Config) killingPFHLOFast(loTasks []task.Task, ns []int, adapt *Adaptation) float64 {
+	if len(ns) != len(loTasks) {
+		panic(fmt.Sprintf("safety: %d profiles for %d LO tasks", len(ns), len(loTasks)))
+	}
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	t := c.Horizon()
+	logRt := adapt.logR(t) // the ∪{t} member, shared by every LO task
+	var sum prob.KahanSum
+	stairs := make([]hiStair, 0, len(adapt.hi))
+	for i, lo := range loTasks {
+		r := c.Rounds(lo, ns[i], t)
+		if r == 0 {
+			continue
+		}
+		log1mq := 0.0
+		if f := lo.FailProb; f > 0 {
+			log1mq = prob.Log1mPow(f, ns[i])
+		}
+		sum.Add(prob.OneMinusExp(logRt + log1mq))
+		if r > 1 {
+			c.mergeTail(lo, ns[i], r, log1mq, adapt, stairs, &sum)
+		}
+	}
+	return sum.Value() / float64(c.OperationHours)
+}
+
+// mergeTail accumulates the m = 1 .. r−1 terms of eq. (5) for one LO
+// task: α_m = t − n·C − m·T + D, swept in decreasing order while the HI
+// staircases are advanced by their phase recurrences. stairs is scratch.
+func (c Config) mergeTail(lo task.Task, n int, r int64, log1mq float64, adapt *Adaptation, stairs []hiStair, sum *prob.KahanSum) {
+	t := c.Horizon()
+	T := int64(lo.Period)
+	alpha := t - c.effectiveRoundCost(lo.WCET, n) - lo.Period + lo.Deadline
+
+	// Staircase state at the first tail point. Tasks with logTerm = 0
+	// (f_j = 0) never contribute to logR; tasks with r_j = 0 here stay 0
+	// as α decreases.
+	stairs = stairs[:0]
+	var s prob.KahanSum // running Σ_j r_j·logTerm_j = logR(α)
+	for j := range adapt.hi {
+		if adapt.logTerm[j] == 0 {
+			continue
+		}
+		rj := c.Rounds(adapt.hi[j], adapt.nprime[j], alpha)
+		if rj == 0 {
+			continue
+		}
+		cost := int64(c.effectiveRoundCost(adapt.hi[j].WCET, adapt.nprime[j]))
+		Tj := int64(adapt.hi[j].Period)
+		stairs = append(stairs, hiStair{
+			r: rj, phi: (int64(alpha) - cost) % Tj,
+			rem: T % Tj, base: T / Tj,
+			period: Tj, cost: cost, logTerm: adapt.logTerm[j],
+		})
+		s.Add(float64(rj) * adapt.logTerm[j])
+	}
+
+	// Emit the first tail point, then step through the rest.
+	m := emitRun(sum, 1, &s, log1mq) // m = points emitted so far + 1
+	if len(stairs) == 0 {
+		// No staircase active: logR is constant over the whole tail.
+		emitRun(sum, r-m, &s, log1mq)
+		return
+	}
+
+	// Patterned fast path: precompute one period of per-step ΔS values
+	// and replay it while every staircase is guaranteed to stay ≥ 1
+	// (α > max n′_j·C_j keeps each virtual floor positive, so the drop
+	// pattern needs no clamping).
+	if P, ok := patternPeriod(stairs, T); ok {
+		maxCost := int64(0)
+		for i := range stairs {
+			if stairs[i].cost > maxCost {
+				maxCost = stairs[i].cost
+			}
+		}
+		kPat := (int64(alpha) - maxCost) / T // steps keeping α ≥ every cost
+		if kPat > r-m {
+			kPat = r - m
+		}
+		if kPat >= 2*P { // amortize the table build
+			dS := buildPattern(stairs, P)
+			p := 0
+			for i := int64(0); i < kPat; i++ {
+				s.Add(dS[p])
+				p++
+				if p == len(dS) {
+					p = 0
+				}
+				x := s.Value() + log1mq
+				if x > 0 { // Kahan residue guard; true value ≤ 0
+					x = 0
+				}
+				sum.Add(prob.OneMinusExpFast(x))
+			}
+			m += kPat
+			alpha -= timeunit.Time(kPat) * lo.Period
+			// Re-anchor the staircases at the current α for the tail;
+			// α ≥ every cost, so each num is ≥ 0 and each r ≥ 1.
+			for i := range stairs {
+				num := int64(alpha) - stairs[i].cost
+				stairs[i].r = num/stairs[i].period + 1
+				stairs[i].phi = num % stairs[i].period
+			}
+		}
+	}
+
+	// Division-free per-staircase sweep (the generic path, and the tail
+	// of the patterned one, where staircases start hitting zero).
+	for m < r {
+		for idx := 0; idx < len(stairs); {
+			st := &stairs[idx]
+			st.phi -= st.rem
+			d := st.base
+			if st.phi < 0 {
+				st.phi += st.period
+				d++
+			}
+			if st.r <= d {
+				// The staircase reaches (or would pass) zero: the actual
+				// round count clamps at 0 and never recovers.
+				s.Add(float64(-st.r) * st.logTerm)
+				stairs[idx] = stairs[len(stairs)-1]
+				stairs = stairs[:len(stairs)-1]
+				continue
+			}
+			if d > 0 {
+				st.r -= d
+				s.Add(float64(-d) * st.logTerm)
+			}
+			idx++
+		}
+		x := s.Value() + log1mq
+		if x > 0 {
+			x = 0
+		}
+		sum.Add(prob.OneMinusExpFast(x))
+		m++
+		if len(stairs) == 0 {
+			emitRun(sum, r-m, &s, log1mq)
+			return
+		}
+	}
+}
+
+// emitRun adds k eq. (5) terms that share the current logR value and
+// returns k+1 (the next point index when starting from m = 0).
+func emitRun(sum *prob.KahanSum, k int64, s *prob.KahanSum, log1mq float64) int64 {
+	if k <= 0 {
+		return 1
+	}
+	x := s.Value() + log1mq
+	if x > 0 { // Kahan residue guard; the true value is ≤ 0
+		x = 0
+	}
+	sum.Add(float64(k) * prob.OneMinusExpFast(x))
+	return k + 1
+}
+
+// patternPeriod returns P = lcm_j (T_j / gcd(T, T_j)), the period of the
+// combined per-step ΔS sequence in α steps, when it stays within
+// maxPattern.
+func patternPeriod(stairs []hiStair, T int64) (int64, bool) {
+	P := int64(1)
+	for i := range stairs {
+		pj := stairs[i].period / gcd64(T, stairs[i].period)
+		P = P / gcd64(P, pj) * pj
+		if P > maxPattern {
+			return 0, false
+		}
+	}
+	return P, true
+}
+
+// buildPattern simulates one full period of the phase recurrences and
+// records the per-step ΔS = −Σ_j d_j·logTerm_j values. The staircase
+// states in stairs are not modified.
+func buildPattern(stairs []hiStair, P int64) []float64 {
+	dS := make([]float64, P)
+	phis := make([]int64, len(stairs))
+	for i := range stairs {
+		phis[i] = stairs[i].phi
+	}
+	for p := int64(0); p < P; p++ {
+		v := 0.0
+		for i := range stairs {
+			phis[i] -= stairs[i].rem
+			d := stairs[i].base
+			if phis[i] < 0 {
+				phis[i] += stairs[i].period
+				d++
+			}
+			v -= float64(d) * stairs[i].logTerm
+		}
+		dS[p] = v
+	}
+	return dS
+}
+
+// gcd64 is the binary-free Euclid gcd for positive int64 values.
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

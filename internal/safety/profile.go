@@ -66,40 +66,11 @@ func (c Config) MinReexecProfile(tasks []task.Task, requirement float64) (int, e
 // bounds are non-increasing in n′ (larger n′ ⇒ LO tasks adapted less
 // often), so a linear scan finds the infimum. df is only used in Degrade
 // mode. A +Inf requirement is met by n′ = 1.
+//
+// The scan is served through a transient AdaptationCache; callers that run
+// the search repeatedly on the same (HI, LO) context (design-space sweeps)
+// should hold their own cache and call AdaptationCache.MinAdaptProfile so
+// the per-n′ models and bounds are shared across searches.
 func (c Config) MinAdaptProfile(mode AdaptMode, hiTasks, loTasks []task.Task, nLO int, df float64, requirement float64) (int, error) {
-	if math.IsInf(requirement, 1) {
-		return 1, nil
-	}
-	if mode == Kill {
-		// The killing bound never drops below its n′ → ∞ limit; refuse
-		// immediately when even that limit violates the requirement
-		// instead of scanning (and paying for eq. (5)) MaxProfile times.
-		ns := make([]int, len(loTasks))
-		for i := range ns {
-			ns[i] = nLO
-		}
-		if limit := c.KillingPFHLOLimit(loTasks, ns); limit >= requirement {
-			return 0, fmt.Errorf("safety: killing cannot keep pfh(LO) below %g: the no-kill limit is already %g", requirement, limit)
-		}
-	}
-	for n := 1; n <= MaxProfile; n++ {
-		adapt, err := NewUniformAdaptation(c, hiTasks, n)
-		if err != nil {
-			return 0, err
-		}
-		var pfh float64
-		switch mode {
-		case Kill:
-			pfh = c.KillingPFHLOUniform(loTasks, nLO, adapt)
-		case Degrade:
-			pfh = c.DegradationPFHLOUniform(loTasks, nLO, adapt, df)
-		default:
-			return 0, fmt.Errorf("safety: unknown adaptation mode %d", mode)
-		}
-		if pfh < requirement {
-			return n, nil
-		}
-	}
-	return 0, fmt.Errorf("safety: no adaptation profile <= %d keeps pfh(LO) below %g under %v",
-		MaxProfile, requirement, mode)
+	return NewAdaptationCache(c, hiTasks, loTasks).MinAdaptProfile(mode, nLO, df, requirement)
 }

@@ -36,6 +36,18 @@ func (c Config) Rounds(t task.Task, n int, horizon timeunit.Time) int64 {
 // df is a real number (> 1 in the paper, e.g. 6), so the division is done
 // in floating point; all involved magnitudes (≤ 3.6e10 µs) are exactly
 // representable in float64.
+//
+// Invariant (pinned by TestRoundsStretchedIntegerBoundary): the int64
+// truncation below agrees with the mathematical floor, including when
+// num/(df·T) lands exactly on an integer. num ≥ 0 here, so truncation
+// rounds toward zero = down, and an IEEE-correctly-rounded quotient can
+// never round *up* across an integer k: that would need the true
+// quotient to sit within half an ulp (≈ k·2⁻⁵³) below k, i.e.
+// num > k·(df·T)·(1 − 2⁻⁵³), impossible for exact num and df·T with
+// k·df·T ≤ 64·3.6e10 ≪ 2⁵³ unless num/(df·T) = k exactly — in which
+// case the quotient is exact and truncation returns k. Consequently
+// RoundsStretched(…, df = 1, …) coincides with the integer DivFloor
+// path of Rounds for every input.
 func (c Config) RoundsStretched(t task.Task, n int, df float64, horizon timeunit.Time) int64 {
 	if n < 1 {
 		panic("safety: re-execution count must be >= 1")

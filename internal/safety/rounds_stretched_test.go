@@ -1,0 +1,78 @@
+package safety
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/criticality"
+	"repro/internal/timeunit"
+)
+
+// Regression tests for the RoundsStretched float-division edge: the
+// truncation int64(num/(df·T)) must behave like a mathematical floor even
+// when the quotient lands exactly on an integer boundary (see the
+// invariant documented on RoundsStretched). A float path that rounded
+// k − ε up to k would count one round too many — a silently optimistic
+// (unsafe) eq. (6) bound.
+
+// TestRoundsStretchedIntegerBoundary pins exact-multiple quotients: with
+// num = k·df·T the stretched count must be exactly k+1, and at num one
+// microsecond below the boundary it must be k.
+func TestRoundsStretchedIntegerBoundary(t *testing.T) {
+	c := Config{OperationHours: 1, AssumeFullWCET: true}
+	for _, tc := range []struct {
+		T  int64 // period, µs
+		df float64
+		k  int64
+	}{
+		{600_000, 2, 6},         // 7.2 s on a 1.2 s stretched period
+		{1_000_000, 6, 35},      // FMS-style df = 6
+		{1_000_000, 1.5, 24000}, // fractional df, exact in binary
+		{333_333, 3, 1000},      // stretched period not on a round grid
+		{1, 2, 3_600_000_000},   // 1 µs period: quotient near 2³²
+	} {
+		tk := mkTask("x", 1, 0, criticality.LevelB, 1e-5)
+		tk.Period = timeunit.Time(tc.T)
+		tk.WCET = 0
+		// Horizon = k·df·T exactly on the boundary (n·C = 0 keeps num = horizon).
+		boundary := timeunit.Time(tc.df * float64(tc.T) * float64(tc.k))
+		zero := Config{OperationHours: c.OperationHours, AssumeFullWCET: false}
+		if got := zero.RoundsStretched(tk, 1, tc.df, boundary); got != tc.k+1 {
+			t.Errorf("T=%d df=%g: RoundsStretched(k·df·T) = %d, want %d", tc.T, tc.df, got, tc.k+1)
+		}
+		if got := zero.RoundsStretched(tk, 1, tc.df, boundary-1); got != tc.k {
+			t.Errorf("T=%d df=%g: RoundsStretched(k·df·T − 1µs) = %d, want %d", tc.T, tc.df, got, tc.k)
+		}
+	}
+}
+
+// TestRoundsStretchedDfOneMatchesRounds sweeps randomized tasks and
+// horizons — including horizons placed exactly on round boundaries, the
+// truncation-vs-DivFloor divergence point — asserting the df = 1 float
+// path agrees with the integer Rounds path everywhere.
+func TestRoundsStretchedDfOneMatchesRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := DefaultConfig()
+	for i := 0; i < 2000; i++ {
+		tk := mkTask("x", 1, 0, criticality.LevelB, 1e-5)
+		tk.Period = timeunit.Time(1 + rng.Int63n(int64(timeunit.Hour)))
+		tk.WCET = timeunit.Time(rng.Int63n(int64(tk.Period) + 1))
+		n := 1 + rng.Intn(4)
+		var h timeunit.Time
+		switch i % 3 {
+		case 0: // random horizon
+			h = timeunit.Time(rng.Int63n(int64(timeunit.Hour) + 1))
+		case 1: // exactly k rounds: num lands on a period boundary
+			k := rng.Int63n(1000)
+			h = tk.WCET.MulSafe(n) + timeunit.Time(k)*tk.Period
+		default: // one µs short of the boundary
+			k := 1 + rng.Int63n(1000)
+			h = tk.WCET.MulSafe(n) + timeunit.Time(k)*tk.Period - 1
+		}
+		a, b := c.Rounds(tk, n, h), c.RoundsStretched(tk, n, 1, h)
+		if a != b {
+			t.Fatalf("i=%d T=%v C=%v n=%d h=%v: Rounds=%d RoundsStretched(df=1)=%d",
+				i, tk.Period, tk.WCET, n, h, a, b)
+		}
+	}
+}
