@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all check vet build test race benchcheck bench clean
+.PHONY: all check vet build test race benchcheck bench profile clean
 
 all: check
 
@@ -26,10 +26,20 @@ race:
 benchcheck:
 	$(GO) test -run '^$$' -bench=SafetyKillingPFH -benchtime=1x ./...
 
-# bench writes the machine-readable performance report BENCH_$(DATE).json
-# (see cmd/ftmc-bench); commit it to extend the performance history.
+# bench first runs the pooled-engine micro-benchmarks with allocation
+# counts (Fig. 3 point, FT-S with/without scratch, one simulator
+# hyperperiod), then writes the machine-readable performance report
+# BENCH_$(DATE).json (see cmd/ftmc-bench); commit it to extend the
+# performance history.
 bench:
+	$(GO) test -run '^$$' -bench 'Fig3Point|FTSScratch|FTSAllocating|SimulatorHyperperiod' -benchmem ./internal/...
 	$(GO) run ./cmd/ftmc-bench -v -out BENCH_$(DATE).json
+
+# profile writes pprof CPU and heap profiles of the benchmark suite;
+# inspect with `go tool pprof cpu.prof` / `go tool pprof mem.prof`.
+profile:
+	$(GO) run ./cmd/ftmc-bench -out - -cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+	@echo "wrote cpu.prof and mem.prof"
 
 clean:
 	$(GO) clean ./...

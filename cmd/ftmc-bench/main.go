@@ -7,21 +7,30 @@
 // Usage:
 //
 //	ftmc-bench [-out BENCH_<date>.json] [-benchtime 1s] [-v]
+//	           [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // The report includes the eq. (5) kernel benchmark in both its
 // boundary-merge and naive per-point forms and derives their ratio
-// (kernel_speedup), plus end-to-end analysis benchmarks (FMS sweeps,
-// design-space exploration, one reduced Fig. 3 point) and the adaptation
-// cache hit rate observed during the run. FTMC_WORKERS caps the sweep
-// fan-out as in the other CLIs.
+// (kernel_speedup); the fixed-seed Fig. 3 panel through the pooled
+// zero-allocation engine and the original allocating path, pinned to
+// FTMC_WORKERS=1, with their wall-clock ratio (fig3_pool_speedup) and
+// allocations per evaluated task set; a simulator hyperperiod throughput
+// point; end-to-end analysis benchmarks (FMS sweeps, design-space
+// exploration); and the adaptation cache hit rate observed during the
+// run. FTMC_WORKERS caps the sweep fan-out as in the other CLIs.
+//
+// -cpuprofile / -memprofile write pprof profiles covering the whole
+// benchmark run (the heap profile is taken after a final GC).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -31,6 +40,9 @@ import (
 	"repro/internal/explore"
 	"repro/internal/gen"
 	"repro/internal/safety"
+	"repro/internal/sim"
+	"repro/internal/task"
+	"repro/internal/timeunit"
 )
 
 // BenchResult is one benchmark's measurement.
@@ -54,6 +66,16 @@ type Report struct {
 	Benchmarks []BenchResult `json:"benchmarks"`
 	// KernelSpeedup is naive/fast ns-per-op of the eq. (5) evaluation.
 	KernelSpeedup float64 `json:"kernel_speedup"`
+	// Fig3PoolSpeedup is ref/pooled ns-per-op of the fixed-seed Fig. 3
+	// panel at FTMC_WORKERS=1 (the pooled Monte-Carlo engine vs the
+	// original allocating per-set path).
+	Fig3PoolSpeedup float64 `json:"fig3_pool_speedup"`
+	// Fig3AllocsPerSetPooled / Fig3AllocsPerSetRef are heap allocations
+	// per evaluated task set on the same panel, and Fig3AllocReduction is
+	// their ratio (ref/pooled).
+	Fig3AllocsPerSetPooled float64 `json:"fig3_allocs_per_set_pooled"`
+	Fig3AllocsPerSetRef    float64 `json:"fig3_allocs_per_set_ref"`
+	Fig3AllocReduction     float64 `json:"fig3_alloc_reduction"`
 	// CacheHitRate is the process-wide adaptation-cache hit rate over the
 	// whole run.
 	CacheHitRate float64 `json:"cache_hit_rate"`
@@ -65,10 +87,39 @@ func main() {
 	out := flag.String("out", "BENCH_"+date+".json", "output JSON path (- for stdout)")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
 	verbose := flag.Bool("v", false, "print each result as it completes")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fmt.Fprintf(os.Stderr, "ftmc-bench: %v\n", err)
 		os.Exit(1)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftmc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ftmc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ftmc-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ftmc-bench: %v\n", err)
+			}
+		}()
 	}
 
 	rep := Report{
@@ -83,6 +134,7 @@ func main() {
 	safety.ResetTotalCacheStats()
 
 	var fastNs, naiveNs float64
+	var fig3Pooled, fig3Ref BenchResult
 	for _, bench := range benches() {
 		r := testing.Benchmark(bench.fn)
 		br := BenchResult{
@@ -98,13 +150,25 @@ func main() {
 			fastNs = br.NsPerOp
 		case "SafetyKillingPFHNaive":
 			naiveNs = br.NsPerOp
+		case "Fig3PanelPooled":
+			fig3Pooled = br
+		case "Fig3PanelRef":
+			fig3Ref = br
 		}
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "%-28s %12d iter %14.0f ns/op\n", bench.name, br.Iterations, br.NsPerOp)
+			fmt.Fprintf(os.Stderr, "%-28s %12d iter %14.0f ns/op %10d allocs/op\n", bench.name, br.Iterations, br.NsPerOp, br.AllocsPerOp)
 		}
 	}
 	if fastNs > 0 {
 		rep.KernelSpeedup = naiveNs / fastNs
+	}
+	if fig3Pooled.NsPerOp > 0 {
+		rep.Fig3PoolSpeedup = fig3Ref.NsPerOp / fig3Pooled.NsPerOp
+		rep.Fig3AllocsPerSetPooled = float64(fig3Pooled.AllocsPerOp) / fig3BenchSets
+		rep.Fig3AllocsPerSetRef = float64(fig3Ref.AllocsPerOp) / fig3BenchSets
+		if fig3Pooled.AllocsPerOp > 0 {
+			rep.Fig3AllocReduction = float64(fig3Ref.AllocsPerOp) / float64(fig3Pooled.AllocsPerOp)
+		}
 	}
 	rep.CacheHitRate = safety.TotalCacheStats().HitRate()
 
@@ -123,6 +187,8 @@ func main() {
 		}
 		fmt.Printf("ftmc-bench: kernel speedup %.1fx (naive %.2fms vs fast %.3fms), cache hit rate %.0f%%; wrote %s\n",
 			rep.KernelSpeedup, naiveNs/1e6, fastNs/1e6, 100*rep.CacheHitRate, *out)
+		fmt.Printf("ftmc-bench: Fig3 pooled engine %.2fx wall-clock, allocs/set %.1f -> %.1f (%.0fx fewer)\n",
+			rep.Fig3PoolSpeedup, rep.Fig3AllocsPerSetRef, rep.Fig3AllocsPerSetPooled, rep.Fig3AllocReduction)
 	}
 }
 
@@ -204,5 +270,91 @@ func benches() []namedBench {
 				}
 			}
 		}},
+		{"Fig3PanelPooled", singleWorker(func(b *testing.B) {
+			pcfg := fig3BenchPanel()
+			for i := 0; i < b.N; i++ {
+				if _, err := expt.Fig3(pcfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})},
+		{"Fig3PanelRef", singleWorker(func(b *testing.B) {
+			pcfg := fig3BenchPanel()
+			for i := 0; i < b.N; i++ {
+				if _, err := expt.Fig3Ref(pcfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})},
+		{"SimulatorHyperperiod", func(b *testing.B) {
+			s := benchSimSet()
+			probs := []float64{1e-3, 1e-3, 1e-3, 1e-3, 1e-3}
+			for i := 0; i < b.N; i++ {
+				stats, err := sim.Run(sim.Config{
+					Set: s, NHI: 3, NLO: 1, NPrime: 2,
+					Mode: safety.Kill, Policy: sim.PolicyEDFVD,
+					Horizon: timeunit.Milliseconds(12600),
+					Faults:  ftmc.RandomFaults(rand.New(rand.NewSource(int64(i))), probs),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.DeadlineMisses(criticality.HI) != 0 {
+					b.Fatal("HI deadline miss")
+				}
+			}
+		}},
 	}
+}
+
+// fig3BenchSets is the number of task sets one Fig3Panel* benchmark op
+// evaluates (SetsPerPoint × |FailProbs| × |Utils|); allocs-per-set in the
+// report divides by it.
+const fig3BenchSets = 20 * 2 * 1
+
+// fig3BenchPanel is the fixed-seed panel both Fig3Panel* benchmarks run:
+// panel 3a at U = 0.8 with 20 sets per point and both failure probs.
+func fig3BenchPanel() expt.Fig3Config {
+	pcfg, err := expt.PanelConfig("3a", 20, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftmc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	pcfg.Utils = []float64{0.8}
+	return pcfg
+}
+
+// singleWorker pins FTMC_WORKERS to 1 around fn so the pooled-vs-ref
+// comparison in the committed report measures single-worker wall clock,
+// independent of the host's core count.
+func singleWorker(fn func(*testing.B)) func(*testing.B) {
+	return func(b *testing.B) {
+		old, had := os.LookupEnv("FTMC_WORKERS")
+		os.Setenv("FTMC_WORKERS", "1")
+		defer func() {
+			if had {
+				os.Setenv("FTMC_WORKERS", old)
+			} else {
+				os.Unsetenv("FTMC_WORKERS")
+			}
+		}()
+		fn(b)
+	}
+}
+
+// benchSimSet is the Example 3.1 task set (hyperperiod 12.6 s).
+func benchSimSet() *task.Set {
+	mk := func(name string, T, C int64, l criticality.Level) task.Task {
+		return task.Task{
+			Name: name, Period: timeunit.Milliseconds(T), Deadline: timeunit.Milliseconds(T),
+			WCET: timeunit.Milliseconds(C), Level: l, FailProb: 1e-3,
+		}
+	}
+	return task.MustNewSet([]task.Task{
+		mk("τ1", 60, 5, criticality.LevelB),
+		mk("τ2", 25, 4, criticality.LevelB),
+		mk("τ3", 40, 7, criticality.LevelD),
+		mk("τ4", 90, 6, criticality.LevelD),
+		mk("τ5", 70, 8, criticality.LevelD),
+	})
 }

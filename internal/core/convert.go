@@ -61,11 +61,17 @@ func Convert(s *task.Set, p Profiles) (*mcsched.MCSet, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	out := appendConverted(make([]mcsched.MCTask, 0, s.Len()), s, p)
+	return mcsched.NewMCSet(out)
+}
+
+// appendConverted appends the Lemma 4.1 conversion of s under p to dst and
+// returns the extended slice. p must already be validated.
+func appendConverted(dst []mcsched.MCTask, s *task.Set, p Profiles) []mcsched.MCTask {
 	nprime := p.NPrime
 	if nprime > p.NHI {
 		nprime = p.NHI
 	}
-	out := make([]mcsched.MCTask, 0, s.Len())
 	for _, t := range s.Tasks() {
 		mt := mcsched.MCTask{
 			Name:     t.Name,
@@ -80,9 +86,9 @@ func Convert(s *task.Set, p Profiles) (*mcsched.MCSet, error) {
 			mt.CHI = t.RoundLength(p.NLO)
 			mt.CLO = mt.CHI
 		}
-		out = append(out, mt)
+		dst = append(dst, mt)
 	}
-	return mcsched.NewMCSet(out)
+	return dst
 }
 
 // MustConvert is Convert panicking on error, for tests and examples.

@@ -31,6 +31,14 @@ type Options struct {
 	// df can share one cache across every design point. Nil means a
 	// transient cache per call (correct, no reuse).
 	Cache *safety.AdaptationCache
+	// Scratch, when non-nil, makes FTS reuse per-worker arenas for the
+	// adaptation cache and the line-8 conversions, so evaluating a stream
+	// of task sets is allocation-free in the steady state (the Monte-Carlo
+	// engine of internal/expt). A Scratch must not be shared across
+	// goroutines. Trade-offs of the pooled path: Result.Converted is left
+	// nil (rebuild it with Convert(s, Result.Profiles) if needed), and
+	// when Cache is also set, Cache wins and the scratch cache is unused.
+	Scratch *Scratch
 }
 
 // test resolves the default scheduling technique.
@@ -99,7 +107,8 @@ type Result struct {
 	// Profiles are the chosen profiles on success (n′_HI = n²_HI).
 	Profiles Profiles
 	// Converted is the conventional MC task set Γ(n_HI, n_LO, n′_HI)
-	// scheduled by S, on success.
+	// scheduled by S, on success. Left nil when FTS ran with
+	// Options.Scratch (rebuild with Convert(s, Profiles) if needed).
 	Converted *mcsched.MCSet
 	// PFHHI and PFHLO are the achieved safety bounds on success.
 	PFHHI, PFHLO float64
@@ -140,7 +149,11 @@ func FTS(s *task.Set, opt Options) (Result, error) {
 	lo := s.ByClass(criticality.LO)
 	cache := opt.Cache
 	if cache == nil {
-		cache = safety.NewAdaptationCache(cfg, hi, lo)
+		if opt.Scratch != nil {
+			cache = opt.Scratch.adaptCache(cfg, hi, lo)
+		} else {
+			cache = safety.NewAdaptationCache(cfg, hi, lo)
+		}
 	}
 
 	// Lines 1–3: minimal re-execution profiles per criticality level.
@@ -174,10 +187,12 @@ func FTS(s *task.Set, opt Options) (Result, error) {
 		return res, nil
 	}
 
-	// Line 8: maximal schedulable adaptation profile over [1, n_HI].
+	// Line 8: maximal schedulable adaptation profile over [1, n_HI]. The
+	// candidate conversions go into the scratch arena when one is supplied
+	// (opt.Scratch.convert falls back to Convert on a nil receiver).
 	n2 := 0
 	for n := nHI; n >= 1; n-- {
-		conv, err := Convert(s, Profiles{NHI: nHI, NLO: nLO, NPrime: n})
+		conv, err := opt.Scratch.convert(s, Profiles{NHI: nHI, NLO: nLO, NPrime: n})
 		if err != nil {
 			return Result{}, err
 		}
@@ -195,9 +210,11 @@ func FTS(s *task.Set, opt Options) (Result, error) {
 	}
 	res.OK = true
 	res.Profiles = Profiles{NHI: nHI, NLO: nLO, NPrime: n2}
-	res.Converted, err = Convert(s, res.Profiles)
-	if err != nil {
-		return Result{}, err
+	if opt.Scratch == nil {
+		res.Converted, err = Convert(s, res.Profiles)
+		if err != nil {
+			return Result{}, err
+		}
 	}
 	// The achieved bounds reuse the cache: the line-4 scan has already
 	// evaluated pfh(LO) for every n′ ≤ n¹_HI, and n²_HI ≤ n_HI often falls

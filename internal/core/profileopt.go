@@ -32,9 +32,15 @@ import (
 // An +Inf requirement returns all ones. The error mirrors
 // MinReexecProfile: no assignment within safety.MaxProfile attempts.
 func OptimizeReexecProfiles(cfg safety.Config, tasks []task.Task, requirement float64) ([]int, error) {
-	ns := make([]int, len(tasks))
-	for i := range ns {
-		ns[i] = 1
+	return optimizeReexecProfilesInto(nil, cfg, tasks, requirement)
+}
+
+// optimizeReexecProfilesInto is OptimizeReexecProfiles writing into buf
+// (grown as needed), the scratch-buffer path of FTSPerTask.
+func optimizeReexecProfilesInto(buf []int, cfg safety.Config, tasks []task.Task, requirement float64) ([]int, error) {
+	ns := buf[:0]
+	for range tasks {
+		ns = append(ns, 1)
 	}
 	if len(tasks) == 0 || math.IsInf(requirement, 1) {
 		return ns, nil
@@ -79,13 +85,22 @@ func OptimizeReexecProfiles(cfg safety.Config, tasks []task.Task, requirement fl
 // i gets C(HI) = ns[i]·C and C(LO) = min(n′, ns[i])·C; LO task i gets
 // both WCETs equal to ns[i]·C.
 func ConvertPerTask(s *task.Set, ns []int, nprime int) (*mcsched.MCSet, error) {
+	out, err := appendConvertedPerTask(make([]mcsched.MCTask, 0, s.Len()), s, ns, nprime)
+	if err != nil {
+		return nil, err
+	}
+	return mcsched.NewMCSet(out)
+}
+
+// appendConvertedPerTask appends the per-task conversion of s to dst and
+// returns the extended slice.
+func appendConvertedPerTask(dst []mcsched.MCTask, s *task.Set, ns []int, nprime int) ([]mcsched.MCTask, error) {
 	if len(ns) != s.Len() {
 		return nil, fmt.Errorf("core: %d profiles for %d tasks", len(ns), s.Len())
 	}
 	if nprime < 1 {
 		return nil, fmt.Errorf("core: adaptation profile must be >= 1, got %d", nprime)
 	}
-	out := make([]mcsched.MCTask, 0, s.Len())
 	for i, t := range s.Tasks() {
 		if ns[i] < 1 {
 			return nil, fmt.Errorf("core: profile of %q must be >= 1, got %d", t.Name, ns[i])
@@ -107,9 +122,9 @@ func ConvertPerTask(s *task.Set, ns []int, nprime int) (*mcsched.MCSet, error) {
 			mt.CHI = t.RoundLength(ns[i])
 			mt.CLO = mt.CHI
 		}
-		out = append(out, mt)
+		dst = append(dst, mt)
 	}
-	return mcsched.NewMCSet(out)
+	return dst, nil
 }
 
 // PerTaskResult reports FTSPerTask.
@@ -123,7 +138,8 @@ type PerTaskResult struct {
 	// N1HI, N2HI and NPrime are as in Result (the adaptation profile
 	// stays uniform over HI tasks).
 	N1HI, N2HI, NPrime int
-	// Converted is the per-task converted MC set on success.
+	// Converted is the per-task converted MC set on success; nil when
+	// FTSPerTask ran with Options.Scratch.
 	Converted *mcsched.MCSet
 	// PFHHI, PFHLO are the achieved bounds on success.
 	PFHHI, PFHLO float64
@@ -155,18 +171,34 @@ func FTSPerTask(s *task.Set, opt Options) (PerTaskResult, error) {
 	dual := s.Dual()
 	hi := s.ByClass(criticality.HI)
 	lo := s.ByClass(criticality.LO)
+	scr := opt.Scratch
 	cache := opt.Cache
 	if cache == nil {
-		cache = safety.NewAdaptationCache(cfg, hi, lo)
+		if scr != nil {
+			cache = scr.adaptCache(cfg, hi, lo)
+		} else {
+			cache = safety.NewAdaptationCache(cfg, hi, lo)
+		}
 	}
 
-	// Per-class greedy optimization replaces lines 1–3.
-	nsHI, err := OptimizeReexecProfiles(cfg, hi, dual.Requirement(criticality.HI))
+	// Per-class greedy optimization replaces lines 1–3, into the scratch
+	// class buffers when one is supplied.
+	var bufHI, bufLO []int
+	if scr != nil {
+		bufHI, bufLO = scr.nsHI, scr.nsLO
+	}
+	nsHI, err := optimizeReexecProfilesInto(bufHI, cfg, hi, dual.Requirement(criticality.HI))
+	if scr != nil && nsHI != nil {
+		scr.nsHI = nsHI
+	}
 	if err != nil {
 		res.Reason = FailReexecProfile
 		return res, nil
 	}
-	nsLO, err := OptimizeReexecProfiles(cfg, lo, dual.Requirement(criticality.LO))
+	nsLO, err := optimizeReexecProfilesInto(bufLO, cfg, lo, dual.Requirement(criticality.LO))
+	if scr != nil && nsLO != nil {
+		scr.nsLO = nsLO
+	}
 	if err != nil {
 		res.Reason = FailReexecProfile
 		return res, nil
@@ -203,10 +235,11 @@ func FTSPerTask(s *task.Set, opt Options) (PerTaskResult, error) {
 		return res, nil
 	}
 
-	// Line 8: maximal schedulable adaptation profile over [1, max n_i].
+	// Line 8: maximal schedulable adaptation profile over [1, max n_i],
+	// converting into the scratch arena when one is supplied.
 	n2 := 0
 	for n := maxHI; n >= 1; n-- {
-		conv, err := ConvertPerTask(s, ns, n)
+		conv, err := scr.convertPerTask(s, ns, n)
 		if err != nil {
 			return PerTaskResult{}, err
 		}
@@ -222,9 +255,11 @@ func FTSPerTask(s *task.Set, opt Options) (PerTaskResult, error) {
 	}
 	res.OK = true
 	res.NPrime = n2
-	res.Converted, err = ConvertPerTask(s, ns, n2)
-	if err != nil {
-		return PerTaskResult{}, err
+	if scr == nil {
+		res.Converted, err = ConvertPerTask(s, ns, n2)
+		if err != nil {
+			return PerTaskResult{}, err
+		}
 	}
 	res.PFHHI = cfg.PlainPFH(hi, nsHI)
 	adapt, err := cache.Uniform(n2)

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/mcsched"
+	"repro/internal/safety"
+	"repro/internal/task"
+)
+
+// Scratch is the reusable per-worker state of the amortized FT-S
+// evaluation path: one pooled safety.AdaptationCache (rebound per set via
+// Reset) plus the conversion buffers for the converted MC set rebuilt at
+// every candidate adaptation profile of the line-8 search. With a Scratch
+// threaded through Options, repeated FTS calls on a stream of task sets
+// are allocation-free in the steady state — the property the Monte-Carlo
+// experiments (internal/expt, Fig. 3) rely on for throughput.
+//
+// Ownership rules:
+//
+//   - One Scratch belongs to ONE worker goroutine; it must never be shared
+//     concurrently (the pooled cache is rebound per call).
+//   - Memory reachable from a Result produced with a Scratch (notably the
+//     omitted Converted set, see Options.Scratch) is valid only until the
+//     next FTS/FTSPerTask call with the same Scratch.
+//
+// The zero value is ready to use.
+type Scratch struct {
+	cache   *safety.AdaptationCache
+	mcTasks []mcsched.MCTask
+	conv    mcsched.MCSet
+	nsHI    []int // FTSPerTask per-class greedy buffers
+	nsLO    []int
+}
+
+// NewScratch returns an empty scratch. Equivalent to new(Scratch); exists
+// for discoverability.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// adaptCache returns the pooled AdaptationCache rebound to the given
+// analysis context.
+func (scr *Scratch) adaptCache(cfg safety.Config, hi, lo []task.Task) *safety.AdaptationCache {
+	if scr.cache == nil {
+		scr.cache = safety.NewAdaptationCache(cfg, hi, lo)
+	} else {
+		scr.cache.Reset(cfg, hi, lo)
+	}
+	return scr.cache
+}
+
+// convert is Convert into the scratch-owned MCSet: the returned set
+// aliases scratch memory and is valid until the next convert call. A nil
+// receiver falls back to the allocating Convert.
+func (scr *Scratch) convert(s *task.Set, p Profiles) (*mcsched.MCSet, error) {
+	if scr == nil {
+		return Convert(s, p)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	scr.mcTasks = appendConverted(scr.mcTasks[:0], s, p)
+	if err := scr.conv.Reset(scr.mcTasks); err != nil {
+		return nil, err
+	}
+	return &scr.conv, nil
+}
+
+// convertPerTask is ConvertPerTask into the scratch-owned MCSet, under the
+// same aliasing contract as convert. A nil receiver falls back to the
+// allocating ConvertPerTask.
+func (scr *Scratch) convertPerTask(s *task.Set, ns []int, nprime int) (*mcsched.MCSet, error) {
+	if scr == nil {
+		return ConvertPerTask(s, ns, nprime)
+	}
+	out, err := appendConvertedPerTask(scr.mcTasks[:0], s, ns, nprime)
+	if err != nil {
+		return nil, err
+	}
+	scr.mcTasks = out
+	if err := scr.conv.Reset(scr.mcTasks); err != nil {
+		return nil, err
+	}
+	return &scr.conv, nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/criticality"
+	"repro/internal/gen"
+	"repro/internal/safety"
+	"repro/internal/task"
+)
+
+func randomSets(tb testing.TB, n int, u float64) []*task.Set {
+	tb.Helper()
+	p := gen.PaperParams(criticality.LevelB, criticality.LevelD, u, 1e-3)
+	sets := make([]*task.Set, 0, n)
+	for i := int64(0); len(sets) < n; i++ {
+		s, err := gen.TaskSet(rand.New(rand.NewSource(1000+i)), p)
+		if err != nil {
+			continue
+		}
+		sets = append(sets, s)
+	}
+	return sets
+}
+
+// TestFTSScratchMatchesAllocating runs Algorithm 1 with and without a
+// pooled Scratch on a stream of random sets and requires identical
+// verdicts, profiles and bounds (Converted is nil by contract under
+// Scratch).
+func TestFTSScratchMatchesAllocating(t *testing.T) {
+	scr := NewScratch()
+	opt := Options{Safety: safety.DefaultConfig(), Mode: safety.Kill}
+	for _, s := range randomSets(t, 40, 0.85) {
+		want, err := FTS(s, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optScr := opt
+		optScr.Scratch = scr
+		got, err := FTS(s, optScr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Converted != nil {
+			t.Fatal("scratch mode must leave Converted nil")
+		}
+		got.Converted = want.Converted
+		if got != want {
+			t.Fatalf("scratch FTS diverged:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+// TestFTSPerTaskScratchMatchesAllocating is the per-task relaxation's
+// counterpart.
+func TestFTSPerTaskScratchMatchesAllocating(t *testing.T) {
+	scr := NewScratch()
+	opt := Options{Safety: safety.DefaultConfig(), Mode: safety.Degrade, DF: 2}
+	for _, s := range randomSets(t, 25, 0.85) {
+		want, err := FTSPerTask(s, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optScr := opt
+		optScr.Scratch = scr
+		got, err := FTSPerTask(s, optScr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Converted != nil {
+			t.Fatal("scratch mode must leave Converted nil")
+		}
+		got.Converted = want.Converted
+		if len(got.Reexec) != len(want.Reexec) {
+			t.Fatalf("profile length mismatch: %v vs %v", got.Reexec, want.Reexec)
+		}
+		for i := range got.Reexec {
+			if got.Reexec[i] != want.Reexec[i] {
+				t.Fatalf("scratch FTSPerTask diverged at profile %d:\n got %+v\nwant %+v", i, got, want)
+			}
+		}
+		got.Reexec, want.Reexec = nil, nil
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("scratch FTSPerTask diverged:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func benchFTS(b *testing.B, scr *Scratch) {
+	sets := randomSets(b, 10, 0.85)
+	opt := Options{Safety: safety.DefaultConfig(), Mode: safety.Kill, Scratch: scr}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range sets {
+			if _, err := FTS(s, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFTSScratch measures Algorithm 1 on 10 random sets through the
+// pooled scratch path (steady-state allocation-free).
+func BenchmarkFTSScratch(b *testing.B) { benchFTS(b, NewScratch()) }
+
+// BenchmarkFTSAllocating is the same workload with transient per-call
+// state; compare allocs/op against BenchmarkFTSScratch.
+func BenchmarkFTSAllocating(b *testing.B) { benchFTS(b, nil) }

@@ -99,11 +99,26 @@ type Fig3Result struct {
 }
 
 // Fig3 runs one panel of the extensive simulations: for every (f, U) data
-// point it draws SetsPerPoint random task sets with the Appendix C
+// point it draws SetsPerPoint random task sets with the configured
 // generator and reports the fraction accepted with and without
-// adaptation. Sets are processed in parallel; results are deterministic
-// in Seed.
+// adaptation. Sets are processed in parallel through the pooled
+// zero-allocation engine (one gen.Drawer and one core.Scratch per
+// worker); every set's verdict depends only on its splitmix64-derived
+// seed, so results are deterministic in Seed and byte-identical across
+// every FTMC_WORKERS value.
 func Fig3(cfg Fig3Config) (Fig3Result, error) {
+	return fig3(cfg, fig3Point)
+}
+
+// Fig3Ref is Fig3 through the original allocating per-set path (a fresh
+// generator run and transient FTS state per set). It exists as the
+// reference for differential tests and before/after benchmarks of the
+// pooled engine; both paths draw identical sets from identical seeds.
+func Fig3Ref(cfg Fig3Config) (Fig3Result, error) {
+	return fig3(cfg, fig3PointRef)
+}
+
+func fig3(cfg Fig3Config, point func(Fig3Config, float64, float64, int64) (float64, float64)) (Fig3Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Fig3Result{}, err
 	}
@@ -115,7 +130,7 @@ func Fig3(cfg Fig3Config) (Fig3Result, error) {
 			Adapted:  make([]float64, len(cfg.Utils)),
 		}
 		for ui, u := range cfg.Utils {
-			base, adapted := fig3Point(cfg, f, u, pointSeed(cfg.Seed, pi, ui))
+			base, adapted := point(cfg, f, u, pointSeed(cfg.Seed, pi, ui))
 			curve.Baseline[ui] = base
 			curve.Adapted[ui] = adapted
 		}
@@ -124,24 +139,98 @@ func Fig3(cfg Fig3Config) (Fig3Result, error) {
 	return res, nil
 }
 
-// pointSeed derives a deterministic sub-seed per data point.
-func pointSeed(seed int64, pi, ui int) int64 {
-	return seed*1_000_003 + int64(pi)*10_007 + int64(ui)*101
+// mix64 is the splitmix64 finalizer: a bijective avalanche mix whose
+// outputs are pairwise-decorrelated even for adjacent inputs.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }
 
-// fig3Point evaluates one data point, fanning the task sets across
-// Workers() goroutines (ForEach).
+// pointSeed derives a deterministic sub-seed per data point. The old
+// affine derivation (seed·1_000_003 + pi·10_007 + ui·101) spaced adjacent
+// utilization points only 101 apart while per-set seeds advanced by 1, so
+// any SetsPerPoint > 101 re-evaluated overlapping RNG streams across
+// points; chaining splitmix64 mixes makes collisions across (seed, pi,
+// ui, i) astronomically unlikely instead of systematic.
+func pointSeed(seed int64, pi, ui int) int64 {
+	x := mix64(uint64(seed))
+	x = mix64(x + 0x9E3779B97F4A7C15*uint64(pi+1))
+	x = mix64(x + 0x9E3779B97F4A7C15*uint64(ui+1))
+	return int64(x)
+}
+
+// setSeed derives the RNG seed of set i at a data point.
+func setSeed(point int64, i int) int64 {
+	return int64(mix64(uint64(point) + 0x9E3779B97F4A7C15*uint64(i+1)))
+}
+
+// verdict is one task set's acceptance with and without adaptation.
+type verdict struct{ base, adapt bool }
+
+// fig3Chunk is the ForEachWorker claim size: sets cost on the order of a
+// millisecond each, so a handful per claim amortizes the atomic without
+// hurting load balance at SetsPerPoint = 500.
+const fig3Chunk = 8
+
+// setEval is the per-worker pooled state of the Fig. 3 engine: one task
+// set arena and one FT-S scratch, reused across every set the worker
+// evaluates.
+type setEval struct {
+	drawer  *gen.Drawer
+	scratch *core.Scratch
+}
+
+// fig3Point evaluates one data point through the pooled engine, fanning
+// the task sets across Workers() goroutines in chunks. Per-worker state
+// is created lazily on first claim; verdicts are filled by set index and
+// reduced serially, so the ratios do not depend on the worker count.
 func fig3Point(cfg Fig3Config, f, u float64, seed int64) (baseline, adapted float64) {
 	params := gen.PaperParams(cfg.HI, cfg.LO, u, f)
-	type verdict struct{ base, adapt bool }
+	tasksPerSet := 0
+	if cfg.Generator == GenUUnifast {
+		tasksPerSet = cfg.TasksPerSet
+		if tasksPerSet == 0 {
+			tasksPerSet = 10
+		}
+	}
 	verdicts := make([]verdict, cfg.SetsPerPoint)
-
-	ForEach(cfg.SetsPerPoint, func(i int) error {
-		rng := rand.New(rand.NewSource(seed + int64(i)))
-		verdicts[i] = evalOne(cfg, params, rng)
+	evals := make([]*setEval, Workers())
+	ForEachWorker(cfg.SetsPerPoint, fig3Chunk, func(w, i int) error {
+		ev := evals[w]
+		if ev == nil {
+			d, err := gen.NewDrawer(params, tasksPerSet)
+			if err != nil {
+				return err
+			}
+			ev = &setEval{drawer: d, scratch: core.NewScratch()}
+			evals[w] = ev
+		}
+		s, err := ev.drawer.Draw(setSeed(seed, i))
+		if err != nil {
+			return nil // degenerate draw: reject both ways
+		}
+		verdicts[i] = judge(cfg, s, ev.scratch)
 		return nil
 	})
+	return reduceVerdicts(verdicts)
+}
 
+// fig3PointRef evaluates one data point through the original allocating
+// path: one fresh RNG and generator run per set, transient FTS state.
+func fig3PointRef(cfg Fig3Config, f, u float64, seed int64) (baseline, adapted float64) {
+	params := gen.PaperParams(cfg.HI, cfg.LO, u, f)
+	verdicts := make([]verdict, cfg.SetsPerPoint)
+	ForEach(cfg.SetsPerPoint, func(i int) error {
+		rng := rand.New(rand.NewSource(setSeed(seed, i)))
+		verdicts[i] = evalOneRef(cfg, params, rng)
+		return nil
+	})
+	return reduceVerdicts(verdicts)
+}
+
+func reduceVerdicts(verdicts []verdict) (baseline, adapted float64) {
 	var nb, na int
 	for _, v := range verdicts {
 		if v.base {
@@ -151,11 +240,13 @@ func fig3Point(cfg Fig3Config, f, u float64, seed int64) (baseline, adapted floa
 			na++
 		}
 	}
-	return float64(nb) / float64(cfg.SetsPerPoint), float64(na) / float64(cfg.SetsPerPoint)
+	n := float64(len(verdicts))
+	return float64(nb) / n, float64(na) / n
 }
 
-// evalOne draws one random set and judges it with and without adaptation.
-func evalOne(cfg Fig3Config, params gen.Params, rng *rand.Rand) (v struct{ base, adapt bool }) {
+// evalOneRef draws one random set with the allocating generators and
+// judges it — the pre-pooling reference path.
+func evalOneRef(cfg Fig3Config, params gen.Params, rng *rand.Rand) verdict {
 	var s *task.Set
 	var err error
 	if cfg.Generator == GenUUnifast {
@@ -168,8 +259,16 @@ func evalOne(cfg Fig3Config, params gen.Params, rng *rand.Rand) (v struct{ base,
 		s, err = gen.TaskSet(rng, params)
 	}
 	if err != nil {
-		return v // degenerate draw: reject both ways
+		return verdict{} // degenerate draw: reject both ways
 	}
+	return judge(cfg, s, nil)
+}
+
+// judge applies the Appendix C acceptance criterion to one set: accept
+// outright when the fully re-executed set passes the exact EDF bound,
+// otherwise accept iff FT-S succeeds. A nil scratch selects the
+// allocating FTS path.
+func judge(cfg Fig3Config, s *task.Set, scr *core.Scratch) (v verdict) {
 	scfg := safety.DefaultConfig()
 	dual := s.Dual()
 	nHI, errHI := scfg.MinReexecProfile(s.ByClass(criticality.HI), dual.Requirement(criticality.HI))
@@ -184,7 +283,7 @@ func evalOne(cfg Fig3Config, params gen.Params, rng *rand.Rand) (v struct{ base,
 		v.adapt = true
 		return v
 	}
-	res, err := core.FTS(s, core.Options{Safety: scfg, Mode: cfg.Mode, DF: cfg.DF})
+	res, err := core.FTS(s, core.Options{Safety: scfg, Mode: cfg.Mode, DF: cfg.DF, Scratch: scr})
 	v.adapt = err == nil && res.OK
 	return v
 }

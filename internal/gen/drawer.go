@@ -1,0 +1,154 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+// Drawer draws random dual-criticality task sets into a per-worker arena:
+// the task slice, the UUnifast utilization buffer, the task.Set and the
+// "τN" name strings are all allocated once and reused across draws, so a
+// Monte-Carlo worker pulling thousands of sets (the Fig. 3 engine) incurs
+// zero steady-state allocations per draw.
+//
+// Determinism: Draw(seed) reseeds the drawer's private RNG and consumes
+// it exactly as TaskSet (Appendix C) resp. UUnifastTaskSet would consume
+// a fresh rand.New(rand.NewSource(seed)) — the generated set is
+// bit-identical to the allocating generators for the same seed
+// (TestDrawerMatchesTaskSet).
+//
+// Ownership: the returned *task.Set aliases the arena and is valid only
+// until the next Draw on the same Drawer. A Drawer must not be shared
+// across goroutines.
+type Drawer struct {
+	p     Params
+	n     int // 0: Appendix C; >= 2: UUnifast fixed task count
+	rng   *rand.Rand
+	tasks []task.Task
+	utils []float64
+	set   task.Set
+	names []string // cached "τ1", "τ2", ... labels
+}
+
+// NewDrawer validates the parameters once and returns a drawer for the
+// Appendix C generator (tasksPerSet == 0) or the UUnifast generator with
+// the given fixed task count (tasksPerSet >= 2).
+func NewDrawer(p Params, tasksPerSet int) (*Drawer, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if tasksPerSet != 0 && tasksPerSet < 2 {
+		return nil, fmt.Errorf("gen: dual-criticality UUnifast set needs n >= 2, got %d", tasksPerSet)
+	}
+	return &Drawer{p: p, n: tasksPerSet, rng: rand.New(rand.NewSource(1))}, nil
+}
+
+// name returns the cached "τi" label (1-based).
+func (d *Drawer) name(i int) string {
+	for len(d.names) < i {
+		d.names = append(d.names, "τ"+strconv.Itoa(len(d.names)+1))
+	}
+	return d.names[i-1]
+}
+
+// Draw reseeds the drawer's RNG and draws one task set into the arena,
+// retrying degenerate draws exactly as the allocating generators do. The
+// returned set aliases the arena: it is valid until the next Draw.
+func (d *Drawer) Draw(seed int64) (*task.Set, error) {
+	d.rng.Seed(seed)
+	for attempt := 0; attempt < 1000; attempt++ {
+		var ok bool
+		if d.n > 0 {
+			ok = d.drawUUnifast()
+		} else {
+			ok = d.drawAppendixC()
+		}
+		if !ok {
+			continue
+		}
+		if err := d.set.Reset(d.tasks); err != nil {
+			continue // single-class draw; retry
+		}
+		return &d.set, nil
+	}
+	if d.n > 0 {
+		return nil, fmt.Errorf("gen: could not draw a UUnifast dual-criticality set (n=%d, U=%g)", d.n, d.p.TargetU)
+	}
+	return nil, fmt.Errorf("gen: could not draw a dual-criticality set with U=%g after 1000 attempts", d.p.TargetU)
+}
+
+// drawAppendixC fills the arena with one Appendix C candidate, consuming
+// the RNG exactly as draw() does. Reports whether the draw is usable.
+func (d *Drawer) drawAppendixC() bool {
+	p, rng := d.p, d.rng
+	d.tasks = d.tasks[:0]
+	total := 0.0
+	for total < p.TargetU {
+		u := p.UMin + rng.Float64()*(p.UMax-p.UMin)
+		if total+u > p.TargetU {
+			u = p.TargetU - total
+		}
+		period := p.TMin + timeunit.Time(rng.Int63n(int64(p.TMax-p.TMin)+1))
+		wcet := timeunit.Time(u * period.Float())
+		if wcet < 1 {
+			break
+		}
+		level := p.LOLevel
+		if rng.Float64() < p.PHI {
+			level = p.HILevel
+		}
+		d.tasks = append(d.tasks, task.Task{
+			Name:     d.name(len(d.tasks) + 1),
+			Period:   period,
+			Deadline: period,
+			WCET:     wcet,
+			Level:    level,
+			FailProb: p.FailProb,
+		})
+		total += wcet.Float() / period.Float()
+	}
+	return len(d.tasks) >= 2
+}
+
+// drawUUnifast fills the arena with one UUnifast candidate, consuming the
+// RNG exactly as UUnifastTaskSet does (one inner attempt).
+func (d *Drawer) drawUUnifast() bool {
+	p, rng, n := d.p, d.rng, d.n
+	if cap(d.utils) < n {
+		d.utils = make([]float64, n)
+	}
+	utils := d.utils[:n]
+	sum := p.TargetU
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-1-i))
+		utils[i] = sum - next
+		sum = next
+	}
+	utils[n-1] = sum
+	d.tasks = d.tasks[:0]
+	for i, u := range utils {
+		period := p.TMin + timeunit.Time(rng.Int63n(int64(p.TMax-p.TMin)+1))
+		wcet := timeunit.Time(u * period.Float())
+		if wcet < 1 {
+			return false
+		}
+		level := p.LOLevel
+		if rng.Float64() < p.PHI {
+			level = p.HILevel
+		}
+		d.tasks = append(d.tasks, task.Task{
+			Name:     d.name(i + 1),
+			Period:   period,
+			Deadline: period,
+			WCET:     wcet,
+			Level:    level,
+			FailProb: p.FailProb,
+		})
+	}
+	return true
+}

@@ -89,18 +89,33 @@ type MCSet struct {
 
 // NewMCSet validates the tasks and builds a set.
 func NewMCSet(tasks []MCTask) (*MCSet, error) {
+	var s MCSet
+	if err := s.Reset(tasks); err != nil {
+		return nil, err
+	}
+	s.tasks = append([]MCTask(nil), tasks...)
+	return &s, nil
+}
+
+// Reset reinitializes the set in place from tasks, validating exactly as
+// NewMCSet but WITHOUT copying: the set aliases the slice until the next
+// Reset (and fills in empty names in place). It is the allocation-free
+// construction path used by core.Scratch to rebuild the converted set
+// Γ(n_HI, n_LO, n′) once per candidate adaptation profile.
+func (s *MCSet) Reset(tasks []MCTask) error {
 	if len(tasks) == 0 {
-		return nil, fmt.Errorf("mcsched: empty task set")
+		return fmt.Errorf("mcsched: empty task set")
 	}
 	for i := range tasks {
 		if tasks[i].Name == "" {
 			tasks[i].Name = fmt.Sprintf("τ%d", i+1)
 		}
 		if err := tasks[i].Validate(); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return &MCSet{tasks: append([]MCTask(nil), tasks...)}, nil
+	s.tasks = tasks
+	return nil
 }
 
 // MustNewMCSet is NewMCSet panicking on error, for tests and literals.

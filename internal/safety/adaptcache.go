@@ -36,6 +36,12 @@ type AdaptationCache struct {
 	omega   map[int]float64     // nLO → ω(1, t)
 	hits    uint64
 	misses  uint64
+	// free pools retired Adaptation models across Reset calls so pooled
+	// sweeps (core.Scratch) rebuild models without reallocating their
+	// profile/logTerm slices; scr is the boundary-merge kernel scratch,
+	// used under mu.
+	free []*Adaptation
+	scr  kernelScratch
 }
 
 // CacheStats reports cache effectiveness.
@@ -86,6 +92,26 @@ func NewAdaptationCache(cfg Config, hiTasks, loTasks []task.Task) *AdaptationCac
 // Config returns the analysis configuration the cache is bound to.
 func (c *AdaptationCache) Config() Config { return c.cfg }
 
+// Reset rebinds the cache to a new analysis context, invalidating every
+// memoized model and bound while keeping the allocated storage: the maps
+// retain their buckets and the retired Adaptation models go to a free
+// pool for reuse, so re-running Algorithm 1 on a stream of task sets
+// (core.Scratch, the Fig. 3 engine) is allocation-free in the steady
+// state. The hit/miss counters are cumulative across resets. The task
+// slices must not be mutated while the cache is live.
+func (c *AdaptationCache) Reset(cfg Config, hiTasks, loTasks []task.Task) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg, c.hi, c.lo = cfg, hiTasks, loTasks
+	for n, a := range c.models {
+		c.free = append(c.free, a)
+		delete(c.models, n)
+	}
+	clear(c.kill)
+	clear(c.adaptPr)
+	clear(c.omega)
+}
+
 // Stats returns this cache's hit/miss counters.
 func (c *AdaptationCache) Stats() CacheStats {
 	c.mu.Lock()
@@ -108,9 +134,20 @@ func (c *AdaptationCache) uniformLocked(nprime int) (*Adaptation, error) {
 		c.hit()
 		return a, nil
 	}
-	a, err := NewUniformAdaptation(c.cfg, c.hi, nprime)
-	if err != nil {
-		return nil, err
+	var a *Adaptation
+	if n := len(c.free); n > 0 {
+		a = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		if err := a.resetUniform(c.cfg, c.hi, nprime); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		a, err = NewUniformAdaptation(c.cfg, c.hi, nprime)
+		if err != nil {
+			return nil, err
+		}
 	}
 	c.miss()
 	c.models[nprime] = a
@@ -131,7 +168,7 @@ func (c *AdaptationCache) KillingPFHLOUniform(nLO, nprime int) (float64, error) 
 	if err != nil {
 		return 0, err
 	}
-	v := c.cfg.KillingPFHLOUniform(c.lo, nLO, a)
+	v := c.cfg.killingPFHLOFast(c.lo, nil, nLO, a, &c.scr)
 	c.kill[key] = v
 	return v, nil
 }
@@ -159,8 +196,7 @@ func (c *AdaptationCache) DegradationPFHLOUniform(nLO, nprime int, df float64) (
 	}
 	w, ok := c.omega[nLO]
 	if !ok {
-		ns := uniformProfiles(len(c.lo), nLO)
-		w = c.cfg.Omega(c.lo, ns, 1, t)
+		w = c.cfg.omegaUniform(c.lo, nLO, 1, t)
 		c.omega[nLO] = w
 	}
 	return pAdapt * w / float64(c.cfg.OperationHours), nil
@@ -176,8 +212,7 @@ func (c *AdaptationCache) MinAdaptProfile(mode AdaptMode, nLO int, df float64, r
 		// The killing bound never drops below its n′ → ∞ limit; refuse
 		// immediately when even that limit violates the requirement
 		// instead of scanning (and paying for eq. (5)) MaxProfile times.
-		ns := uniformProfiles(len(c.lo), nLO)
-		if limit := c.cfg.KillingPFHLOLimit(c.lo, ns); limit >= requirement {
+		if limit := c.cfg.killingPFHLOLimitUniform(c.lo, nLO); limit >= requirement {
 			return 0, fmt.Errorf("safety: killing cannot keep pfh(LO) below %g: the no-kill limit is already %g", requirement, limit)
 		}
 	}
@@ -201,13 +236,4 @@ func (c *AdaptationCache) MinAdaptProfile(mode AdaptMode, nLO int, df float64, r
 	}
 	return 0, fmt.Errorf("safety: no adaptation profile <= %d keeps pfh(LO) below %g under %v",
 		MaxProfile, requirement, mode)
-}
-
-// uniformProfiles returns a length-k slice filled with n.
-func uniformProfiles(k, n int) []int {
-	ns := make([]int, k)
-	for i := range ns {
-		ns[i] = n
-	}
-	return ns
 }

@@ -52,9 +52,23 @@ func (c Config) DegradationPFHLO(loTasks []task.Task, ns []int, adapt *Adaptatio
 // DegradationPFHLOUniform is DegradationPFHLO with a uniform LO
 // re-execution profile n_LO.
 func (c Config) DegradationPFHLOUniform(loTasks []task.Task, nLO int, adapt *Adaptation, df float64) float64 {
-	ns := make([]int, len(loTasks))
-	for i := range ns {
-		ns[i] = nLO
+	if df <= 1 {
+		panic(fmt.Sprintf("safety: degradation factor must be > 1, got %g", df))
 	}
-	return c.DegradationPFHLO(loTasks, ns, adapt, df)
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	t := c.Horizon()
+	return adapt.AdaptProb(t) * c.omegaUniform(loTasks, nLO, 1, t) / float64(c.OperationHours)
+}
+
+// omegaUniform is Omega with a uniform LO re-execution profile, evaluated
+// without materializing the profile slice (same summation order).
+func (c Config) omegaUniform(loTasks []task.Task, n int, df float64, t timeunit.Time) float64 {
+	var sum prob.KahanSum
+	for _, lo := range loTasks {
+		r := c.RoundsStretched(lo, n, df, t)
+		sum.Add(float64(r) * prob.Pow(lo.FailProb, n))
+	}
+	return sum.Value()
 }

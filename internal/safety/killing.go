@@ -51,6 +51,27 @@ func NewUniformAdaptation(cfg Config, hiTasks []task.Task, nprime int) (*Adaptat
 	return NewAdaptation(cfg, hiTasks, ns)
 }
 
+// resetUniform reinitializes a (possibly recycled) model in place for a
+// new analysis context with a uniform profile n′, reusing the profile and
+// logTerm buffers — the AdaptationCache's pooled construction path.
+func (a *Adaptation) resetUniform(cfg Config, hiTasks []task.Task, nprime int) error {
+	if nprime < 1 {
+		return fmt.Errorf("safety: adaptation profile must be >= 1, got %d", nprime)
+	}
+	ns := a.nprime[:0]
+	lt := a.logTerm[:0]
+	for _, t := range hiTasks {
+		ns = append(ns, nprime)
+		term := 0.0
+		if f := t.FailProb; f > 0 {
+			term = prob.Log1mPow(f, nprime)
+		}
+		lt = append(lt, term)
+	}
+	a.cfg, a.hi, a.nprime, a.logTerm = cfg, hiTasks, ns, lt
+	return nil
+}
+
 // logR returns log R(N′_HI, t) per eq. (3):
 //
 //	R(N′_HI, t) = Π_{τ_i ∈ τ_HI} (1 − f_i^{n′_i})^{r_i(n′_i, t)}
@@ -106,7 +127,7 @@ func (a *Adaptation) AdaptProb(t timeunit.Time) float64 {
 // baseline benchmarks. The two agree to ≤ 1e-12 relative error
 // (TestKillingKernelDifferential).
 func (c Config) KillingPFHLO(loTasks []task.Task, ns []int, adapt *Adaptation) float64 {
-	return c.killingPFHLOFast(loTasks, ns, adapt)
+	return c.killingPFHLOFast(loTasks, ns, 0, adapt, nil)
 }
 
 // KillingPFHLONaive exposes the naive reference evaluation of eq. (5) for
@@ -174,11 +195,19 @@ func (c Config) KillingPFHLOLimit(loTasks []task.Task, ns []int) float64 {
 }
 
 // KillingPFHLOUniform is KillingPFHLO with a uniform LO re-execution
-// profile n_LO.
+// profile n_LO, evaluated without materializing the profile slice.
 func (c Config) KillingPFHLOUniform(loTasks []task.Task, nLO int, adapt *Adaptation) float64 {
-	ns := make([]int, len(loTasks))
-	for i := range ns {
-		ns[i] = nLO
+	return c.killingPFHLOFast(loTasks, nil, nLO, adapt, nil)
+}
+
+// killingPFHLOLimitUniform is KillingPFHLOLimit with a uniform LO
+// re-execution profile, allocation-free for the line-4 fail-fast check.
+func (c Config) killingPFHLOLimitUniform(loTasks []task.Task, nLO int) float64 {
+	t := c.Horizon()
+	var sum prob.KahanSum
+	for _, lo := range loTasks {
+		r := c.Rounds(lo, nLO, t)
+		sum.Add(float64(r) * prob.Pow(lo.FailProb, nLO))
 	}
-	return c.KillingPFHLO(loTasks, ns, adapt)
+	return sum.Value() / float64(c.OperationHours)
 }

@@ -57,30 +57,50 @@ type hiStair struct {
 // would outgrow cache (and its one-off build cost) for no benefit.
 const maxPattern = 1024
 
+// kernelScratch holds the reusable buffers of the boundary-merge kernel.
+// One scratch serves one kernel call at a time (callers synchronize; the
+// AdaptationCache threads its own under its mutex). The zero value is
+// ready to use; a nil *kernelScratch makes the kernel fall back to
+// transient per-call buffers.
+type kernelScratch struct {
+	stairs []hiStair
+	dS     []float64 // buildPattern ΔS table
+	phis   []int64   // buildPattern phase scratch
+}
+
 // killingPFHLOFast evaluates eq. (5) with the boundary-merge kernel.
-func (c Config) killingPFHLOFast(loTasks []task.Task, ns []int, adapt *Adaptation) float64 {
-	if len(ns) != len(loTasks) {
+// ns gives per-task LO re-execution profiles; a nil ns means the uniform
+// profile `uniform` for every LO task (the §4.2 restriction), evaluated
+// without materializing the slice. scr may be nil.
+func (c Config) killingPFHLOFast(loTasks []task.Task, ns []int, uniform int, adapt *Adaptation, scr *kernelScratch) float64 {
+	if ns != nil && len(ns) != len(loTasks) {
 		panic(fmt.Sprintf("safety: %d profiles for %d LO tasks", len(ns), len(loTasks)))
 	}
 	if err := c.Validate(); err != nil {
 		panic(err)
 	}
+	if scr == nil {
+		scr = &kernelScratch{stairs: make([]hiStair, 0, len(adapt.hi))}
+	}
 	t := c.Horizon()
 	logRt := adapt.logR(t) // the ∪{t} member, shared by every LO task
 	var sum prob.KahanSum
-	stairs := make([]hiStair, 0, len(adapt.hi))
 	for i, lo := range loTasks {
-		r := c.Rounds(lo, ns[i], t)
+		n := uniform
+		if ns != nil {
+			n = ns[i]
+		}
+		r := c.Rounds(lo, n, t)
 		if r == 0 {
 			continue
 		}
 		log1mq := 0.0
 		if f := lo.FailProb; f > 0 {
-			log1mq = prob.Log1mPow(f, ns[i])
+			log1mq = prob.Log1mPow(f, n)
 		}
 		sum.Add(prob.OneMinusExp(logRt + log1mq))
 		if r > 1 {
-			c.mergeTail(lo, ns[i], r, log1mq, adapt, stairs, &sum)
+			c.mergeTail(lo, n, r, log1mq, adapt, scr, &sum)
 		}
 	}
 	return sum.Value() / float64(c.OperationHours)
@@ -88,8 +108,9 @@ func (c Config) killingPFHLOFast(loTasks []task.Task, ns []int, adapt *Adaptatio
 
 // mergeTail accumulates the m = 1 .. r−1 terms of eq. (5) for one LO
 // task: α_m = t − n·C − m·T + D, swept in decreasing order while the HI
-// staircases are advanced by their phase recurrences. stairs is scratch.
-func (c Config) mergeTail(lo task.Task, n int, r int64, log1mq float64, adapt *Adaptation, stairs []hiStair, sum *prob.KahanSum) {
+// staircases are advanced by their phase recurrences. scr provides the
+// staircase and pattern buffers.
+func (c Config) mergeTail(lo task.Task, n int, r int64, log1mq float64, adapt *Adaptation, scr *kernelScratch, sum *prob.KahanSum) {
 	t := c.Horizon()
 	T := int64(lo.Period)
 	alpha := t - c.effectiveRoundCost(lo.WCET, n) - lo.Period + lo.Deadline
@@ -97,7 +118,7 @@ func (c Config) mergeTail(lo task.Task, n int, r int64, log1mq float64, adapt *A
 	// Staircase state at the first tail point. Tasks with logTerm = 0
 	// (f_j = 0) never contribute to logR; tasks with r_j = 0 here stay 0
 	// as α decreases.
-	stairs = stairs[:0]
+	stairs := scr.stairs[:0]
 	var s prob.KahanSum // running Σ_j r_j·logTerm_j = logR(α)
 	for j := range adapt.hi {
 		if adapt.logTerm[j] == 0 {
@@ -116,6 +137,9 @@ func (c Config) mergeTail(lo task.Task, n int, r int64, log1mq float64, adapt *A
 		})
 		s.Add(float64(rj) * adapt.logTerm[j])
 	}
+	// Keep any capacity growth for the next call (the sweep below only
+	// ever shrinks the local slice).
+	scr.stairs = stairs
 
 	// Emit the first tail point, then step through the rest.
 	m := emitRun(sum, 1, &s, log1mq) // m = points emitted so far + 1
@@ -141,7 +165,7 @@ func (c Config) mergeTail(lo task.Task, n int, r int64, log1mq float64, adapt *A
 			kPat = r - m
 		}
 		if kPat >= 2*P { // amortize the table build
-			dS := buildPattern(stairs, P)
+			dS := buildPattern(stairs, P, scr)
 			p := 0
 			for i := int64(0); i < kPat; i++ {
 				s.Add(dS[p])
@@ -235,11 +259,20 @@ func patternPeriod(stairs []hiStair, T int64) (int64, bool) {
 }
 
 // buildPattern simulates one full period of the phase recurrences and
-// records the per-step ΔS = −Σ_j d_j·logTerm_j values. The staircase
-// states in stairs are not modified.
-func buildPattern(stairs []hiStair, P int64) []float64 {
-	dS := make([]float64, P)
-	phis := make([]int64, len(stairs))
+// records the per-step ΔS = −Σ_j d_j·logTerm_j values into scr's reusable
+// table. The staircase states in stairs are not modified.
+func buildPattern(stairs []hiStair, P int64, scr *kernelScratch) []float64 {
+	dS := scr.dS[:0]
+	if int64(cap(dS)) < P {
+		dS = make([]float64, 0, P)
+	}
+	dS = dS[:P]
+	phis := scr.phis[:0]
+	if cap(phis) < len(stairs) {
+		phis = make([]int64, 0, len(stairs))
+	}
+	phis = phis[:len(stairs)]
+	scr.dS, scr.phis = dS, phis
 	for i := range stairs {
 		phis[i] = stairs[i].phi
 	}

@@ -32,13 +32,17 @@ func (c Config) PlainPFH(tasks []task.Task, ns []int) float64 {
 }
 
 // PlainPFHUniform is PlainPFH with the same re-execution profile n for
-// every task, the restriction Algorithm 1 works under (§4.2).
+// every task, the restriction Algorithm 1 works under (§4.2). It is
+// evaluated directly (same summation order as PlainPFH) so the profile
+// searches of Algorithm 1 stay allocation-free.
 func (c Config) PlainPFHUniform(tasks []task.Task, n int) float64 {
-	ns := make([]int, len(tasks))
-	for i := range ns {
-		ns[i] = n
+	var sum prob.KahanSum
+	hour := timeunit.Hours(1)
+	for _, t := range tasks {
+		r := c.Rounds(t, n, hour)
+		sum.Add(float64(r) * prob.Pow(t.FailProb, n))
 	}
-	return c.PlainPFH(tasks, ns)
+	return sum.Value()
 }
 
 // PlainPFHClass evaluates eq. (2) over the tasks of one criticality role

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -155,12 +154,10 @@ type job struct {
 	heapIdx   int
 }
 
-// jobHeap orders jobs by (effective deadline, task index, sequence).
-type jobHeap []*job
-
-func (h jobHeap) Len() int { return len(h) }
-func (h jobHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
+// jobLess is the total scheduling order (effective deadline, task index,
+// sequence). The key is unique per job, so the minimum — and with it every
+// scheduling decision — is independent of the heap layout.
+func jobLess(a, b *job) bool {
 	if a.eff != b.eff {
 		return a.eff < b.eff
 	}
@@ -169,23 +166,87 @@ func (h jobHeap) Less(i, j int) bool {
 	}
 	return a.seq < b.seq
 }
-func (h jobHeap) Swap(i, j int) {
+
+// readyHeap is a slice-backed 4-ary min-heap of jobs under jobLess,
+// replacing container/heap in the event loop: the 4-way fan-out halves
+// the tree depth (fewer cache lines per sift), and the monomorphic
+// methods avoid the interface dispatch of heap.Push/Remove on every
+// release and completion. heapIdx is kept current for O(log n) removal
+// of arbitrary jobs (kills, completions from the middle).
+type readyHeap []*job
+
+func (h readyHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].heapIdx = i
 	h[j].heapIdx = j
 }
-func (h *jobHeap) Push(x any) {
-	j := x.(*job)
+
+func (h readyHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 4
+		if !jobLess(h[i], h[p]) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h readyHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		best := i
+		c := 4*i + 1
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for ; c < end; c++ {
+			if jobLess(h[c], h[best]) {
+				best = c
+			}
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+// push inserts j and restores the invariant.
+func (h *readyHeap) push(j *job) {
 	j.heapIdx = len(*h)
 	*h = append(*h, j)
+	h.siftUp(j.heapIdx)
 }
-func (h *jobHeap) Pop() any {
-	old := *h
-	n := len(old)
-	j := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return j
+
+// remove deletes the job at index i (swap with the last element, then
+// sift both ways — the replacement may order either side of the hole).
+func (h *readyHeap) remove(i int) {
+	s := *h
+	n := len(s) - 1
+	if i != n {
+		s[i] = s[n]
+		s[i].heapIdx = i
+	}
+	s[n] = nil
+	*h = s[:n]
+	if i < n {
+		h.siftDown(i)
+		(*h).siftUp(i)
+	}
+}
+
+// reheap repairs heapIdx and rebuilds the invariant from scratch, after a
+// bulk re-key or compaction (mode switch).
+func (h readyHeap) reheap() {
+	for i, j := range h {
+		j.heapIdx = i
+	}
+	for i := (len(h) - 2) / 4; i >= 0; i-- {
+		h.siftDown(i)
+	}
 }
 
 // taskState is the runtime state of one task.
@@ -193,6 +254,8 @@ type taskState struct {
 	t           task.Task
 	class       criticality.Class
 	maxAttempts int
+	vdRel       timeunit.Time // HI under EDF-VD: relative virtual deadline (explicit or x·D), resolved once
+	df          float64       // LO: degradation factor (per-task override or uniform), resolved once
 	nextRelease timeunit.Time
 	lastRelease timeunit.Time
 	seq         int64
@@ -209,7 +272,8 @@ type Simulator struct {
 	now    timeunit.Time
 	mode   criticality.Class
 	tasks  []taskState
-	ready  jobHeap
+	ready  readyHeap
+	free   []*job // retired job records, reused across releases
 	stats  Stats
 	trace  []Event
 	slices []Slice
@@ -217,6 +281,22 @@ type Simulator struct {
 	runIdx int             // taskIdx of the job that ran last, -1 if idle
 	runSeq int64
 }
+
+// newJob takes a job record from the free list, or allocates one. Over a
+// long horizon the live-job population is bounded by the ready-queue
+// depth, so releases stop allocating after warm-up.
+func (s *Simulator) newJob() *job {
+	if n := len(s.free); n > 0 {
+		j := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return j
+	}
+	return &job{}
+}
+
+// freeJob retires a job record once no heap or stats path references it.
+func (s *Simulator) freeJob(j *job) { s.free = append(s.free, j) }
 
 // priorityRanks resolves the PolicyDM priority order to a per-task-index
 // rank (smaller = higher priority).
@@ -359,17 +439,30 @@ func New(cfg Config) (*Simulator, error) {
 		}
 		s.prio = ranks
 	}
-	for i, t := range cfg.Set.Tasks() {
+	for _, t := range cfg.Set.Tasks() {
 		class := cfg.Set.Class(t)
 		maxAttempts := cfg.NLO
 		if class == criticality.HI {
 			maxAttempts = cfg.NHI
 		}
 		st := taskState{t: t, class: class, maxAttempts: maxAttempts}
+		// Resolve the per-task map lookups once; release and
+		// effectiveDeadline run on every job and read the cached fields.
+		if class == criticality.HI {
+			if vd, ok := cfg.VirtualDeadlines[t.Name]; ok {
+				st.vdRel = vd
+			} else {
+				st.vdRel = timeunit.Time(x * t.Deadline.Float())
+			}
+		} else {
+			st.df = cfg.DF
+			if df, ok := cfg.DFs[t.Name]; ok {
+				st.df = df
+			}
+		}
 		st.nextRelease = s.delay(0)
 		s.tasks = append(s.tasks, st)
 		s.stats.PerTask = append(s.stats.PerTask, TaskStats{Name: t.Name, Class: class, period: t.Period})
-		_ = i
 	}
 	s.stats.Horizon = cfg.Horizon
 	return s, nil
@@ -470,11 +563,11 @@ func (s *Simulator) release(i int, r timeunit.Time) {
 	st := &s.tasks[i]
 	period, deadline := st.t.Period, st.t.Deadline
 	if st.degraded {
-		df := s.degradeFactor(st.t.Name)
-		period = timeunit.Time(df * period.Float())
-		deadline = timeunit.Time(df * deadline.Float())
+		period = timeunit.Time(st.df * period.Float())
+		deadline = timeunit.Time(st.df * deadline.Float())
 	}
-	j := &job{
+	j := s.newJob()
+	*j = job{
 		taskIdx:   i,
 		seq:       st.seq,
 		release:   r,
@@ -483,7 +576,7 @@ func (s *Simulator) release(i int, r timeunit.Time) {
 		attempt:   1,
 	}
 	j.eff = s.effectiveDeadline(j)
-	heap.Push(&s.ready, j)
+	s.ready.push(j)
 	s.stats.PerTask[i].Released++
 	s.emit(EvRelease, r, i, j.seq, 1)
 	st.seq++
@@ -491,27 +584,16 @@ func (s *Simulator) release(i int, r timeunit.Time) {
 	st.nextRelease = s.delay(r + period)
 }
 
-// degradeFactor resolves the per-task degradation factor, falling back
-// to the uniform DF.
-func (s *Simulator) degradeFactor(name string) float64 {
-	if df, ok := s.cfg.DFs[name]; ok {
-		return df
-	}
-	return s.cfg.DF
-}
-
 // effectiveDeadline computes the EDF key: HI jobs use virtual deadlines
-// release + x·D while in LO mode under EDF-VD.
+// release + vdRel (the per-task x·D or explicit override, resolved at
+// construction) while in LO mode under EDF-VD.
 func (s *Simulator) effectiveDeadline(j *job) timeunit.Time {
 	st := &s.tasks[j.taskIdx]
 	if s.cfg.Policy == PolicyDM {
 		return s.prio[j.taskIdx]
 	}
 	if s.cfg.Policy == PolicyEDFVD && st.class == criticality.HI && s.mode == criticality.LO {
-		if vd, ok := s.cfg.VirtualDeadlines[st.t.Name]; ok {
-			return j.release + vd
-		}
-		return j.release + timeunit.Time(s.x*st.t.Deadline.Float())
+		return j.release + st.vdRel
 	}
 	return j.deadline
 }
@@ -552,7 +634,8 @@ func (s *Simulator) finishAttempt(j *job) {
 			ts.LateCompletions++
 			s.emit(EvMiss, s.now, i, j.seq, j.attempt)
 		}
-		heap.Remove(&s.ready, j.heapIdx)
+		s.ready.remove(j.heapIdx)
+		s.freeJob(j)
 		return
 	}
 	ts.FaultyAttempts++
@@ -560,7 +643,8 @@ func (s *Simulator) finishAttempt(j *job) {
 	if j.attempt >= st.maxAttempts {
 		ts.RoundFailures++
 		s.emit(EvRoundFail, s.now, i, j.seq, j.attempt)
-		heap.Remove(&s.ready, j.heapIdx)
+		s.ready.remove(j.heapIdx)
+		s.freeJob(j)
 		return
 	}
 	j.attempt++
@@ -590,9 +674,13 @@ func (s *Simulator) switchMode() {
 			if st.class == criticality.LO {
 				s.stats.PerTask[j.taskIdx].KilledJobs++
 				s.emit(EvKill, s.now, j.taskIdx, j.seq, j.attempt)
+				s.freeJob(j)
 				continue
 			}
 			kept = append(kept, j)
+		}
+		for i := len(kept); i < len(s.ready); i++ {
+			s.ready[i] = nil
 		}
 		s.ready = kept
 		for i := range s.tasks {
@@ -610,7 +698,7 @@ func (s *Simulator) switchMode() {
 				continue
 			}
 			st.degraded = true
-			stretched := st.lastRelease + timeunit.Time(s.degradeFactor(st.t.Name)*st.t.Period.Float())
+			stretched := st.lastRelease + timeunit.Time(st.df*st.t.Period.Float())
 			if st.seq == 0 {
 				stretched = st.nextRelease // nothing released yet
 			}
@@ -619,14 +707,13 @@ func (s *Simulator) switchMode() {
 			}
 		}
 	}
-	// Re-key every remaining job (HI virtual deadlines expire), repair the
-	// heap indices invalidated by the compaction above, and restore the
-	// heap invariant.
-	for idx, j := range s.ready {
+	// Re-key every remaining job (HI virtual deadlines expire), then
+	// rebuild the heap — reheap also repairs the indices invalidated by
+	// the compaction above.
+	for _, j := range s.ready {
 		j.eff = s.effectiveDeadline(j)
-		j.heapIdx = idx
 	}
-	heap.Init(&s.ready)
+	s.ready.reheap()
 }
 
 // windDown classifies jobs still pending at the horizon and counts the

@@ -13,46 +13,103 @@ import (
 type Set struct {
 	tasks []Task
 	dual  criticality.DualLevels
+	// hi, lo are cached role views (input order preserved), built once at
+	// construction so ByClass and the utilization accessors are
+	// allocation-free on the analysis hot path.
+	hi, lo []Task
 }
 
 // NewSet validates the tasks and classifies them into the HI/LO roles.
 // The tasks may be given in any order; the set keeps the input order.
+// The input slice is copied; empty names are filled in on the input
+// before copying (τ1, τ2, ...).
 func NewSet(tasks []Task) (*Set, error) {
-	if len(tasks) == 0 {
-		return nil, fmt.Errorf("task: empty task set")
+	s := &Set{}
+	if err := s.Reset(tasks); err != nil {
+		return nil, err
 	}
-	levels := map[criticality.Level]bool{}
-	for i, t := range tasks {
-		if t.Name == "" {
+	// Decouple from the caller's slice (Reset aliases its argument).
+	s.tasks = append([]Task(nil), s.tasks...)
+	s.hi, s.lo = nil, nil
+	s.reindexClasses()
+	return s, nil
+}
+
+// Reset reinitializes the set in place from tasks, revalidating and
+// reclassifying exactly as NewSet but WITHOUT copying: the set takes
+// ownership of (and aliases) the slice until the next Reset, and fills in
+// empty names in place. It allocates only when the class views outgrow
+// their previous capacity, which is what makes arena-style reuse
+// (gen.Drawer) allocation-free in the steady state. On error the set is
+// left unusable and must be Reset again before use.
+func (s *Set) Reset(tasks []Task) error {
+	if len(tasks) == 0 {
+		return fmt.Errorf("task: empty task set")
+	}
+	// Track up to two distinct levels without a map; the error path below
+	// recounts with one (allocation there is fine).
+	var l0, l1 criticality.Level
+	distinct := 0
+	for i := range tasks {
+		if tasks[i].Name == "" {
 			tasks[i].Name = fmt.Sprintf("τ%d", i+1)
 		}
 		if err := tasks[i].Validate(); err != nil {
-			return nil, err
+			return err
 		}
-		levels[t.Level] = true
-	}
-	if len(levels) != 2 {
-		var names []string
-		for l := range levels {
-			names = append(names, l.String())
+		switch lv := tasks[i].Level; {
+		case distinct == 0:
+			l0, distinct = lv, 1
+		case lv == l0:
+		case distinct == 1:
+			l1, distinct = lv, 2
+		case lv == l1:
+		default:
+			distinct = 3 // three or more: error below
 		}
-		sort.Strings(names)
-		return nil, fmt.Errorf("task: dual-criticality set needs exactly 2 distinct levels, got %d (%v)", len(levels), names)
 	}
-	var ls []criticality.Level
-	for l := range levels {
-		ls = append(ls, l)
+	if distinct != 2 {
+		return levelCountError(tasks)
 	}
-	hi, lo := ls[0], ls[1]
+	hi, lo := l0, l1
 	if lo.MoreCriticalThan(hi) {
 		hi, lo = lo, hi
 	}
 	dual, err := criticality.NewDualLevels(hi, lo)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	s := &Set{tasks: append([]Task(nil), tasks...), dual: dual}
-	return s, nil
+	s.tasks, s.dual = tasks, dual
+	s.reindexClasses()
+	return nil
+}
+
+// levelCountError renders the NewSet error for a set without exactly two
+// distinct levels (cold path; allocation is acceptable here).
+func levelCountError(tasks []Task) error {
+	levels := map[criticality.Level]bool{}
+	for _, t := range tasks {
+		levels[t.Level] = true
+	}
+	var names []string
+	for l := range levels {
+		names = append(names, l.String())
+	}
+	sort.Strings(names)
+	return fmt.Errorf("task: dual-criticality set needs exactly 2 distinct levels, got %d (%v)", len(levels), names)
+}
+
+// reindexClasses rebuilds the cached role views over s.tasks, reusing
+// their capacity.
+func (s *Set) reindexClasses() {
+	s.hi, s.lo = s.hi[:0], s.lo[:0]
+	for _, t := range s.tasks {
+		if t.Level == s.dual.HI {
+			s.hi = append(s.hi, t)
+		} else {
+			s.lo = append(s.lo, t)
+		}
+	}
 }
 
 // MustNewSet is NewSet panicking on error, for tests and literals.
@@ -82,15 +139,14 @@ func (s *Set) Class(t Task) criticality.Class {
 	return criticality.LO
 }
 
-// ByClass returns the tasks playing the given role, in input order.
+// ByClass returns the tasks playing the given role, in input order. The
+// slice is the set's cached view and is shared across calls; callers must
+// not mutate it.
 func (s *Set) ByClass(c criticality.Class) []Task {
-	var out []Task
-	for _, t := range s.tasks {
-		if s.Class(t) == c {
-			out = append(out, t)
-		}
+	if c == criticality.HI {
+		return s.hi
 	}
-	return out
+	return s.lo
 }
 
 // Utilization returns ΣC/T over all tasks (no re-execution).
