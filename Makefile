@@ -1,7 +1,7 @@
 GO ?= go
 DATE := $(shell date +%F)
 
-.PHONY: all check vet build test race benchcheck bench profile clean
+.PHONY: all check vet build test race benchcheck bench bench-compare profile clean
 
 all: check
 
@@ -34,6 +34,13 @@ benchcheck:
 bench:
 	$(GO) test -run '^$$' -bench 'Fig3Point|FTSScratch|FTSAllocating|SimulatorHyperperiod' -benchmem ./internal/...
 	$(GO) run ./cmd/ftmc-bench -v -out BENCH_$(DATE).json
+
+# bench-compare runs the suite and diffs it against the newest committed
+# BENCH_*.json: any benchmark regressing by more than 20% in ns/op or
+# allocs/op fails the target (see ftmc-bench -compare).
+bench-compare:
+	$(GO) run ./cmd/ftmc-bench -out /tmp/ftmc-bench-compare.json \
+		-compare $$(ls BENCH_*.json | sort | tail -1)
 
 # profile writes pprof CPU and heap profiles of the benchmark suite;
 # inspect with `go tool pprof cpu.prof` / `go tool pprof mem.prof`.

@@ -7,7 +7,15 @@
 // Usage:
 //
 //	ftmc-bench [-out BENCH_<date>.json] [-benchtime 1s] [-v]
+//	           [-compare old.json] [-before old.json]
 //	           [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -compare diffs the fresh run against a prior BENCH file: any benchmark
+// whose ns/op or allocs/op regressed by more than 20% is printed and the
+// process exits nonzero (the `make bench-compare` gate). -before records
+// the prior file's numbers in the emitted report's before_after section,
+// one entry per benchmark common to both runs, so a committed BENCH
+// refresh carries its own history.
 //
 // The report includes the eq. (5) kernel benchmark in both its
 // boundary-merge and naive per-point forms and derives their ratio
@@ -54,6 +62,16 @@ type BenchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// BeforeAfter is one before_after entry: a benchmark's measurement in a
+// prior BENCH file (-before) next to this run's, with the ratio.
+type BeforeAfter struct {
+	BeforeNsPerOp     float64 `json:"before_ns_per_op"`
+	AfterNsPerOp      float64 `json:"after_ns_per_op"`
+	Speedup           float64 `json:"speedup"`
+	BeforeAllocsPerOp int64   `json:"before_allocs_per_op"`
+	AfterAllocsPerOp  int64   `json:"after_allocs_per_op"`
+}
+
 // Report is the JSON document ftmc-bench writes.
 type Report struct {
 	Date       string        `json:"date"`
@@ -79,6 +97,59 @@ type Report struct {
 	// CacheHitRate is the process-wide adaptation-cache hit rate over the
 	// whole run.
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// BeforeAfter compares this run against the -before baseline, keyed
+	// by benchmark name; absent without -before.
+	BeforeAfter map[string]BeforeAfter `json:"before_after,omitempty"`
+}
+
+// loadReport reads a prior BENCH_*.json report.
+func loadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// benchIndex maps a report's benchmarks by name.
+func benchIndex(r Report) map[string]BenchResult {
+	idx := make(map[string]BenchResult, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		idx[b.Name] = b
+	}
+	return idx
+}
+
+// regressionTolerance is the -compare gate: a benchmark regresses when
+// ns/op or allocs/op grows by more than this fraction over the baseline.
+const regressionTolerance = 0.20
+
+// regressions diffs cur against old and returns one message per
+// benchmark regressing beyond the tolerance. Alloc counts below the
+// baseline+1 are never flagged, so a 0→1 blip on an allocation-free path
+// doesn't fail a run on rounding.
+func regressions(old, cur Report) []string {
+	oldIdx := benchIndex(old)
+	var msgs []string
+	for _, b := range cur.Benchmarks {
+		o, ok := oldIdx[b.Name]
+		if !ok {
+			continue
+		}
+		if o.NsPerOp > 0 && b.NsPerOp > o.NsPerOp*(1+regressionTolerance) {
+			msgs = append(msgs, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.0f%%)",
+				b.Name, o.NsPerOp, b.NsPerOp, 100*(b.NsPerOp/o.NsPerOp-1)))
+		}
+		if float64(b.AllocsPerOp) > float64(o.AllocsPerOp)*(1+regressionTolerance) && b.AllocsPerOp > o.AllocsPerOp+1 {
+			msgs = append(msgs, fmt.Sprintf("%s: allocs/op %d -> %d (+%.0f%%)",
+				b.Name, o.AllocsPerOp, b.AllocsPerOp, 100*(float64(b.AllocsPerOp)/float64(o.AllocsPerOp)-1)))
+		}
+	}
+	return msgs
 }
 
 func main() {
@@ -89,6 +160,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print each result as it completes")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
+	compare := flag.String("compare", "", "prior BENCH json to diff against; exit nonzero on >20% ns/op or allocs/op regression")
+	before := flag.String("before", "", "prior BENCH json whose numbers populate the report's before_after section")
 	flag.Parse()
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fmt.Fprintf(os.Stderr, "ftmc-bench: %v\n", err)
@@ -172,6 +245,30 @@ func main() {
 	}
 	rep.CacheHitRate = safety.TotalCacheStats().HitRate()
 
+	if *before != "" {
+		base, err := loadReport(*before)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftmc-bench: -before: %v\n", err)
+			os.Exit(1)
+		}
+		baseIdx := benchIndex(base)
+		rep.BeforeAfter = make(map[string]BeforeAfter)
+		for _, b := range rep.Benchmarks {
+			o, ok := baseIdx[b.Name]
+			if !ok {
+				continue
+			}
+			ba := BeforeAfter{
+				BeforeNsPerOp: o.NsPerOp, AfterNsPerOp: b.NsPerOp,
+				BeforeAllocsPerOp: o.AllocsPerOp, AfterAllocsPerOp: b.AllocsPerOp,
+			}
+			if b.NsPerOp > 0 {
+				ba.Speedup = o.NsPerOp / b.NsPerOp
+			}
+			rep.BeforeAfter[b.Name] = ba
+		}
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ftmc-bench: %v\n", err)
@@ -189,6 +286,22 @@ func main() {
 			rep.KernelSpeedup, naiveNs/1e6, fastNs/1e6, 100*rep.CacheHitRate, *out)
 		fmt.Printf("ftmc-bench: Fig3 pooled engine %.2fx wall-clock, allocs/set %.1f -> %.1f (%.0fx fewer)\n",
 			rep.Fig3PoolSpeedup, rep.Fig3AllocsPerSetRef, rep.Fig3AllocsPerSetPooled, rep.Fig3AllocReduction)
+	}
+
+	if *compare != "" {
+		base, err := loadReport(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftmc-bench: -compare: %v\n", err)
+			os.Exit(1)
+		}
+		if msgs := regressions(base, rep); len(msgs) > 0 {
+			fmt.Fprintf(os.Stderr, "ftmc-bench: %d regression(s) vs %s:\n", len(msgs), *compare)
+			for _, m := range msgs {
+				fmt.Fprintf(os.Stderr, "  %s\n", m)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ftmc-bench: no regressions vs %s\n", *compare)
 	}
 }
 

@@ -124,6 +124,94 @@ func (r Result) String() string {
 	return fmt.Sprintf("SUCCESS under %s: %v (pfh_HI=%.3g pfh_LO=%.3g)", r.TestName, r.Profiles, r.PFHHI, r.PFHLO)
 }
 
+// SafetyVerdict is the schedulability-test-independent half of Algorithm 1
+// (lines 1–7): the minimal re-execution profiles, the minimal safe
+// adaptation profile and the failure classification of the safety-only
+// exits. FTSSafety produces it; FTSWithSafety completes the algorithm from
+// it. The split exists so design-space sweeps that vary only the
+// schedulability test S (internal/explore) compute the safety verdict once
+// per (Mode, DF) and reuse it across every test.
+type SafetyVerdict struct {
+	// NHI, NLO are the minimal re-execution profiles (line 2); zero when
+	// the corresponding search failed.
+	NHI, NLO int
+	// N1HI is the minimal safe adaptation profile n¹_HI (line 4);
+	// safety.MaxProfile+1 when no finite profile is safe.
+	N1HI int
+	// Reason is FailNone when lines 1–7 passed, else the safety-side
+	// failure.
+	Reason FailureReason
+}
+
+// FTSSafety runs lines 1–7 of Algorithm 1: the per-level minimal
+// re-execution profiles (eq. 2), the minimal safe adaptation profile
+// (eq. 5 / eq. 7, found by the bisected line-4 search of
+// safety.AdaptationCache.MinAdaptProfile) and the n¹_HI ≤ n_HI check.
+// Nothing here depends on the schedulability test S.
+func FTSSafety(s *task.Set, opt Options) (SafetyVerdict, error) {
+	if err := opt.Validate(); err != nil {
+		return SafetyVerdict{}, err
+	}
+	cache, _ := opt.resolveCache(s)
+	return ftsSafety(s, opt, cache)
+}
+
+func ftsSafety(s *task.Set, opt Options, cache *safety.AdaptationCache) (SafetyVerdict, error) {
+	cfg := opt.Safety
+	dual := s.Dual()
+	hi := s.ByClass(criticality.HI)
+	lo := s.ByClass(criticality.LO)
+	var sv SafetyVerdict
+
+	// Lines 1–3: minimal re-execution profiles per criticality level.
+	nHI, err := cfg.MinReexecProfile(hi, dual.Requirement(criticality.HI))
+	if err != nil {
+		sv.Reason = FailReexecProfile
+		return sv, nil
+	}
+	sv.NHI = nHI
+	nLO, err := cfg.MinReexecProfile(lo, dual.Requirement(criticality.LO))
+	if err != nil {
+		sv.Reason = FailReexecProfile
+		return sv, nil
+	}
+	sv.NLO = nLO
+
+	// Line 4: minimal adaptation profile preserving LO safety.
+	n1, err := cache.MinAdaptProfile(opt.Mode, nLO, opt.DF, dual.Requirement(criticality.LO))
+	if err != nil {
+		// No finite profile keeps pfh(LO) below the requirement: at least
+		// as bad as n¹_HI > n_HI.
+		sv.N1HI = safety.MaxProfile + 1
+		sv.Reason = FailSafetyAdapt
+		return sv, nil
+	}
+	sv.N1HI = n1
+
+	// Lines 5–7.
+	if n1 > nHI {
+		sv.Reason = FailSafetyAdapt
+	}
+	return sv, nil
+}
+
+// resolveCache picks the adaptation cache FTS evaluates through: the
+// explicit Options.Cache, else the scratch-pooled cache rebound to this
+// set, else a transient one. The bool reports whether the scratch cache
+// was (re)bound, so FTS resolves exactly once per call — rebinding resets
+// the memoized bounds.
+func (o Options) resolveCache(s *task.Set) (*safety.AdaptationCache, bool) {
+	if o.Cache != nil {
+		return o.Cache, false
+	}
+	hi := s.ByClass(criticality.HI)
+	lo := s.ByClass(criticality.LO)
+	if o.Scratch != nil {
+		return o.Scratch.adaptCache(o.Safety, hi, lo), true
+	}
+	return safety.NewAdaptationCache(o.Safety, hi, lo), false
+}
+
 // FTS runs Algorithm 1 on the dual-criticality task set:
 //
 //	line 1–3: n_χ ← inf{n : pfh(χ) ≤ PFH_χ}          (eq. 2)
@@ -132,74 +220,57 @@ func (r Result) String() string {
 //	line 8:   n²_HI ← sup{n : Γ(n_HI, n_LO, n) schedulable by S}
 //	line 9–15: SUCCESS with n′_HI = n²_HI if n¹_HI ≤ n²_HI, else FAILURE
 //
-// The n²_HI search exploits the monotonicity of MC schedulability tests:
-// a larger adaptation profile inflates C(LO) of the HI tasks, so
-// schedulability of Γ is non-increasing in n′. Profiles above n_HI are
-// behaviourally identical to n_HI (the trigger can never fire), so the
-// sup is taken over [1, n_HI].
+// Both inner scans are bisected: pfh(LO) is non-increasing in n′
+// (Lemma 3.3/3.4), and schedulability of Γ is downward-closed in n′ — a
+// larger adaptation profile only inflates C(LO) of the HI tasks, so a set
+// schedulable at n′ is schedulable at every smaller profile. Profiles
+// above n_HI are behaviourally identical to n_HI (the trigger can never
+// fire), so the sup is taken over [1, n_HI].
 func FTS(s *task.Set, opt Options) (Result, error) {
 	if err := opt.Validate(); err != nil {
 		return Result{}, err
 	}
+	cache, _ := opt.resolveCache(s)
+	sv, err := ftsSafety(s, opt, cache)
+	if err != nil {
+		return Result{}, err
+	}
+	return ftsSchedule(s, opt, cache, sv)
+}
+
+// FTSWithSafety completes Algorithm 1 (lines 8–15) from a precomputed
+// safety verdict — the cross-design reuse path: one FTSSafety per
+// (Mode, DF) serves every schedulability test S. The verdict must come
+// from FTSSafety on the same set and an Options value differing at most
+// in Test.
+func FTSWithSafety(s *task.Set, opt Options, sv SafetyVerdict) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
+	cache, _ := opt.resolveCache(s)
+	return ftsSchedule(s, opt, cache, sv)
+}
+
+func ftsSchedule(s *task.Set, opt Options, cache *safety.AdaptationCache, sv SafetyVerdict) (Result, error) {
 	test := opt.test()
-	res := Result{TestName: test.Name()}
+	res := Result{
+		TestName: test.Name(),
+		NHI:      sv.NHI, NLO: sv.NLO, N1HI: sv.N1HI,
+		Reason: sv.Reason,
+	}
+	if sv.Reason != FailNone {
+		return res, nil
+	}
 	cfg := opt.Safety
-	dual := s.Dual()
 	hi := s.ByClass(criticality.HI)
-	lo := s.ByClass(criticality.LO)
-	cache := opt.Cache
-	if cache == nil {
-		if opt.Scratch != nil {
-			cache = opt.Scratch.adaptCache(cfg, hi, lo)
-		} else {
-			cache = safety.NewAdaptationCache(cfg, hi, lo)
-		}
-	}
+	nHI, nLO, n1 := sv.NHI, sv.NLO, sv.N1HI
 
-	// Lines 1–3: minimal re-execution profiles per criticality level.
-	nHI, err := cfg.MinReexecProfile(hi, dual.Requirement(criticality.HI))
+	// Line 8: maximal schedulable adaptation profile over [1, n_HI],
+	// bisected with delta-patched conversions in the scratch arena when
+	// one is supplied.
+	n2, err := maxSchedProfile(s, opt.Scratch, test, Profiles{NHI: nHI, NLO: nLO, NPrime: nHI})
 	if err != nil {
-		res.Reason = FailReexecProfile
-		return res, nil
-	}
-	res.NHI = nHI
-	nLO, err := cfg.MinReexecProfile(lo, dual.Requirement(criticality.LO))
-	if err != nil {
-		res.Reason = FailReexecProfile
-		return res, nil
-	}
-	res.NLO = nLO
-
-	// Line 4: minimal adaptation profile preserving LO safety.
-	n1, err := cache.MinAdaptProfile(opt.Mode, nLO, opt.DF, dual.Requirement(criticality.LO))
-	if err != nil {
-		// No finite profile keeps pfh(LO) below the requirement: at least
-		// as bad as n¹_HI > n_HI.
-		res.N1HI = safety.MaxProfile + 1
-		res.Reason = FailSafetyAdapt
-		return res, nil
-	}
-	res.N1HI = n1
-
-	// Lines 5–7.
-	if n1 > nHI {
-		res.Reason = FailSafetyAdapt
-		return res, nil
-	}
-
-	// Line 8: maximal schedulable adaptation profile over [1, n_HI]. The
-	// candidate conversions go into the scratch arena when one is supplied
-	// (opt.Scratch.convert falls back to Convert on a nil receiver).
-	n2 := 0
-	for n := nHI; n >= 1; n-- {
-		conv, err := opt.Scratch.convert(s, Profiles{NHI: nHI, NLO: nLO, NPrime: n})
-		if err != nil {
-			return Result{}, err
-		}
-		if test.Schedulable(conv) {
-			n2 = n
-			break
-		}
+		return Result{}, err
 	}
 	res.N2HI = n2
 
@@ -217,8 +288,8 @@ func FTS(s *task.Set, opt Options) (Result, error) {
 		}
 	}
 	// The achieved bounds reuse the cache: the line-4 scan has already
-	// evaluated pfh(LO) for every n′ ≤ n¹_HI, and n²_HI ≤ n_HI often falls
-	// in that range.
+	// evaluated pfh(LO) for every n′ its bisection probed, and n²_HI ≤
+	// n_HI often falls in that range.
 	res.PFHHI = cfg.PlainPFHUniform(hi, nHI)
 	switch opt.Mode {
 	case safety.Kill:
@@ -230,4 +301,60 @@ func FTS(s *task.Set, opt Options) (Result, error) {
 		return Result{}, err
 	}
 	return res, nil
+}
+
+// maxSchedProfile computes line 8, n²_HI = sup{n ∈ [1, n_HI] :
+// Γ(n_HI, n_LO, n) schedulable by S} (0 when the sup is empty).
+// Schedulability is downward-closed in n′ (pinned by
+// TestSchedulabilityDownwardClosedInNPrime), so after one probe at n_HI
+// the sup is found by bisecting [1, n_HI−1]; with a Scratch every probe
+// after the first rewrites only the HI tasks' C(LO) fields via
+// patchNPrime instead of re-converting the set. The linear reference is
+// maxSchedProfileLinear, pinned to this search by
+// TestFTSBisectionDifferential.
+func maxSchedProfile(s *task.Set, scr *Scratch, test mcsched.Test, p Profiles) (int, error) {
+	// The first probe (at n_HI) builds the conversion arena in full.
+	conv, err := scr.convert(s, p)
+	if err != nil {
+		return 0, err
+	}
+	if test.Schedulable(conv) {
+		return p.NHI, nil
+	}
+	// Bisect (lo, hi): schedulable at lo (or lo = 0, the empty-sup
+	// sentinel), not schedulable at hi.
+	lo, hi := 0, p.NHI
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if scr != nil {
+			conv = scr.patchNPrime(s, p.NHI, mid)
+		} else {
+			conv, err = Convert(s, Profiles{NHI: p.NHI, NLO: p.NLO, NPrime: mid})
+			if err != nil {
+				return 0, err
+			}
+		}
+		if test.Schedulable(conv) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// maxSchedProfileLinear is the reference linear scan of line 8: one full
+// conversion and test per candidate, from n_HI downwards. Kept verbatim
+// so differential tests pin the bisected search to it.
+func maxSchedProfileLinear(s *task.Set, scr *Scratch, test mcsched.Test, p Profiles) (int, error) {
+	for n := p.NHI; n >= 1; n-- {
+		conv, err := scr.convert(s, Profiles{NHI: p.NHI, NLO: p.NLO, NPrime: n})
+		if err != nil {
+			return 0, err
+		}
+		if test.Schedulable(conv) {
+			return n, nil
+		}
+	}
+	return 0, nil
 }

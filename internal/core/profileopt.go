@@ -32,12 +32,136 @@ import (
 // An +Inf requirement returns all ones. The error mirrors
 // MinReexecProfile: no assignment within safety.MaxProfile attempts.
 func OptimizeReexecProfiles(cfg safety.Config, tasks []task.Task, requirement float64) ([]int, error) {
-	return optimizeReexecProfilesInto(nil, cfg, tasks, requirement)
+	return optimizeReexecProfilesInto(nil, nil, cfg, tasks, requirement)
+}
+
+// reexecGreedy is the pooled working state of optimizeReexecProfilesInto:
+// the cached eq. (2) contribution of every task's current profile (cur)
+// and of its next candidate grant (next), plus the max-heap of candidate
+// grants keyed on gain. Caching cur/next removes the double contrib
+// evaluation per candidate per step of the reference scan, and the heap
+// replaces its O(tasks) rescan per grant with O(log tasks) — only the
+// granted task's gain changes between steps.
+type reexecGreedy struct {
+	cur, next []float64
+	heap      []gainEntry
+}
+
+// gainEntry is one heap candidate: granting task idx one more attempt
+// yields a PFH drop of gain per unit of added utilization.
+type gainEntry struct {
+	gain float64
+	idx  int
+}
+
+// gainBefore orders the heap: larger gain first, ties by smaller index —
+// exactly the argmax the reference scan's strict `>` comparison picks, so
+// the heap path selects bit-identical grant sequences.
+func gainBefore(a, b gainEntry) bool {
+	return a.gain > b.gain || (a.gain == b.gain && a.idx < b.idx)
+}
+
+func (g *reexecGreedy) push(e gainEntry) {
+	g.heap = append(g.heap, e)
+	i := len(g.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !gainBefore(g.heap[i], g.heap[p]) {
+			break
+		}
+		g.heap[i], g.heap[p] = g.heap[p], g.heap[i]
+		i = p
+	}
+}
+
+func (g *reexecGreedy) pop() gainEntry {
+	top := g.heap[0]
+	n := len(g.heap) - 1
+	g.heap[0] = g.heap[n]
+	g.heap = g.heap[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && gainBefore(g.heap[l], g.heap[best]) {
+			best = l
+		}
+		if r < n && gainBefore(g.heap[r], g.heap[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		g.heap[i], g.heap[best] = g.heap[best], g.heap[i]
+		i = best
+	}
+	return top
 }
 
 // optimizeReexecProfilesInto is OptimizeReexecProfiles writing into buf
-// (grown as needed), the scratch-buffer path of FTSPerTask.
-func optimizeReexecProfilesInto(buf []int, cfg safety.Config, tasks []task.Task, requirement float64) ([]int, error) {
+// and the greedy working state g (both grown as needed, both nilable),
+// the scratch-buffer path of FTSPerTask. The grant sequence — and with it
+// the returned assignment — is identical to the reference rescan
+// (optimizeReexecProfilesLinear, pinned by
+// TestOptimizeReexecHeapDifferential): the heap pops the same
+// (gain, index) argmax the rescan selects, and the cached cur/next values
+// are the same floats the rescan recomputes.
+func optimizeReexecProfilesInto(buf []int, g *reexecGreedy, cfg safety.Config, tasks []task.Task, requirement float64) ([]int, error) {
+	ns := buf[:0]
+	for range tasks {
+		ns = append(ns, 1)
+	}
+	if len(tasks) == 0 || math.IsInf(requirement, 1) {
+		return ns, nil
+	}
+	if g == nil {
+		g = &reexecGreedy{}
+	}
+	hour := timeunit.Hours(1)
+	contrib := func(i, n int) float64 {
+		return float64(cfg.Rounds(tasks[i], n, hour)) * prob.Pow(tasks[i].FailProb, n)
+	}
+	g.cur, g.next, g.heap = g.cur[:0], g.next[:0], g.heap[:0]
+	total := 0.0
+	for i := range tasks {
+		c := contrib(i, 1)
+		total += c
+		g.cur = append(g.cur, c)
+		g.next = append(g.next, contrib(i, 2))
+	}
+	// A task whose drop is ≤ 0 never enters the heap: its contribution
+	// only changes when granted, so it stays ineligible — as in the
+	// reference scan.
+	for i := range tasks {
+		if drop := g.cur[i] - g.next[i]; drop > 0 {
+			g.push(gainEntry{gain: drop / tasks[i].Utilization(), idx: i})
+		}
+	}
+	for steps := 0; total > requirement; steps++ {
+		if steps > safety.MaxProfile*len(tasks) {
+			return nil, fmt.Errorf("core: no per-task profile assignment meets PFH requirement %g (reached %g)", requirement, total)
+		}
+		if len(g.heap) == 0 {
+			return nil, fmt.Errorf("core: per-task profile search stuck at pfh %g > %g", total, requirement)
+		}
+		best := g.pop().idx
+		total += g.next[best] - g.cur[best]
+		ns[best]++
+		g.cur[best] = g.next[best]
+		if ns[best] < safety.MaxProfile {
+			g.next[best] = contrib(best, ns[best]+1)
+			if drop := g.cur[best] - g.next[best]; drop > 0 {
+				g.push(gainEntry{gain: drop / tasks[best].Utilization(), idx: best})
+			}
+		}
+	}
+	return ns, nil
+}
+
+// optimizeReexecProfilesLinear is the reference greedy with the O(tasks)
+// rescan (and double contrib evaluation) per grant. Kept verbatim so
+// differential tests pin the heap path to it; analyses should call
+// OptimizeReexecProfiles.
+func optimizeReexecProfilesLinear(buf []int, cfg safety.Config, tasks []task.Task, requirement float64) ([]int, error) {
 	ns := buf[:0]
 	for range tasks {
 		ns = append(ns, 1)
@@ -133,7 +257,9 @@ type PerTaskResult struct {
 	OK bool
 	// Reason classifies failures, as in Result.
 	Reason FailureReason
-	// Reexec holds the per-task re-execution profiles in set order.
+	// Reexec holds the per-task re-execution profiles in set order. When
+	// FTSPerTask ran with Options.Scratch it aliases scratch memory,
+	// valid until the next call with the same Scratch.
 	Reexec []int
 	// N1HI, N2HI and NPrime are as in Result (the adaptation profile
 	// stays uniform over HI tasks).
@@ -184,10 +310,12 @@ func FTSPerTask(s *task.Set, opt Options) (PerTaskResult, error) {
 	// Per-class greedy optimization replaces lines 1–3, into the scratch
 	// class buffers when one is supplied.
 	var bufHI, bufLO []int
+	var greedy *reexecGreedy
 	if scr != nil {
 		bufHI, bufLO = scr.nsHI, scr.nsLO
+		greedy = &scr.greedy
 	}
-	nsHI, err := optimizeReexecProfilesInto(bufHI, cfg, hi, dual.Requirement(criticality.HI))
+	nsHI, err := optimizeReexecProfilesInto(bufHI, greedy, cfg, hi, dual.Requirement(criticality.HI))
 	if scr != nil && nsHI != nil {
 		scr.nsHI = nsHI
 	}
@@ -195,7 +323,7 @@ func FTSPerTask(s *task.Set, opt Options) (PerTaskResult, error) {
 		res.Reason = FailReexecProfile
 		return res, nil
 	}
-	nsLO, err := optimizeReexecProfilesInto(bufLO, cfg, lo, dual.Requirement(criticality.LO))
+	nsLO, err := optimizeReexecProfilesInto(bufLO, greedy, cfg, lo, dual.Requirement(criticality.LO))
 	if scr != nil && nsLO != nil {
 		scr.nsLO = nsLO
 	}
@@ -203,27 +331,44 @@ func FTSPerTask(s *task.Set, opt Options) (PerTaskResult, error) {
 		res.Reason = FailReexecProfile
 		return res, nil
 	}
-	// Stitch the class vectors back into set order.
-	ns := make([]int, s.Len())
+	// Stitch the class vectors back into set order, into the scratch
+	// vector when one is supplied (PerTaskResult.Reexec then aliases
+	// scratch memory, per its doc).
+	var ns []int
+	if scr != nil {
+		ns = scr.nsAll[:0]
+	}
 	ih, il := 0, 0
 	maxHI := 1
-	for i, t := range s.Tasks() {
+	for _, t := range s.Tasks() {
+		var n int
 		if s.Class(t) == criticality.HI {
-			ns[i] = nsHI[ih]
-			if ns[i] > maxHI {
-				maxHI = ns[i]
+			n = nsHI[ih]
+			if n > maxHI {
+				maxHI = n
 			}
 			ih++
 		} else {
-			ns[i] = nsLO[il]
+			n = nsLO[il]
 			il++
 		}
+		ns = append(ns, n)
+	}
+	if scr != nil {
+		scr.nsAll = ns
 	}
 	res.Reexec = ns
 
 	// Line 4: minimal safe adaptation profile with the per-task LO
-	// profiles.
-	n1, err := minAdaptPerTask(cfg, opt, cache, lo, nsLO, dual.Requirement(criticality.LO))
+	// profiles, through the reusable eq. (5)/(7) evaluation state.
+	var eval *safety.AdaptEval
+	if scr != nil {
+		eval = &scr.adeval
+	} else {
+		eval = &safety.AdaptEval{}
+	}
+	eval.Reset(cfg, lo, nsLO, 0)
+	n1, err := minAdaptPerTask(cfg, opt, cache, eval, lo, nsLO, dual.Requirement(criticality.LO))
 	if err != nil {
 		res.N1HI = safety.MaxProfile + 1
 		res.Reason = FailSafetyAdapt
@@ -236,17 +381,11 @@ func FTSPerTask(s *task.Set, opt Options) (PerTaskResult, error) {
 	}
 
 	// Line 8: maximal schedulable adaptation profile over [1, max n_i],
-	// converting into the scratch arena when one is supplied.
-	n2 := 0
-	for n := maxHI; n >= 1; n-- {
-		conv, err := scr.convertPerTask(s, ns, n)
-		if err != nil {
-			return PerTaskResult{}, err
-		}
-		if test.Schedulable(conv) {
-			n2 = n
-			break
-		}
+	// bisected with delta-patched conversions in the scratch arena when
+	// one is supplied.
+	n2, err := maxSchedProfilePerTask(s, scr, test, ns, maxHI)
+	if err != nil {
+		return PerTaskResult{}, err
 	}
 	res.N2HI = n2
 	if n2 == 0 || n1 > n2 {
@@ -266,19 +405,79 @@ func FTSPerTask(s *task.Set, opt Options) (PerTaskResult, error) {
 	if err != nil {
 		return PerTaskResult{}, err
 	}
+	// eval is still bound to (lo, nsLO); its bounds are the same floats
+	// Config.KillingPFHLO/DegradationPFHLO produce.
 	switch opt.Mode {
 	case safety.Kill:
-		res.PFHLO = cfg.KillingPFHLO(lo, nsLO, adapt)
+		res.PFHLO = eval.KillingPFHLO(adapt)
 	case safety.Degrade:
-		res.PFHLO = cfg.DegradationPFHLO(lo, nsLO, adapt, opt.DF)
+		res.PFHLO = eval.DegradationPFHLO(adapt)
 	}
 	return res, nil
 }
 
-// minAdaptPerTask mirrors safety.MinAdaptProfile with per-task LO
-// re-execution profiles. The per-task pfh(LO) values are not memoizable
-// under the uniform-keyed cache, but the per-n′ Adaptation models are.
-func minAdaptPerTask(cfg safety.Config, opt Options, cache *safety.AdaptationCache, lo []task.Task, nsLO []int, requirement float64) (int, error) {
+// minAdaptPerTask mirrors AdaptationCache.MinAdaptProfile with per-task
+// LO re-execution profiles: the same gallop + bisection over the monotone
+// pfh(LO), evaluated through eval (which the caller has bound to
+// (lo, nsLO)) so each candidate pays only the adaptation-model delta. The
+// per-task pfh(LO) values are not memoizable under the uniform-keyed
+// cache, but the per-n′ Adaptation models are. The linear reference is
+// minAdaptPerTaskLinear, pinned by TestMinAdaptPerTaskBisectionDifferential.
+func minAdaptPerTask(cfg safety.Config, opt Options, cache *safety.AdaptationCache, eval *safety.AdaptEval, lo []task.Task, nsLO []int, requirement float64) (int, error) {
+	if math.IsInf(requirement, 1) {
+		return 1, nil
+	}
+	if opt.Mode == safety.Kill {
+		if limit := cfg.KillingPFHLOLimit(lo, nsLO); limit >= requirement {
+			return 0, fmt.Errorf("core: killing cannot keep pfh(LO) below %g (limit %g)", requirement, limit)
+		}
+	}
+	pfh := func(n int) (float64, error) {
+		adapt, err := cache.Uniform(n)
+		if err != nil {
+			return 0, err
+		}
+		if opt.Mode == safety.Kill {
+			return eval.KillingPFHLO(adapt), nil
+		}
+		return eval.DegradationPFHLO(adapt), nil
+	}
+	// Gallop then bisect (lo, hi]: pfh is non-increasing in n′.
+	lower, upper := 0, 1
+	for {
+		if upper > safety.MaxProfile {
+			upper = safety.MaxProfile
+		}
+		v, err := pfh(upper)
+		if err != nil {
+			return 0, err
+		}
+		if v < requirement {
+			break
+		}
+		if upper == safety.MaxProfile {
+			return 0, fmt.Errorf("core: no adaptation profile keeps pfh(LO) below %g", requirement)
+		}
+		lower, upper = upper, upper*2
+	}
+	for upper-lower > 1 {
+		mid := lower + (upper-lower)/2
+		v, err := pfh(mid)
+		if err != nil {
+			return 0, err
+		}
+		if v < requirement {
+			upper = mid
+		} else {
+			lower = mid
+		}
+	}
+	return upper, nil
+}
+
+// minAdaptPerTaskLinear is the reference linear scan of the per-task
+// line-4 search, kept verbatim for the differential tests.
+func minAdaptPerTaskLinear(cfg safety.Config, opt Options, cache *safety.AdaptationCache, lo []task.Task, nsLO []int, requirement float64) (int, error) {
 	if math.IsInf(requirement, 1) {
 		return 1, nil
 	}
@@ -304,4 +503,51 @@ func minAdaptPerTask(cfg safety.Config, opt Options, cache *safety.AdaptationCac
 		}
 	}
 	return 0, fmt.Errorf("core: no adaptation profile keeps pfh(LO) below %g", requirement)
+}
+
+// maxSchedProfilePerTask is line 8 over the per-task conversion: the
+// bisected sup of {n ∈ [1, maxHI] : Γ(ns, n) schedulable}, delta-patching
+// the scratch arena between probes as maxSchedProfile does. The linear
+// reference is maxSchedProfilePerTaskLinear.
+func maxSchedProfilePerTask(s *task.Set, scr *Scratch, test mcsched.Test, ns []int, maxHI int) (int, error) {
+	conv, err := scr.convertPerTask(s, ns, maxHI)
+	if err != nil {
+		return 0, err
+	}
+	if test.Schedulable(conv) {
+		return maxHI, nil
+	}
+	lo, hi := 0, maxHI
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if scr != nil {
+			conv = scr.patchNPrimePerTask(s, ns, mid)
+		} else {
+			conv, err = ConvertPerTask(s, ns, mid)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if test.Schedulable(conv) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// maxSchedProfilePerTaskLinear is the reference linear scan of the
+// per-task line 8, kept for the differential tests.
+func maxSchedProfilePerTaskLinear(s *task.Set, scr *Scratch, test mcsched.Test, ns []int, maxHI int) (int, error) {
+	for n := maxHI; n >= 1; n-- {
+		conv, err := scr.convertPerTask(s, ns, n)
+		if err != nil {
+			return 0, err
+		}
+		if test.Schedulable(conv) {
+			return n, nil
+		}
+	}
+	return 0, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/criticality"
 	"repro/internal/mcsched"
 	"repro/internal/safety"
 	"repro/internal/task"
@@ -29,6 +30,9 @@ type Scratch struct {
 	conv    mcsched.MCSet
 	nsHI    []int // FTSPerTask per-class greedy buffers
 	nsLO    []int
+	nsAll   []int              // FTSPerTask stitched set-order profile vector
+	greedy  reexecGreedy       // optimizeReexecProfilesInto working state
+	adeval  safety.AdaptEval   // per-task line-4 evaluation state
 }
 
 // NewScratch returns an empty scratch. Equivalent to new(Scratch); exists
@@ -79,4 +83,44 @@ func (scr *Scratch) convertPerTask(s *task.Set, ns []int, nprime int) (*mcsched.
 		return nil, err
 	}
 	return &scr.conv, nil
+}
+
+// patchNPrime rewrites only the HI tasks' C(LO) fields of the scratch
+// conversion for a new candidate adaptation profile and refreshes the one
+// utilization sum that depends on them (U_HI^LO) — the delta between
+// Γ(n_HI, n_LO, n′_a) and Γ(n_HI, n_LO, n′_b) is exactly those fields, so
+// the line-8 probes skip the full rebuild (validation, names, the other
+// three sums). Must follow a convert call on the same set with the same
+// NHI; the patched fields are valid by construction (1 ≤ min(n′, n_HI) so
+// 0 < C(LO) ≤ C(HI)), and RefreshUtilAt re-accumulates the sum in task
+// order, so the patched set bit-matches a freshly converted one
+// (TestDeltaPatchMatchesConvert).
+func (scr *Scratch) patchNPrime(s *task.Set, nHI, nprime int) *mcsched.MCSet {
+	if nprime > nHI {
+		nprime = nHI
+	}
+	for i, t := range s.Tasks() {
+		if s.Class(t) == criticality.HI {
+			scr.mcTasks[i].CLO = t.RoundLength(nprime)
+		}
+	}
+	scr.conv.RefreshUtilAt(criticality.HI, criticality.LO)
+	return &scr.conv
+}
+
+// patchNPrimePerTask is patchNPrime for the per-task conversion: HI task
+// i's C(LO) becomes min(n′, ns[i])·C. Must follow a convertPerTask call
+// on the same set with the same ns.
+func (scr *Scratch) patchNPrimePerTask(s *task.Set, ns []int, nprime int) *mcsched.MCSet {
+	for i, t := range s.Tasks() {
+		if s.Class(t) == criticality.HI {
+			np := nprime
+			if np > ns[i] {
+				np = ns[i]
+			}
+			scr.mcTasks[i].CLO = t.RoundLength(np)
+		}
+	}
+	scr.conv.RefreshUtilAt(criticality.HI, criticality.LO)
+	return &scr.conv
 }

@@ -88,6 +88,48 @@ func TestFTSPerTaskScratchMatchesAllocating(t *testing.T) {
 	}
 }
 
+// TestFTSScratchZeroAllocs asserts the pooled paths are allocation-free
+// in the steady state — including the per-task path, whose stitched
+// profile vector, greedy working state and line-4 evaluation state all
+// live in the Scratch.
+// (Degrade mode pays a fixed 3 allocs/call outside the arenas — the
+// interface boxing of the default EDFVDDegrade test and its Sprintf-built
+// Name() — so the assertion runs on the kill path, where the default test
+// is the zero-size EDFVD.)
+func TestFTSScratchZeroAllocs(t *testing.T) {
+	scr := NewScratch()
+	sets := randomSets(t, 5, 0.85)
+	opt := Options{Safety: safety.DefaultConfig(), Mode: safety.Kill, Scratch: scr}
+	// Warm the pools: arenas grow to the high-water mark on the first
+	// pass over the stream.
+	for _, s := range sets {
+		if _, err := FTS(s, opt); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := FTSPerTask(s, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		for _, s := range sets {
+			if _, err := FTS(s, opt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); avg != 0 {
+		t.Errorf("FTS with scratch allocates %.1f allocs/run", avg)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		for _, s := range sets {
+			if _, err := FTSPerTask(s, opt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); avg != 0 {
+		t.Errorf("FTSPerTask with scratch allocates %.1f allocs/run", avg)
+	}
+}
+
 func benchFTS(b *testing.B, scr *Scratch) {
 	sets := randomSets(b, 10, 0.85)
 	opt := Options{Safety: safety.DefaultConfig(), Mode: safety.Kill, Scratch: scr}

@@ -91,14 +91,24 @@ func Explore(s *task.Set, opt Options) ([]Design, error) {
 		killTests = []mcsched.Test{mcsched.EDFVD{}, mcsched.AMCrtb{}, mcsched.SMC{}, mcsched.DBFTune{}}
 	}
 	// Every design point analyzes the same task set under the same safety
-	// config — only S and df vary. One shared adaptation cache serves the
-	// line-4 searches and bound evaluations of all of them: after the
-	// first killing and first degradation point, the remaining FT-S runs
-	// hit only the schedulability test.
+	// config — only S and df vary, and the safety half of Algorithm 1
+	// (lines 1–7) is test-independent. One shared adaptation cache serves
+	// the bound evaluations of all points, one scratch serves their line-8
+	// conversions, and each (Mode, DF) safety verdict is computed once by
+	// core.FTSSafety and reused across every schedulability test via
+	// core.FTSWithSafety — the remaining per-design work is exactly the
+	// bisected n²_HI search.
 	cache := safety.NewAdaptationCache(opt.Safety, s.ByClass(criticality.HI), s.ByClass(criticality.LO))
+	scr := core.NewScratch()
 	var designs []Design
+	killOpt := core.Options{Safety: opt.Safety, Mode: safety.Kill, Cache: cache, Scratch: scr}
+	svKill, err := core.FTSSafety(s, killOpt)
+	if err != nil {
+		return nil, err
+	}
 	for _, test := range killTests {
-		d, err := evaluate(s, core.Options{Safety: opt.Safety, Mode: safety.Kill, Test: test, Cache: cache}, 0)
+		killOpt.Test = test
+		d, err := evaluate(s, killOpt, 0, svKill)
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +118,12 @@ func Explore(s *task.Set, opt Options) ([]Design, error) {
 		if df <= 1 {
 			return nil, fmt.Errorf("explore: degradation factor must be > 1, got %g", df)
 		}
-		d, err := evaluate(s, core.Options{Safety: opt.Safety, Mode: safety.Degrade, DF: df, Cache: cache}, df)
+		degOpt := core.Options{Safety: opt.Safety, Mode: safety.Degrade, DF: df, Cache: cache, Scratch: scr}
+		sv, err := core.FTSSafety(s, degOpt)
+		if err != nil {
+			return nil, err
+		}
+		d, err := evaluate(s, degOpt, df, sv)
 		if err != nil {
 			return nil, err
 		}
@@ -118,15 +133,25 @@ func Explore(s *task.Set, opt Options) ([]Design, error) {
 	return designs, nil
 }
 
-// evaluate runs FT-S for one design point and scores it.
-func evaluate(s *task.Set, opt core.Options, df float64) (Design, error) {
-	res, err := core.FTS(s, opt)
+// evaluate completes FT-S for one design point from the shared safety
+// verdict and scores it.
+func evaluate(s *task.Set, opt core.Options, df float64, sv core.SafetyVerdict) (Design, error) {
+	res, err := core.FTSWithSafety(s, opt, sv)
 	if err != nil {
 		return Design{}, err
 	}
 	d := Design{Mode: opt.Mode, DF: df, TestName: res.TestName, Result: res}
 	if !res.OK {
 		return d, nil
+	}
+	// The scratch path leaves Converted nil; rebuild it once per certified
+	// design — the Design API exposes it and headroom reads it.
+	if res.Converted == nil {
+		res.Converted, err = core.Convert(s, res.Profiles)
+		if err != nil {
+			return Design{}, err
+		}
+		d.Result = res
 	}
 	req := s.Dual().Requirement(criticality.LO)
 	if math.IsInf(req, 1) {

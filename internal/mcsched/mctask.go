@@ -85,6 +85,12 @@ func (t MCTask) String() string {
 // MCSet is a dual-criticality MC task set.
 type MCSet struct {
 	tasks []MCTask
+	// u caches the four class-pair utilization sums U_{χ1}^{χ2} so the
+	// EDF-VD tests read them in O(1). Recomputed by Reset and maintained
+	// by RefreshUtil/RefreshUtilAt when the caller mutates the aliased
+	// task slice (the delta-patch path of core.Scratch). Indexed
+	// [class][mode] with criticality.LO = 0, criticality.HI = 1.
+	u [2][2]float64
 }
 
 // NewMCSet validates the tasks and builds a set.
@@ -115,7 +121,41 @@ func (s *MCSet) Reset(tasks []MCTask) error {
 		}
 	}
 	s.tasks = tasks
+	s.RefreshUtil()
 	return nil
+}
+
+// RefreshUtil recomputes every cached class-pair utilization sum from the
+// task slice. Reset calls it; callers that mutate the aliased slice after
+// Reset (permitted by the Reset contract) must call it — or the targeted
+// RefreshUtilAt — before the next schedulability test, or Util returns
+// stale sums.
+func (s *MCSet) RefreshUtil() {
+	for class := range s.u {
+		for mode := range s.u[class] {
+			s.refreshUtilAt(criticality.Class(class), criticality.Class(mode))
+		}
+	}
+}
+
+// RefreshUtilAt recomputes the single cached sum U_{class}^{mode}, the
+// minimal maintenance after a mutation that only touches one class-pair —
+// core.Scratch patches only the HI tasks' C(LO) between candidate
+// adaptation profiles, so only U_HI^LO needs refreshing. The sum is
+// re-accumulated in task order, exactly as Reset computes it, so a
+// patched set and a freshly built one agree bit for bit.
+func (s *MCSet) RefreshUtilAt(class, mode criticality.Class) {
+	s.refreshUtilAt(class, mode)
+}
+
+func (s *MCSet) refreshUtilAt(class, mode criticality.Class) {
+	u := 0.0
+	for _, t := range s.tasks {
+		if t.Class == class {
+			u += t.UtilizationAt(mode)
+		}
+	}
+	s.u[class][mode] = u
 }
 
 // MustNewMCSet is NewMCSet panicking on error, for tests and literals.
@@ -146,15 +186,10 @@ func (s *MCSet) ByClass(c criticality.Class) []MCTask {
 }
 
 // Util returns U_{χ1}^{χ2} = Σ_{τ_i of class χ1} C_i(χ2)/T_i, the
-// class-pair utilizations of the EDF-VD analysis (Appendix B).
+// class-pair utilizations of the EDF-VD analysis (Appendix B), served
+// from the cached sums (see Reset/RefreshUtil).
 func (s *MCSet) Util(class, mode criticality.Class) float64 {
-	u := 0.0
-	for _, t := range s.tasks {
-		if t.Class == class {
-			u += t.UtilizationAt(mode)
-		}
-	}
-	return u
+	return s.u[class][mode]
 }
 
 // AllImplicit reports whether every task has D = T. The EDF-VD tests

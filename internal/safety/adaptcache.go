@@ -42,6 +42,11 @@ type AdaptationCache struct {
 	// used under mu.
 	free []*Adaptation
 	scr  kernelScratch
+	// keval caches the LO-side eq. (5) state keyed on the uniform LO
+	// profile, so successive n′ candidates (the bisected line-4 search,
+	// the Fig. 1 sweep points) apply only the adaptation-model delta;
+	// used under mu.
+	keval killEval
 }
 
 // CacheStats reports cache effectiveness.
@@ -110,6 +115,7 @@ func (c *AdaptationCache) Reset(cfg Config, hiTasks, loTasks []task.Task) {
 	clear(c.kill)
 	clear(c.adaptPr)
 	clear(c.omega)
+	c.keval.bound = false
 }
 
 // Stats returns this cache's hit/miss counters.
@@ -168,7 +174,10 @@ func (c *AdaptationCache) KillingPFHLOUniform(nLO, nprime int) (float64, error) 
 	if err != nil {
 		return 0, err
 	}
-	v := c.cfg.killingPFHLOFast(c.lo, nil, nLO, a, &c.scr)
+	if !c.keval.matchesUniform(c.lo, nLO) {
+		c.keval.bindUniform(c.cfg, c.lo, nLO)
+	}
+	v := c.cfg.killingPFHLOEval(&c.keval, a, &c.scr)
 	c.kill[key] = v
 	return v, nil
 }
@@ -203,30 +212,76 @@ func (c *AdaptationCache) DegradationPFHLOUniform(nLO, nprime int, df float64) (
 }
 
 // MinAdaptProfile is Config.MinAdaptProfile served from the cache: line 4
-// of Algorithm 1 on the cached (HI, LO) context.
+// of Algorithm 1 on the cached (HI, LO) context,
+//
+//	n¹_HI ← inf{ n′ ∈ ℕ : pfh(LO) < PFH_LO }.
+//
+// Both pfh(LO) bounds are non-increasing in the uniform adaptation
+// profile (Lemma 3.3/3.4: a larger n′ adapts the LO tasks less often),
+// so the infimum is found by exponential galloping followed by bisection
+// of the bracket — O(log n¹) bound evaluations instead of the reference
+// linear scan's n¹ (kept as MinAdaptProfileLinear and pinned to this
+// search by TestMinAdaptProfileBisectionDifferential). The monotonicity
+// precondition itself is pinned by TestKillingPFHLOMonotoneInNPrime /
+// TestDegradationPFHLOMonotoneInNPrime.
 func (c *AdaptationCache) MinAdaptProfile(mode AdaptMode, nLO int, df float64, requirement float64) (int, error) {
 	if math.IsInf(requirement, 1) {
 		return 1, nil
 	}
-	if mode == Kill {
-		// The killing bound never drops below its n′ → ∞ limit; refuse
-		// immediately when even that limit violates the requirement
-		// instead of scanning (and paying for eq. (5)) MaxProfile times.
-		if limit := c.cfg.killingPFHLOLimitUniform(c.lo, nLO); limit >= requirement {
-			return 0, fmt.Errorf("safety: killing cannot keep pfh(LO) below %g: the no-kill limit is already %g", requirement, limit)
+	if err := c.checkAdaptFeasible(mode, nLO, requirement); err != nil {
+		return 0, err
+	}
+	pfh := func(n int) (float64, error) { return c.adaptPFHLO(mode, nLO, n, df) }
+	// Gallop: double hi until pfh(hi) meets the requirement; (lo, hi]
+	// then brackets the infimum.
+	lo, hi := 0, 1
+	for {
+		if hi > MaxProfile {
+			hi = MaxProfile
+		}
+		v, err := pfh(hi)
+		if err != nil {
+			return 0, err
+		}
+		if v < requirement {
+			break
+		}
+		if hi == MaxProfile {
+			return 0, fmt.Errorf("safety: no adaptation profile <= %d keeps pfh(LO) below %g under %v",
+				MaxProfile, requirement, mode)
+		}
+		lo, hi = hi, hi*2
+	}
+	// Bisect (lo, hi]: pfh(hi) < requirement, pfh(lo) ≥ requirement (or
+	// lo = 0, the virtual always-failing candidate).
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		v, err := pfh(mid)
+		if err != nil {
+			return 0, err
+		}
+		if v < requirement {
+			hi = mid
+		} else {
+			lo = mid
 		}
 	}
+	return hi, nil
+}
+
+// MinAdaptProfileLinear is the reference linear scan of the line-4
+// search: it evaluates pfh(LO) for n′ = 1, 2, ... until the requirement
+// is met. Kept verbatim so differential tests pin the bisection variant
+// to it; analyses should call MinAdaptProfile.
+func (c *AdaptationCache) MinAdaptProfileLinear(mode AdaptMode, nLO int, df float64, requirement float64) (int, error) {
+	if math.IsInf(requirement, 1) {
+		return 1, nil
+	}
+	if err := c.checkAdaptFeasible(mode, nLO, requirement); err != nil {
+		return 0, err
+	}
 	for n := 1; n <= MaxProfile; n++ {
-		var pfh float64
-		var err error
-		switch mode {
-		case Kill:
-			pfh, err = c.KillingPFHLOUniform(nLO, n)
-		case Degrade:
-			pfh, err = c.DegradationPFHLOUniform(nLO, n, df)
-		default:
-			return 0, fmt.Errorf("safety: unknown adaptation mode %d", mode)
-		}
+		pfh, err := c.adaptPFHLO(mode, nLO, n, df)
 		if err != nil {
 			return 0, err
 		}
@@ -236,4 +291,29 @@ func (c *AdaptationCache) MinAdaptProfile(mode AdaptMode, nLO int, df float64, r
 	}
 	return 0, fmt.Errorf("safety: no adaptation profile <= %d keeps pfh(LO) below %g under %v",
 		MaxProfile, requirement, mode)
+}
+
+// checkAdaptFeasible fails fast when no adaptation profile can meet the
+// requirement: the killing bound never drops below its n′ → ∞ limit, so
+// refusing here avoids paying for eq. (5) MaxProfile times.
+func (c *AdaptationCache) checkAdaptFeasible(mode AdaptMode, nLO int, requirement float64) error {
+	switch mode {
+	case Kill:
+		if limit := c.cfg.killingPFHLOLimitUniform(c.lo, nLO); limit >= requirement {
+			return fmt.Errorf("safety: killing cannot keep pfh(LO) below %g: the no-kill limit is already %g", requirement, limit)
+		}
+	case Degrade:
+	default:
+		return fmt.Errorf("safety: unknown adaptation mode %d", mode)
+	}
+	return nil
+}
+
+// adaptPFHLO dispatches to the memoized uniform pfh(LO) bound of the
+// given mode.
+func (c *AdaptationCache) adaptPFHLO(mode AdaptMode, nLO, nprime int, df float64) (float64, error) {
+	if mode == Kill {
+		return c.KillingPFHLOUniform(nLO, nprime)
+	}
+	return c.DegradationPFHLOUniform(nLO, nprime, df)
 }

@@ -2,6 +2,7 @@ package safety
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/prob"
 	"repro/internal/task"
@@ -31,9 +32,20 @@ import (
 // P_j = T_j / gcd(T, T_j) steps, the combined per-step ΔS sequence is
 // periodic with P = lcm_j P_j. When P is small — any task set whose
 // periods share a coarse time grid, e.g. the FMS table (P = 40) — the
-// kernel precomputes the P ΔS values once and the sweep degenerates to a
-// table lookup per α; incommensurate (e.g. µs-random) periods fall back
-// to the per-staircase recurrence, still division-free.
+// kernel precomputes the P ΔS values once. The periodicity buys more
+// than a table lookup: across consecutive cycles the running logR at a
+// fixed pattern position p grows by the constant per-cycle total
+// D = Σ_p ΔS_p > 0, so the C_p per-point terms of position p form
+//
+//	Σ_{c=0}^{C_p−1} (1 − e^{y_p − c·D}) = g(D, C_p) + (1 − e^{y_p})·G(D, C_p)
+//
+// with y_p the position's final-cycle argument, G(D, C) = Σ_c e^{−cD}
+// the geometric kernel and g(D, C) = C − G(D, C) its complement — both
+// closed forms (geomFactors below). The whole patterned region therefore
+// costs O(P) transcendentals instead of O(r): the FMS sweep (P = 40,
+// r ≈ 1e5 points per LO task) collapses by three orders of magnitude.
+// Incommensurate (e.g. µs-random) periods fall back to the
+// per-staircase recurrence, still division-free.
 //
 // All staircase positions are exact integer microseconds, so the merged
 // round counts match Config.Rounds bit for bit; the only float departures
@@ -100,7 +112,7 @@ func (c Config) killingPFHLOFast(loTasks []task.Task, ns []int, uniform int, ada
 		}
 		sum.Add(prob.OneMinusExp(logRt + log1mq))
 		if r > 1 {
-			c.mergeTail(lo, n, r, log1mq, adapt, scr, &sum)
+			c.mergeTail(lo, c.effectiveRoundCost(lo.WCET, n), r, log1mq, adapt, scr, &sum)
 		}
 	}
 	return sum.Value() / float64(c.OperationHours)
@@ -108,12 +120,15 @@ func (c Config) killingPFHLOFast(loTasks []task.Task, ns []int, uniform int, ada
 
 // mergeTail accumulates the m = 1 .. r−1 terms of eq. (5) for one LO
 // task: α_m = t − n·C − m·T + D, swept in decreasing order while the HI
-// staircases are advanced by their phase recurrences. scr provides the
-// staircase and pattern buffers.
-func (c Config) mergeTail(lo task.Task, n int, r int64, log1mq float64, adapt *Adaptation, scr *kernelScratch, sum *prob.KahanSum) {
+// staircases are advanced by their phase recurrences. roundCost is the
+// task's precomputed n·C term (0 under footnote 1), so callers holding a
+// reusable evaluation state (killEval) pay it once per context rather
+// than once per adaptation candidate. scr provides the staircase and
+// pattern buffers.
+func (c Config) mergeTail(lo task.Task, roundCost timeunit.Time, r int64, log1mq float64, adapt *Adaptation, scr *kernelScratch, sum *prob.KahanSum) {
 	t := c.Horizon()
 	T := int64(lo.Period)
-	alpha := t - c.effectiveRoundCost(lo.WCET, n) - lo.Period + lo.Deadline
+	alpha := t - roundCost - lo.Period + lo.Deadline
 
 	// Staircase state at the first tail point. Tasks with logTerm = 0
 	// (f_j = 0) never contribute to logR; tasks with r_j = 0 here stay 0
@@ -150,9 +165,9 @@ func (c Config) mergeTail(lo task.Task, n int, r int64, log1mq float64, adapt *A
 	}
 
 	// Patterned fast path: precompute one period of per-step ΔS values
-	// and replay it while every staircase is guaranteed to stay ≥ 1
-	// (α > max n′_j·C_j keeps each virtual floor positive, so the drop
-	// pattern needs no clamping).
+	// and collapse the region's cycles geometrically while every staircase
+	// is guaranteed to stay ≥ 1 (α > max n′_j·C_j keeps each virtual floor
+	// positive, so the drop pattern needs no clamping).
 	if P, ok := patternPeriod(stairs, T); ok {
 		maxCost := int64(0)
 		for i := range stairs {
@@ -166,27 +181,51 @@ func (c Config) mergeTail(lo task.Task, n int, r int64, log1mq float64, adapt *A
 		}
 		if kPat >= 2*P { // amortize the table build
 			dS := buildPattern(stairs, P, scr)
-			p := 0
-			for i := int64(0); i < kPat; i++ {
+			// Per-cycle logR gain D = Σ_p ΔS_p. Strictly positive: over
+			// one full pattern period every staircase j drops exactly
+			// P·T/T_j ≥ 1 times and each drop adds −logTerm_j > 0.
+			var dSum prob.KahanSum
+			for _, v := range dS {
+				dSum.Add(v)
+			}
+			D := dSum.Value()
+			// kPat steps split into Q full cycles plus rem leading
+			// positions with one extra cycle each.
+			Q, rem := kPat/P, kPat%P
+			gQ, GQ := geomFactors(D, Q)
+			gQ1, GQ1 := gQ, GQ
+			if rem > 0 {
+				gQ1, GQ1 = geomFactors(D, Q+1)
+			}
+			// Walk one pattern period: position p's first-cycle argument
+			// is s + prefix(dS, p); its C_p terms collapse to
+			// g(D, C_p) + (1 − e^{y_p})·G(D, C_p) with y_p the
+			// final-cycle argument. All group terms are ≥ 0, so the
+			// accumulated relative error stays at the geomFactors bound.
+			for p := int64(0); p < P; p++ {
 				s.Add(dS[p])
-				p++
-				if p == len(dS) {
-					p = 0
+				C, g, G := Q, gQ, GQ
+				if p < rem {
+					C, g, G = Q+1, gQ1, GQ1
 				}
-				x := s.Value() + log1mq
-				if x > 0 { // Kahan residue guard; true value ≤ 0
-					x = 0
+				y := s.Value() + float64(C-1)*D + log1mq
+				if y > 0 { // rounding guard; true value ≤ 0
+					y = 0
 				}
-				sum.Add(prob.OneMinusExpFast(x))
+				sum.Add(g + prob.OneMinusExpFast(y)*G)
 			}
 			m += kPat
 			alpha -= timeunit.Time(kPat) * lo.Period
 			// Re-anchor the staircases at the current α for the tail;
-			// α ≥ every cost, so each num is ≥ 0 and each r ≥ 1.
+			// α ≥ every cost, so each num is ≥ 0 and each r ≥ 1. The
+			// running logR is re-derived exactly from the re-anchored
+			// round counts, discarding any drift of the collapsed region.
+			s = prob.KahanSum{}
 			for i := range stairs {
 				num := int64(alpha) - stairs[i].cost
 				stairs[i].r = num/stairs[i].period + 1
 				stairs[i].phi = num % stairs[i].period
+				s.Add(float64(stairs[i].r) * stairs[i].logTerm)
 			}
 		}
 	}
@@ -290,6 +329,50 @@ func buildPattern(stairs []hiStair, P int64, scr *kernelScratch) []float64 {
 		dS[p] = v
 	}
 	return dS
+}
+
+// geomFactors returns the two factors of the cycle-collapsed group sum
+//
+//	Σ_{c=0}^{C−1} (1 − e^{y−cD}) = g(D, C) + (1 − e^{y})·G(D, C),
+//
+//	G(D, C) = Σ_{c=0}^{C−1} e^{−cD} = (1 − e^{−CD}) / (1 − e^{−D}),
+//	g(D, C) = C − G(D, C)          = Σ_{c=0}^{C−1} (1 − e^{−cD}),
+//
+// for D ≥ 0, C ≥ 1, each to ≲ 1e-13 relative error. The closed form for
+// g cancels catastrophically as C·D → 0 (C − G → 0 while both operands
+// → C), so three regimes are used: an exact loop for tiny C, the closed
+// form when (C−1)·D is large enough that its ~2ε/((C−1)D) cancellation
+// error stays below 1e-13, and otherwise a five-term Taylor expansion in
+// D over the Faulhaber power sums S_k = Σ_{c<C} c^k, whose truncation
+// error is O((CD)⁵) ≲ 1e-15 at the 3e-3 crossover.
+func geomFactors(D float64, C int64) (g, G float64) {
+	fc := float64(C)
+	if D <= 0 {
+		return 0, fc
+	}
+	if C <= 16 {
+		var gs, Gs prob.KahanSum
+		Gs.Add(1) // c = 0: e^0
+		for c := int64(1); c < C; c++ {
+			e := -math.Expm1(-float64(c) * D)
+			gs.Add(e)
+			Gs.Add(1 - e)
+		}
+		return gs.Value(), Gs.Value()
+	}
+	if float64(C-1)*D >= 3e-3 {
+		a := -math.Expm1(-D)
+		b := -math.Expm1(-fc * D)
+		return (fc*a - b) / a, b / a
+	}
+	n := fc - 1
+	s1 := n * (n + 1) / 2
+	s2 := n * (n + 1) * (2*n + 1) / 6
+	s3 := s1 * s1
+	s4 := n * (n + 1) * (2*n + 1) * (3*n*n + 3*n - 1) / 30
+	s5 := n * n * (n + 1) * (n + 1) * (2*n*n + 2*n - 1) / 12
+	g = D * (s1 - D*(s2/2-D*(s3/6-D*(s4/24-D*s5/120))))
+	return g, fc - g
 }
 
 // gcd64 is the binary-free Euclid gcd for positive int64 values.

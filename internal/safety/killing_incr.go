@@ -1,0 +1,149 @@
+package safety
+
+import (
+	"repro/internal/prob"
+	"repro/internal/task"
+	"repro/internal/timeunit"
+)
+
+// This file implements the incremental inner-loop state of the FT-S
+// profile searches. The n′ scans of Algorithm 1 evaluate pfh(LO) for a
+// sequence of adaptation candidates over ONE fixed LO-side context: the
+// LO tasks and their re-execution profiles never change between
+// candidates, only the adaptation model does. killEval caches the
+// LO-side invariants of eq. (5) — the round count r_i(n_i, t), the log
+// round-survival log(1 − f_i^{n_i}) and the n_i·C_i round cost of every
+// LO task — so each successive candidate pays only the adaptation-model
+// delta (the HI staircase rebuild inside the merge kernel) instead of
+// re-deriving the whole context. The degradation bound of eq. (7)
+// factors as (1 − R(t))·ω(1, t)/OS with ω df- and n′-independent, so its
+// reusable state is the single cached ω value.
+
+// killEval is the LO-side evaluation state of eq. (5) for one
+// (Config, LO tasks, LO re-execution profile) context. The zero value is
+// unbound; bind before use. Not safe for concurrent use.
+type killEval struct {
+	bound bool
+	lo    []task.Task
+	nLO   int // uniform profile; -1 when bound per task
+	// Per-LO-task invariants, in task order.
+	r      []int64
+	log1mq []float64
+	cost   []timeunit.Time
+}
+
+// bindUniform (re)binds the state to the uniform LO profile nLO,
+// reusing the slices.
+func (e *killEval) bindUniform(c Config, lo []task.Task, nLO int) {
+	e.bind(c, lo, nil, nLO)
+}
+
+// bind (re)binds the state; ns == nil means the uniform profile nLO.
+func (e *killEval) bind(c Config, lo []task.Task, ns []int, nLO int) {
+	t := c.Horizon()
+	e.lo, e.nLO, e.bound = lo, nLO, true
+	if ns != nil {
+		e.nLO = -1
+	}
+	e.r, e.log1mq, e.cost = e.r[:0], e.log1mq[:0], e.cost[:0]
+	for i, lt := range lo {
+		n := nLO
+		if ns != nil {
+			n = ns[i]
+		}
+		l := 0.0
+		if f := lt.FailProb; f > 0 {
+			l = prob.Log1mPow(f, n)
+		}
+		e.r = append(e.r, c.Rounds(lt, n, t))
+		e.log1mq = append(e.log1mq, l)
+		e.cost = append(e.cost, c.effectiveRoundCost(lt.WCET, n))
+	}
+}
+
+// matchesUniform reports whether the state is already bound to the given
+// uniform context.
+func (e *killEval) matchesUniform(lo []task.Task, nLO int) bool {
+	return e.bound && e.nLO == nLO && len(e.lo) == len(lo) &&
+		(len(lo) == 0 || &e.lo[0] == &lo[0])
+}
+
+// killingPFHLOEval evaluates eq. (5) from the cached LO-side state,
+// paying only the adaptation-model-dependent work. Same term order as
+// killingPFHLOFast, so the two agree bit for bit.
+func (c Config) killingPFHLOEval(e *killEval, adapt *Adaptation, scr *kernelScratch) float64 {
+	if scr == nil {
+		scr = &kernelScratch{stairs: make([]hiStair, 0, len(adapt.hi))}
+	}
+	t := c.Horizon()
+	logRt := adapt.logR(t)
+	var sum prob.KahanSum
+	for i := range e.lo {
+		r := e.r[i]
+		if r == 0 {
+			continue
+		}
+		sum.Add(prob.OneMinusExp(logRt + e.log1mq[i]))
+		if r > 1 {
+			c.mergeTail(e.lo[i], e.cost[i], r, e.log1mq[i], adapt, scr, &sum)
+		}
+	}
+	return sum.Value() / float64(c.OperationHours)
+}
+
+// AdaptEval is the public reusable killing/degradation evaluation state
+// for one (Config, LO tasks, LO re-execution profile) analysis context.
+// Successive adaptation candidates (the n′ scans of Algorithm 1, their
+// bisection variants, or a Fig. 1/2-style sweep) share the cached
+// LO-side state and pay only the adaptation-model delta per Eval call.
+// An AdaptEval belongs to one goroutine; the AdaptationCache keeps its
+// own internal equivalent under its lock.
+type AdaptEval struct {
+	cfg   Config
+	kill  killEval
+	omega float64 // ω(1, OS) of eq. (7); df- and n′-independent
+	scr   kernelScratch
+}
+
+// NewAdaptEval builds the evaluation state for the LO tasks under the
+// per-task re-execution profiles ns, or the uniform profile nLO when
+// ns is nil. The task slice must not be mutated while the state is live.
+func NewAdaptEval(cfg Config, lo []task.Task, ns []int, nLO int) *AdaptEval {
+	e := &AdaptEval{}
+	e.Reset(cfg, lo, ns, nLO)
+	return e
+}
+
+// Reset rebinds the state to a new context, keeping the allocated
+// buffers (the pooled path of core.Scratch).
+func (e *AdaptEval) Reset(cfg Config, lo []task.Task, ns []int, nLO int) {
+	e.cfg = cfg
+	e.kill.bind(cfg, lo, ns, nLO)
+	var w prob.KahanSum
+	for i, lt := range lo {
+		w.Add(float64(e.kill.r[i]) * prob.Pow(lt.FailProb, e.boundProfile(ns, nLO, i)))
+	}
+	e.omega = w.Value()
+}
+
+// boundProfile resolves task i's re-execution profile under the bind
+// arguments.
+func (e *AdaptEval) boundProfile(ns []int, nLO, i int) int {
+	if ns != nil {
+		return ns[i]
+	}
+	return nLO
+}
+
+// KillingPFHLO evaluates eq. (5) for the bound context under the given
+// adaptation model. Identical term order to Config.KillingPFHLO.
+func (e *AdaptEval) KillingPFHLO(adapt *Adaptation) float64 {
+	return e.cfg.killingPFHLOEval(&e.kill, adapt, &e.scr)
+}
+
+// DegradationPFHLO evaluates eq. (7) for the bound context under the
+// given adaptation model; the ω(1, t) factor is served from the bind.
+// df must be > 1 (validated by callers, as in Config.DegradationPFHLO).
+func (e *AdaptEval) DegradationPFHLO(adapt *Adaptation) float64 {
+	return adapt.AdaptProb(e.cfg.Horizon()) * e.omega / float64(e.cfg.OperationHours)
+}
