@@ -1,7 +1,9 @@
 GO ?= go
 DATE := $(shell date +%F)
+FUZZTIME ?= 30s
 
-.PHONY: all check vet build test race benchcheck bench bench-compare profile clean
+.PHONY: all check ci vet build test race benchcheck bench bench-compare \
+	bench-smoke staticcheck govulncheck fuzz-smoke profile clean
 
 all: check
 
@@ -10,6 +12,11 @@ all: check
 # benchmarks (so a kernel regression breaks the build loudly even when
 # nobody reads timings).
 check: vet build race benchcheck
+
+# ci mirrors the GitHub Actions matrix locally: the check gate plus the
+# lint pair, the fuzz smoke and the bench smoke with its exit-code
+# convention (regression tolerated, harness error fatal).
+ci: check staticcheck govulncheck fuzz-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +48,42 @@ bench:
 bench-compare:
 	$(GO) run ./cmd/ftmc-bench -out /tmp/ftmc-bench-compare.json \
 		-compare $$(ls BENCH_*.json | sort | tail -1)
+
+# bench-smoke is the CI variant of bench-compare: a short-benchtime run
+# that exercises the harness, manifest and metrics emission end to end.
+# ftmc-bench exits 2 when a benchmark regressed beyond the gate — noise
+# at smoke benchtimes, so only other (harness) failures break the
+# target. Built binary, not `go run`: go run collapses any nonzero
+# program exit to 1 and would erase the 2-vs-1 distinction.
+bench-smoke:
+	$(GO) build -o /tmp/ftmc-bench-smoke-bin ./cmd/ftmc-bench
+	/tmp/ftmc-bench-smoke-bin -benchtime 5ms -metrics -out /tmp/ftmc-bench-smoke.json
+	/tmp/ftmc-bench-smoke-bin -benchtime 1ms -out /tmp/ftmc-bench-smoke2.json \
+		-compare /tmp/ftmc-bench-smoke.json || test $$? -eq 2
+
+# staticcheck / govulncheck run the deeper analyzers when installed
+# (CI installs them; locally `go install honnef.co/go/tools/cmd/staticcheck@latest`
+# and `go install golang.org/x/vuln/cmd/govulncheck@latest`), and skip
+# with a note otherwise so `make ci` works offline.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; \
+	fi
+
+# fuzz-smoke runs the corpus-seeded fuzz targets for FUZZTIME each —
+# the same smoke CI runs on every push.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzSetUnmarshal$$' -fuzztime $(FUZZTIME) ./internal/task
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/timeunit
 
 # profile writes pprof CPU and heap profiles of the benchmark suite;
 # inspect with `go tool pprof cpu.prof` / `go tool pprof mem.prof`.

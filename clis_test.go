@@ -90,3 +90,21 @@ func TestCLISim(t *testing.T) {
 		t.Errorf("sim output:\n%s", out)
 	}
 }
+
+// TestCLISimMetrics checks the -metrics appendix end to end: the run
+// manifest (with the fault seed stamped) and an instrument snapshot
+// covering both the analysis and the simulator.
+func TestCLISimMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI runs skipped in -short mode")
+	}
+	path := writeExampleSet(t)
+	out := runCLI(t, "./cmd/ftmc-sim", "-horizon", "10s", "-seed", "7", "-metrics", path)
+	for _, want := range []string{
+		`"manifest"`, `"seed": 7`, `"core.fts.calls": 1`, `"sim.runs": 1`, `"sim.ready_depth"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim -metrics output missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -6,16 +6,26 @@
 //
 // Usage:
 //
-//	ftmc-bench [-out BENCH_<date>.json] [-benchtime 1s] [-v]
+//	ftmc-bench [-out BENCH_<date>.json] [-benchtime 1s] [-v] [-metrics]
 //	           [-compare old.json] [-before old.json]
 //	           [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -compare diffs the fresh run against a prior BENCH file: any benchmark
 // whose ns/op or allocs/op regressed by more than 20% is printed and the
-// process exits nonzero (the `make bench-compare` gate). -before records
-// the prior file's numbers in the emitted report's before_after section,
-// one entry per benchmark common to both runs, so a committed BENCH
-// refresh carries its own history.
+// process exits with status 2 (the `make bench-compare` gate). Harness
+// errors — an unreadable or malformed baseline, a failed write — exit
+// with status 1, so CI can tolerate a noisy regression (exit 2) while
+// still failing on a broken run. -before records the prior file's
+// numbers in the emitted report's before_after section, one entry per
+// benchmark common to both runs, so a committed BENCH refresh carries
+// its own history.
+//
+// Every report embeds an obsv.Manifest (toolchain, GOMAXPROCS,
+// FTMC_WORKERS resolution, VCS stamp), making each BENCH file a
+// self-describing artifact. -metrics additionally enables the
+// internal/obsv registry for the run and appends a metrics section —
+// the instrument snapshot covering the safety kernel, the FT-S
+// searches, the worker pool, the explorer and the simulator.
 //
 // The report includes the eq. (5) kernel benchmark in both its
 // boundary-merge and naive per-point forms and derives their ratio
@@ -44,9 +54,10 @@ import (
 
 	ftmc "repro"
 	"repro/internal/criticality"
-	"repro/internal/expt"
 	"repro/internal/explore"
+	"repro/internal/expt"
 	"repro/internal/gen"
+	"repro/internal/obsv"
 	"repro/internal/safety"
 	"repro/internal/sim"
 	"repro/internal/task"
@@ -72,14 +83,13 @@ type BeforeAfter struct {
 	AfterAllocsPerOp  int64   `json:"after_allocs_per_op"`
 }
 
-// Report is the JSON document ftmc-bench writes.
+// Report is the JSON document ftmc-bench writes. The environment
+// fields of earlier reports (go_version, goos, workers, ...) live in
+// the Manifest now; -compare and -before only read Benchmarks, so old
+// BENCH files keep loading.
 type Report struct {
 	Date       string        `json:"date"`
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	NumCPU     int           `json:"num_cpu"`
-	Workers    int           `json:"workers"`
+	Manifest   obsv.Manifest `json:"manifest"`
 	Benchtime  string        `json:"benchtime"`
 	Benchmarks []BenchResult `json:"benchmarks"`
 	// KernelSpeedup is naive/fast ns-per-op of the eq. (5) evaluation.
@@ -100,6 +110,9 @@ type Report struct {
 	// BeforeAfter compares this run against the -before baseline, keyed
 	// by benchmark name; absent without -before.
 	BeforeAfter map[string]BeforeAfter `json:"before_after,omitempty"`
+	// Metrics is the internal/obsv instrument snapshot of the run;
+	// present only with -metrics.
+	Metrics *obsv.Snapshot `json:"metrics,omitempty"`
 }
 
 // loadReport reads a prior BENCH_*.json report.
@@ -160,9 +173,13 @@ func main() {
 	verbose := flag.Bool("v", false, "print each result as it completes")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
-	compare := flag.String("compare", "", "prior BENCH json to diff against; exit nonzero on >20% ns/op or allocs/op regression")
+	compare := flag.String("compare", "", "prior BENCH json to diff against; exit 2 on >20% ns/op or allocs/op regression")
 	before := flag.String("before", "", "prior BENCH json whose numbers populate the report's before_after section")
+	metrics := flag.Bool("metrics", false, "enable the internal metrics registry and append a metrics section to the report")
 	flag.Parse()
+	if *metrics {
+		obsv.SetDefault(obsv.NewRegistry())
+	}
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fmt.Fprintf(os.Stderr, "ftmc-bench: %v\n", err)
 		os.Exit(1)
@@ -197,11 +214,7 @@ func main() {
 
 	rep := Report{
 		Date:      date,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Workers:   expt.Workers(),
+		Manifest:  obsv.NewManifest(),
 		Benchtime: benchtime.String(),
 	}
 	safety.ResetTotalCacheStats()
@@ -244,6 +257,10 @@ func main() {
 		}
 	}
 	rep.CacheHitRate = safety.TotalCacheStats().HitRate()
+	if *metrics {
+		snap := obsv.Default().Snapshot()
+		rep.Metrics = &snap
+	}
 
 	if *before != "" {
 		base, err := loadReport(*before)
@@ -299,7 +316,9 @@ func main() {
 			for _, m := range msgs {
 				fmt.Fprintf(os.Stderr, "  %s\n", m)
 			}
-			os.Exit(1)
+			// Exit 2 distinguishes "benchmarks got slower" from harness
+			// errors (exit 1); the CI smoke tolerates only the former.
+			os.Exit(2)
 		}
 		fmt.Fprintf(os.Stderr, "ftmc-bench: no regressions vs %s\n", *compare)
 	}

@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	ftmc-explore [-os 10] [-dfs 2,6,12] file.json
+//	ftmc-explore [-os 10] [-dfs 2,6,12] [-metrics] file.json
+//
+// -metrics enables the internal/obsv registry and appends the run
+// manifest and instrument snapshot (safety-verdict reuse, adaptation
+// cache hits, FT-S probe counts) as a JSON document after the report.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/explore"
+	"repro/internal/obsv"
 	"repro/internal/safety"
 	"repro/internal/task"
 )
@@ -25,7 +30,11 @@ import (
 func main() {
 	osHours := flag.Int("os", 1, "operation duration OS in hours")
 	dfsFlag := flag.String("dfs", "2,6,12", "comma-separated degradation factors to explore")
+	metrics := flag.Bool("metrics", false, "append the run manifest and metrics snapshot as JSON")
 	flag.Parse()
+	if *metrics {
+		obsv.SetDefault(obsv.NewRegistry())
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ftmc-explore [flags] file.json")
 		flag.PrintDefaults()
@@ -61,12 +70,29 @@ func main() {
 		fmt.Println(" ", d)
 	}
 	fmt.Println()
-	if rec, ok := explore.Recommend(designs); ok {
+	rec, ok := explore.Recommend(designs)
+	if ok {
 		fmt.Println("recommended:", rec)
 	} else {
 		fmt.Println("no design certifies this system")
+	}
+	emitMetrics(*metrics)
+	if !ok {
 		os.Exit(1)
 	}
+}
+
+// emitMetrics appends the obsv manifest + snapshot to stdout when
+// -metrics is set (explore runs are unseeded, so no seed is stamped).
+func emitMetrics(on bool) {
+	if !on {
+		return
+	}
+	data, err := json.MarshalIndent(obsv.DefaultReport(0), "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nmetrics:\n%s\n", data)
 }
 
 func fatal(err error) {

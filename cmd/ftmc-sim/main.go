@@ -3,13 +3,19 @@
 //
 // Usage:
 //
-//	ftmc-sim [-mode kill|degrade] [-df 6] [-os 1] [-horizon 1h] [-seed 1] [-trace 0] [-chrometrace out.json] file.json
+//	ftmc-sim [-mode kill|degrade] [-df 6] [-os 1] [-horizon 1h] [-seed 1]
+//	         [-trace 0] [-chrometrace out.json] [-metrics] file.json
 //
 // The tool first runs Algorithm 1 to pick the re-execution and adaptation
 // profiles, then simulates the set under random transient faults drawn
 // with each task's own probability f, and reports deadline misses,
 // mode-switch behaviour and the empirical failure rates next to the
 // analytical PFH bounds.
+//
+// -metrics enables the internal/obsv registry and appends the run
+// manifest (with the fault seed stamped) and instrument snapshot —
+// FT-S probe counts, ready-queue depth, mode switches, dropped LO
+// jobs — as a JSON document after the report.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"os"
 
 	ftmc "repro"
+	"repro/internal/obsv"
 	"repro/internal/task"
 )
 
@@ -31,7 +38,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "fault-injection seed")
 	traceN := flag.Int("trace", 0, "print the first N runtime events")
 	chrome := flag.String("chrometrace", "", "write a chrome://tracing JSON of the first 100k slices to this file")
+	metrics := flag.Bool("metrics", false, "append the run manifest and metrics snapshot as JSON")
 	flag.Parse()
+	if *metrics {
+		obsv.SetDefault(obsv.NewRegistry())
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ftmc-sim [flags] file.json")
 		flag.PrintDefaults()
@@ -119,6 +130,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("chrome trace written to", *chrome)
+	}
+	if *metrics {
+		data, err := json.MarshalIndent(obsv.DefaultReport(*seed), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nmetrics:\n%s\n", data)
 	}
 }
 

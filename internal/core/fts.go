@@ -252,6 +252,8 @@ func FTSWithSafety(s *task.Set, opt Options, sv SafetyVerdict) (Result, error) {
 }
 
 func ftsSchedule(s *task.Set, opt Options, cache *safety.AdaptationCache, sv SafetyVerdict) (Result, error) {
+	m := coreView.Get()
+	m.ftsCalls.Inc()
 	test := opt.test()
 	res := Result{
 		TestName: test.Name(),
@@ -280,6 +282,7 @@ func ftsSchedule(s *task.Set, opt Options, cache *safety.AdaptationCache, sv Saf
 		return res, nil
 	}
 	res.OK = true
+	m.ftsSuccess.Inc()
 	res.Profiles = Profiles{NHI: nHI, NLO: nLO, NPrime: n2}
 	if opt.Scratch == nil {
 		res.Converted, err = Convert(s, res.Profiles)
@@ -313,11 +316,14 @@ func ftsSchedule(s *task.Set, opt Options, cache *safety.AdaptationCache, sv Saf
 // maxSchedProfileLinear, pinned to this search by
 // TestFTSBisectionDifferential.
 func maxSchedProfile(s *task.Set, scr *Scratch, test mcsched.Test, p Profiles) (int, error) {
+	m := coreView.Get()
 	// The first probe (at n_HI) builds the conversion arena in full.
 	conv, err := scr.convert(s, p)
 	if err != nil {
 		return 0, err
 	}
+	m.fullConverts.Inc()
+	m.line8Probes.Inc()
 	if test.Schedulable(conv) {
 		return p.NHI, nil
 	}
@@ -328,12 +334,15 @@ func maxSchedProfile(s *task.Set, scr *Scratch, test mcsched.Test, p Profiles) (
 		mid := lo + (hi-lo)/2
 		if scr != nil {
 			conv = scr.patchNPrime(s, p.NHI, mid)
+			m.deltaPatches.Inc()
 		} else {
 			conv, err = Convert(s, Profiles{NHI: p.NHI, NLO: p.NLO, NPrime: mid})
 			if err != nil {
 				return 0, err
 			}
+			m.fullConverts.Inc()
 		}
+		m.line8Probes.Inc()
 		if test.Schedulable(conv) {
 			lo = mid
 		} else {

@@ -1,0 +1,33 @@
+package core
+
+import "repro/internal/obsv"
+
+// coreMetrics is the package's instrument bundle (see internal/obsv):
+// FT-S call volume and outcomes, the line-8 bisection probe count, and
+// the delta-patch vs full-convert split of the conversion work — the
+// numbers that localize a perf regression to "more probes" (search
+// shape changed) vs "probes got slower" (kernel or conversion
+// regressed). All fields are nil while metrics are disabled; every use
+// goes through nil-safe instrument methods, so the disabled path costs
+// one atomic load per FT-S call.
+type coreMetrics struct {
+	ftsCalls       *obsv.Counter
+	ftsSuccess     *obsv.Counter
+	perTaskCalls   *obsv.Counter
+	perTaskSuccess *obsv.Counter
+	line8Probes    *obsv.Counter
+	fullConverts   *obsv.Counter
+	deltaPatches   *obsv.Counter
+}
+
+var coreView = obsv.NewView(func(r *obsv.Registry) *coreMetrics {
+	return &coreMetrics{
+		ftsCalls:       r.Counter("core.fts.calls"),
+		ftsSuccess:     r.Counter("core.fts.success"),
+		perTaskCalls:   r.Counter("core.fts_per_task.calls"),
+		perTaskSuccess: r.Counter("core.fts_per_task.success"),
+		line8Probes:    r.Counter("core.line8.probes"),
+		fullConverts:   r.Counter("core.line8.full_converts"),
+		deltaPatches:   r.Counter("core.line8.delta_patches"),
+	}
+})

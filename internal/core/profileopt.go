@@ -291,6 +291,8 @@ func FTSPerTask(s *task.Set, opt Options) (PerTaskResult, error) {
 	if err := opt.Validate(); err != nil {
 		return PerTaskResult{}, err
 	}
+	m := coreView.Get()
+	m.perTaskCalls.Inc()
 	test := opt.test()
 	res := PerTaskResult{TestName: test.Name()}
 	cfg := opt.Safety
@@ -393,6 +395,7 @@ func FTSPerTask(s *task.Set, opt Options) (PerTaskResult, error) {
 		return res, nil
 	}
 	res.OK = true
+	m.perTaskSuccess.Inc()
 	res.NPrime = n2
 	if scr == nil {
 		res.Converted, err = ConvertPerTask(s, ns, n2)
@@ -510,10 +513,13 @@ func minAdaptPerTaskLinear(cfg safety.Config, opt Options, cache *safety.Adaptat
 // the scratch arena between probes as maxSchedProfile does. The linear
 // reference is maxSchedProfilePerTaskLinear.
 func maxSchedProfilePerTask(s *task.Set, scr *Scratch, test mcsched.Test, ns []int, maxHI int) (int, error) {
+	m := coreView.Get()
 	conv, err := scr.convertPerTask(s, ns, maxHI)
 	if err != nil {
 		return 0, err
 	}
+	m.fullConverts.Inc()
+	m.line8Probes.Inc()
 	if test.Schedulable(conv) {
 		return maxHI, nil
 	}
@@ -522,12 +528,15 @@ func maxSchedProfilePerTask(s *task.Set, scr *Scratch, test mcsched.Test, ns []i
 		mid := lo + (hi-lo)/2
 		if scr != nil {
 			conv = scr.patchNPrimePerTask(s, ns, mid)
+			m.deltaPatches.Inc()
 		} else {
 			conv, err = ConvertPerTask(s, ns, mid)
 			if err != nil {
 				return 0, err
 			}
+			m.fullConverts.Inc()
 		}
+		m.line8Probes.Inc()
 		if test.Schedulable(conv) {
 			lo = mid
 		} else {

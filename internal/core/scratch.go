@@ -30,9 +30,9 @@ type Scratch struct {
 	conv    mcsched.MCSet
 	nsHI    []int // FTSPerTask per-class greedy buffers
 	nsLO    []int
-	nsAll   []int              // FTSPerTask stitched set-order profile vector
-	greedy  reexecGreedy       // optimizeReexecProfilesInto working state
-	adeval  safety.AdaptEval   // per-task line-4 evaluation state
+	nsAll   []int            // FTSPerTask stitched set-order profile vector
+	greedy  reexecGreedy     // optimizeReexecProfilesInto working state
+	adeval  safety.AdaptEval // per-task line-4 evaluation state
 }
 
 // NewScratch returns an empty scratch. Equivalent to new(Scratch); exists

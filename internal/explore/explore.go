@@ -15,10 +15,30 @@ import (
 	"repro/internal/core"
 	"repro/internal/criticality"
 	"repro/internal/mcsched"
+	"repro/internal/obsv"
 	"repro/internal/prob"
 	"repro/internal/safety"
 	"repro/internal/task"
 )
+
+// exploreMetrics counts design points against the safety verdicts that
+// served them (see internal/obsv): verdict_reuses = designs −
+// safety_verdicts is exactly the work the FTSSafety/FTSWithSafety
+// split saves, so a collapse of the reuse ratio flags a caching
+// regression in the sweep structure itself.
+type exploreMetrics struct {
+	designs        *obsv.Counter
+	safetyVerdicts *obsv.Counter
+	verdictReuses  *obsv.Counter
+}
+
+var exploreView = obsv.NewView(func(r *obsv.Registry) *exploreMetrics {
+	return &exploreMetrics{
+		designs:        r.Counter("explore.designs"),
+		safetyVerdicts: r.Counter("explore.safety_verdicts"),
+		verdictReuses:  r.Counter("explore.verdict_reuses"),
+	}
+})
 
 // Design is one evaluated point of the design space.
 type Design struct {
@@ -100,17 +120,22 @@ func Explore(s *task.Set, opt Options) ([]Design, error) {
 	// bisected n²_HI search.
 	cache := safety.NewAdaptationCache(opt.Safety, s.ByClass(criticality.HI), s.ByClass(criticality.LO))
 	scr := core.NewScratch()
+	m := exploreView.Get()
 	var designs []Design
 	killOpt := core.Options{Safety: opt.Safety, Mode: safety.Kill, Cache: cache, Scratch: scr}
 	svKill, err := core.FTSSafety(s, killOpt)
 	if err != nil {
 		return nil, err
 	}
-	for _, test := range killTests {
+	m.safetyVerdicts.Inc()
+	for i, test := range killTests {
 		killOpt.Test = test
 		d, err := evaluate(s, killOpt, 0, svKill)
 		if err != nil {
 			return nil, err
+		}
+		if i > 0 {
+			m.verdictReuses.Inc()
 		}
 		designs = append(designs, d)
 	}
@@ -123,12 +148,14 @@ func Explore(s *task.Set, opt Options) ([]Design, error) {
 		if err != nil {
 			return nil, err
 		}
+		m.safetyVerdicts.Inc()
 		d, err := evaluate(s, degOpt, df, sv)
 		if err != nil {
 			return nil, err
 		}
 		designs = append(designs, d)
 	}
+	m.designs.Add(uint64(len(designs)))
 	markPareto(designs)
 	return designs, nil
 }

@@ -130,7 +130,11 @@ func fig3(cfg Fig3Config, point func(Fig3Config, float64, float64, int64) (float
 			Adapted:  make([]float64, len(cfg.Utils)),
 		}
 		for ui, u := range cfg.Utils {
+			m := exptView.Get()
+			sp := m.fig3PointNs.Start()
 			base, adapted := point(cfg, f, u, pointSeed(cfg.Seed, pi, ui))
+			sp.End()
+			m.fig3Points.Inc()
 			curve.Baseline[ui] = base
 			curve.Adapted[ui] = adapted
 		}

@@ -1,0 +1,33 @@
+package expt
+
+import "repro/internal/obsv"
+
+// exptMetrics is the package's instrument bundle (see internal/obsv):
+// the shared worker pool's dispatch volume, chunk claims and per-chunk
+// wall time (chunk throughput = chunks / Σ chunk_ns), the live worker
+// occupancy gauge, and the Fig. 3 engine's per-data-point latency —
+// enough to tell "workers starved" (occupancy low, chunk_ns flat) from
+// "points got slower" (point_ns up) without a profiler. Fields are nil
+// while metrics are disabled; the per-item hot path is untouched
+// either way (instruments fire per chunk, not per index).
+type exptMetrics struct {
+	poolDispatches *obsv.Counter
+	poolChunks     *obsv.Counter
+	poolItems      *obsv.Counter
+	poolActive     *obsv.Gauge
+	poolChunkNs    *obsv.Histogram
+	fig3Points     *obsv.Counter
+	fig3PointNs    *obsv.Histogram
+}
+
+var exptView = obsv.NewView(func(r *obsv.Registry) *exptMetrics {
+	return &exptMetrics{
+		poolDispatches: r.Counter("expt.pool.dispatches"),
+		poolChunks:     r.Counter("expt.pool.chunks"),
+		poolItems:      r.Counter("expt.pool.items"),
+		poolActive:     r.Gauge("expt.pool.active_workers"),
+		poolChunkNs:    r.Histogram("expt.pool.chunk_ns"),
+		fig3Points:     r.Counter("expt.fig3.points"),
+		fig3PointNs:    r.Histogram("expt.fig3.point_ns"),
+	}
+})

@@ -57,11 +57,25 @@ func ForEachWorker(n, chunk int, fn func(worker, i int) error) error {
 	if max := (n + chunk - 1) / chunk; workers > max {
 		workers = max
 	}
+	m := exptView.Get()
+	m.poolDispatches.Inc()
+	m.poolItems.Add(uint64(n))
 	errs := make([]error, n)
 	if workers == 1 {
-		for i := 0; i < n; i++ {
-			errs[i] = fn(0, i)
+		m.poolActive.Add(1)
+		for start := 0; start < n; start += chunk {
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			sp := m.poolChunkNs.Start()
+			for i := start; i < end; i++ {
+				errs[i] = fn(0, i)
+			}
+			sp.End()
+			m.poolChunks.Inc()
 		}
+		m.poolActive.Add(-1)
 	} else {
 		var cursor atomic.Int64
 		var wg sync.WaitGroup
@@ -69,6 +83,8 @@ func ForEachWorker(n, chunk int, fn func(worker, i int) error) error {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				m.poolActive.Add(1)
+				defer m.poolActive.Add(-1)
 				for {
 					start := int(cursor.Add(int64(chunk))) - chunk
 					if start >= n {
@@ -78,9 +94,12 @@ func ForEachWorker(n, chunk int, fn func(worker, i int) error) error {
 					if end > n {
 						end = n
 					}
+					sp := m.poolChunkNs.Start()
 					for i := start; i < end; i++ {
 						errs[i] = fn(w, i)
 					}
+					sp.End()
+					m.poolChunks.Inc()
 				}
 			}(w)
 		}

@@ -1,0 +1,416 @@
+// Package obsv is the repository's observability layer: atomic
+// counters and gauges, lock-free log-bucketed histograms with a span
+// API for timing experiment stages, a registry that snapshots every
+// instrument into a schema-versioned JSON document, and a run manifest
+// that stamps analysis outputs with the environment that produced them.
+//
+// The package is designed around two contracts the hot subsystems
+// (internal/core, internal/safety, internal/expt, internal/sim) rely
+// on:
+//
+//   - Zero per-event allocation. Instruments are pre-registered —
+//     looked up by name once per (package, registry) via View — and
+//     every Observe/Add/Inc is one or two atomic operations on
+//     pre-allocated storage. Nothing on an event path touches a map,
+//     a mutex or the allocator.
+//
+//   - A nil-registry fast path compiled to no-ops. When no registry is
+//     installed (the default: metrics are opt-in via the CLIs'
+//     -metrics flag), View.Get returns a zero instrument bundle whose
+//     fields are nil, and every instrument method nil-checks its
+//     receiver and returns immediately. The instrumented hot loops
+//     (FTS, the pooled Monte-Carlo engine, the simulator) stay within
+//     their 0 allocs/op contracts with metrics on, and within a few
+//     percent of the uninstrumented ns/op either way — pinned by
+//     TestFTSMetricsZeroAllocs and BenchmarkFTSMetricsOverhead.
+//
+// The package depends only on the standard library and sits below
+// every other internal package; nothing here imports the rest of the
+// repository.
+package obsv
+
+import (
+	"expvar"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SchemaVersion versions the JSON shape of Snapshot and Manifest.
+// Bump it on any field rename, removal or semantic change so report
+// consumers can fail loudly instead of misreading; additions are
+// backward compatible and do not require a bump.
+const SchemaVersion = 1
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; all methods are safe on a nil receiver (no-ops),
+// which is how disabled metrics compile down to a predictable branch.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (pool occupancy, queue
+// depth). The zero value is ready; methods are nil-safe no-ops.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d (negative to decrement).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the bucket count of Histogram: bucket b holds
+// observations v with bits.Len64(v) == b, i.e. v = 0 in bucket 0 and
+// v ∈ [2^(b−1), 2^b) in bucket b ≥ 1 — log2-spaced nanosecond buckets
+// covering 1 ns to ~584 years in 64 buckets.
+const histBuckets = 65
+
+// Histogram is a lock-free log-bucketed distribution, intended for
+// nanosecond durations (span timings, queue depths). Observations are
+// two atomic adds plus one atomic bucket add and a pair of bounded CAS
+// loops for min/max; no allocation. The zero value is NOT ready — the
+// min sentinel needs initialization — so create histograms through a
+// Registry (or newHistogram). Methods are nil-safe no-ops.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // math.MaxUint64 until the first observation
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxUint64)
+	return h
+}
+
+// Observe records one value. Negative values are clamped to 0 (the
+// monotonic clock never goes backwards; a negative duration is a
+// caller bug that should not corrupt the distribution).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	u := uint64(v)
+	if v < 0 {
+		u = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(u)
+	h.buckets[bits.Len64(u)].Add(1)
+	for {
+		cur := h.min.Load()
+		if u >= cur || h.min.CompareAndSwap(cur, u) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if u <= cur || h.max.CompareAndSwap(cur, u) {
+			break
+		}
+	}
+}
+
+// Start opens a span against the histogram: the elapsed wall time is
+// recorded in nanoseconds when the returned Span ends. On a nil
+// histogram the span is inert and no clock is read — the disabled
+// path costs one branch.
+func (h *Histogram) Start() Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, t0: time.Now()}
+}
+
+// Span is one in-flight timed stage, produced by Histogram.Start. It
+// is a value — no allocation — and must end at most once.
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// End records the span's duration. A zero Span (nil histogram) is a
+// no-op.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	s.h.Observe(int64(time.Since(s.t0)))
+}
+
+// HistogramSnapshot is the exported state of one histogram. Quantiles
+// are upper bounds of the log2 bucket holding the quantile — exact to
+// within a factor of 2, which is the resolution regressions care
+// about.
+type HistogramSnapshot struct {
+	Count uint64 `json:"count"`
+	SumNs uint64 `json:"sum_ns"`
+	MinNs uint64 `json:"min_ns"`
+	MaxNs uint64 `json:"max_ns"`
+	P50Ns uint64 `json:"p50_ns"`
+	P90Ns uint64 `json:"p90_ns"`
+	P99Ns uint64 `json:"p99_ns"`
+}
+
+// snapshot captures the histogram. Concurrent observations may tear
+// between fields (count vs sum); snapshots are for reporting, not
+// invariants.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		SumNs: h.sum.Load(),
+		MaxNs: h.max.Load(),
+	}
+	if min := h.min.Load(); min != math.MaxUint64 {
+		s.MinNs = min
+	}
+	var counts [histBuckets]uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	s.P50Ns = quantile(counts[:], s.Count, 0.50)
+	s.P90Ns = quantile(counts[:], s.Count, 0.90)
+	s.P99Ns = quantile(counts[:], s.Count, 0.99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// quantile observation (0 when the histogram is empty).
+func quantile(counts []uint64, total uint64, q float64) uint64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for b, c := range counts {
+		cum += c
+		if cum > rank {
+			if b == 0 {
+				return 0
+			}
+			return 1<<uint(b) - 1
+		}
+	}
+	return math.MaxUint64
+}
+
+// Registry holds named instruments. Lookup methods register on first
+// use and return the same instrument for the same name thereafter, so
+// packages can resolve their bundles independently and CLIs snapshot
+// everything that was actually exercised. All methods are safe for
+// concurrent use and nil-safe (returning nil instruments, the no-op
+// path).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (registering if needed) the named counter; nil on a
+// nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering if needed) the named gauge; nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering if needed) the named histogram; nil
+// on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is the exported state of a registry: every instrument by
+// name. encoding/json marshals map keys in sorted order, so the JSON
+// shape is deterministic for a given instrument population — the
+// property the golden-file tests pin.
+type Snapshot struct {
+	Schema     int                          `json:"schema"`
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every registered instrument. Nil-safe: a nil
+// registry yields an empty (but schema-stamped) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Schema: SchemaVersion}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// Publish exposes the registry under the given expvar name (e.g.
+// "ftmc"), so a future serving layer gets /debug/vars for free. The
+// snapshot is taken lazily on every expvar read. Publishing the same
+// name twice is a no-op (expvar itself panics on duplicates).
+func (r *Registry) Publish(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// def is the process-default registry the instrumented packages
+// resolve against; nil (the initial state) disables metrics.
+var def atomic.Pointer[Registry]
+
+// SetDefault installs r as the process-default registry (nil disables
+// metrics again). Call it before the instrumented work runs — bundles
+// already resolved against a previous registry re-resolve on their
+// next use, but events recorded in between go to the old instruments.
+func SetDefault(r *Registry) { def.Store(r) }
+
+// Default returns the process-default registry, nil when metrics are
+// disabled.
+func Default() *Registry { return def.Load() }
+
+// viewState pairs a resolved bundle with the registry it came from, so
+// one atomic load validates both.
+type viewState[T any] struct {
+	reg *Registry
+	m   *T
+}
+
+// View caches one package's resolved instrument bundle against the
+// default registry. Get costs two atomic pointer loads and a compare
+// in the steady state — the per-call price of instrumentation — and
+// re-resolves automatically when SetDefault installs a different
+// registry. The zero bundle (all instrument fields nil) is returned
+// while metrics are disabled, so callers never branch on enablement
+// themselves.
+type View[T any] struct {
+	mk    func(*Registry) *T
+	noop  T
+	state atomic.Pointer[viewState[T]]
+}
+
+// NewView declares a package's bundle: mk resolves every instrument
+// once per registry. mk must only call Registry lookup methods.
+func NewView[T any](mk func(*Registry) *T) *View[T] {
+	return &View[T]{mk: mk}
+}
+
+// Get returns the bundle for the current default registry, or the
+// no-op bundle when metrics are disabled.
+func (v *View[T]) Get() *T {
+	r := Default()
+	if r == nil {
+		return &v.noop
+	}
+	if st := v.state.Load(); st != nil && st.reg == r {
+		return st.m
+	}
+	// Racing resolvers build equivalent bundles: Registry lookups are
+	// idempotent, so last-store-wins is harmless.
+	m := v.mk(r)
+	v.state.Store(&viewState[T]{reg: r, m: m})
+	return m
+}

@@ -1,0 +1,234 @@
+package obsv
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilInstrumentsAreNoOps pins the disabled-metrics contract: every
+// instrument method is callable on a nil receiver and does nothing.
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	var h *Histogram
+	h.Observe(42)
+	sp := h.Start()
+	sp.End()
+	Span{}.End()
+
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	snap := r.Snapshot()
+	if snap.Schema != SchemaVersion || snap.Counters != nil || snap.Histograms != nil {
+		t.Fatalf("nil registry snapshot: %+v", snap)
+	}
+	r.Publish("never")
+}
+
+// TestRegistryIdempotentLookup pins that the same name resolves to the
+// same instrument, so independently resolved bundles share state.
+func TestRegistryIdempotentLookup(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter lookup not idempotent")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Fatal("gauge lookup not idempotent")
+	}
+	if r.Histogram("a") != r.Histogram("a") {
+		t.Fatal("histogram lookup not idempotent")
+	}
+}
+
+// TestHistogramBuckets checks the log2 bucketing and the snapshot
+// statistics on a known distribution.
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram()
+	for _, v := range []int64{0, 1, 1, 3, 100, 1000, -5} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if s.SumNs != 0+1+1+3+100+1000+0 {
+		t.Fatalf("sum = %d", s.SumNs)
+	}
+	if s.MinNs != 0 || s.MaxNs != 1000 {
+		t.Fatalf("min/max = %d/%d", s.MinNs, s.MaxNs)
+	}
+	// Rank 3 of [0 0 1 1 3 100 1000] is 1 → bucket 1, upper bound 1.
+	if s.P50Ns != 1 {
+		t.Fatalf("p50 = %d, want 1", s.P50Ns)
+	}
+	// Rank 6 is 1000 → bucket 10, upper bound 1023.
+	if s.P99Ns != 1023 {
+		t.Fatalf("p99 = %d, want 1023", s.P99Ns)
+	}
+}
+
+// TestHistogramEmptySnapshot: an untouched histogram must not leak its
+// MaxUint64 min sentinel.
+func TestHistogramEmptySnapshot(t *testing.T) {
+	s := newHistogram().snapshot()
+	if s != (HistogramSnapshot{}) {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+// TestSpanRecords times a real (tiny) sleep through the span API.
+func TestSpanRecords(t *testing.T) {
+	h := newHistogram()
+	sp := h.Start()
+	time.Sleep(time.Millisecond)
+	sp.End()
+	s := h.snapshot()
+	if s.Count != 1 || s.MaxNs < uint64(time.Millisecond) {
+		t.Fatalf("span snapshot = %+v", s)
+	}
+}
+
+// TestViewResolvesPerRegistry pins View behaviour across enable /
+// disable / swap transitions of the default registry.
+func TestViewResolvesPerRegistry(t *testing.T) {
+	type bundle struct{ c *Counter }
+	v := NewView(func(r *Registry) *bundle { return &bundle{c: r.Counter("view.test")} })
+
+	SetDefault(nil)
+	defer SetDefault(nil)
+	if v.Get().c != nil {
+		t.Fatal("disabled view must return the no-op bundle")
+	}
+
+	r1 := NewRegistry()
+	SetDefault(r1)
+	v.Get().c.Inc()
+	if got := r1.Counter("view.test").Value(); got != 1 {
+		t.Fatalf("counter via view = %d, want 1", got)
+	}
+
+	r2 := NewRegistry()
+	SetDefault(r2)
+	v.Get().c.Add(2)
+	if got := r2.Counter("view.test").Value(); got != 2 {
+		t.Fatalf("counter after registry swap = %d, want 2", got)
+	}
+	if got := r1.Counter("view.test").Value(); got != 1 {
+		t.Fatalf("old registry counter = %d, want 1", got)
+	}
+
+	SetDefault(nil)
+	if v.Get().c != nil {
+		t.Fatal("view must drop back to no-op when metrics are disabled")
+	}
+}
+
+// TestConcurrentInstruments hammers counters, gauges and histograms
+// from many goroutines; run under -race this pins the lock-free event
+// path, and the final counts pin atomicity.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	type bundle struct {
+		c *Counter
+		g *Gauge
+		h *Histogram
+	}
+	v := NewView(func(r *Registry) *bundle {
+		return &bundle{c: r.Counter("hammer.c"), g: r.Gauge("hammer.g"), h: r.Histogram("hammer.h")}
+	})
+	SetDefault(r)
+	defer SetDefault(nil)
+
+	const workers = 8
+	const perWorker = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m := v.Get()
+				m.c.Inc()
+				m.g.Add(1)
+				m.g.Add(-1)
+				m.h.Observe(int64(w*perWorker + i))
+			}
+		}(w)
+	}
+	// Snapshot concurrently with the writers: must be race-free even
+	// if the values tear.
+	for i := 0; i < 100; i++ {
+		_ = r.Snapshot()
+	}
+	wg.Wait()
+
+	s := r.Snapshot()
+	if got := s.Counters["hammer.c"]; got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Gauges["hammer.g"]; got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	hs := s.Histograms["hammer.h"]
+	if hs.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", hs.Count, workers*perWorker)
+	}
+	if hs.MinNs != 0 || hs.MaxNs != workers*perWorker-1 {
+		t.Fatalf("histogram min/max = %d/%d", hs.MinNs, hs.MaxNs)
+	}
+}
+
+// TestQuantileEdges exercises the top bucket's saturated upper bound.
+func TestQuantileEdges(t *testing.T) {
+	h := newHistogram()
+	h.Observe(math.MaxInt64)
+	s := h.snapshot()
+	if s.P50Ns < uint64(math.MaxInt64) {
+		t.Fatalf("p50 of a MaxInt64 observation = %d", s.P50Ns)
+	}
+}
+
+// TestManifestCapturesEnvironment sanity-checks the live manifest and
+// the FTMC_WORKERS resolution.
+func TestManifestCapturesEnvironment(t *testing.T) {
+	t.Setenv("FTMC_WORKERS", "3")
+	m := NewManifest()
+	if m.Schema != SchemaVersion || m.GoVersion == "" || m.GOOS == "" || m.NumCPU < 1 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if m.FTMCWorkers != "3" || m.Workers != 3 {
+		t.Fatalf("workers resolution = %q/%d, want 3/3", m.FTMCWorkers, m.Workers)
+	}
+	t.Setenv("FTMC_WORKERS", "bogus")
+	if m := NewManifest(); m.Workers != m.NumCPU {
+		t.Fatalf("bogus FTMC_WORKERS must fall back to NumCPU, got %d", m.Workers)
+	}
+}
+
+// TestSnapshotJSONOmitsEmptySections: an empty registry marshals to
+// just the schema stamp, so -metrics output stays readable on short
+// runs.
+func TestSnapshotJSONOmitsEmptySections(t *testing.T) {
+	data, err := json.Marshal(NewRegistry().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"schema":1}` {
+		t.Fatalf("empty snapshot JSON = %s", data)
+	}
+}

@@ -125,8 +125,12 @@ func (c *AdaptationCache) Stats() CacheStats {
 	return CacheStats{Hits: c.hits, Misses: c.misses}
 }
 
-func (c *AdaptationCache) hit()  { c.hits++; totalCacheHits.Add(1) }
-func (c *AdaptationCache) miss() { c.misses++; totalCacheMisses.Add(1) }
+func (c *AdaptationCache) hit() { c.hits++; totalCacheHits.Add(1); safetyView.Get().cacheHits.Inc() }
+func (c *AdaptationCache) miss() {
+	c.misses++
+	totalCacheMisses.Add(1)
+	safetyView.Get().cacheMisses.Inc()
+}
 
 // Uniform returns the (memoized) uniform-profile Adaptation model for n′.
 func (c *AdaptationCache) Uniform(nprime int) (*Adaptation, error) {
@@ -174,8 +178,11 @@ func (c *AdaptationCache) KillingPFHLOUniform(nLO, nprime int) (float64, error) 
 	if err != nil {
 		return 0, err
 	}
-	if !c.keval.matchesUniform(c.lo, nLO) {
+	if c.keval.matchesUniform(c.lo, nLO) {
+		safetyView.Get().evalReuses.Inc()
+	} else {
 		c.keval.bindUniform(c.cfg, c.lo, nLO)
+		safetyView.Get().evalRebinds.Inc()
 	}
 	v := c.cfg.killingPFHLOEval(&c.keval, a, &c.scr)
 	c.kill[key] = v
@@ -231,7 +238,11 @@ func (c *AdaptationCache) MinAdaptProfile(mode AdaptMode, nLO int, df float64, r
 	if err := c.checkAdaptFeasible(mode, nLO, requirement); err != nil {
 		return 0, err
 	}
-	pfh := func(n int) (float64, error) { return c.adaptPFHLO(mode, nLO, n, df) }
+	probes := safetyView.Get().minAdaptProbes
+	pfh := func(n int) (float64, error) {
+		probes.Inc()
+		return c.adaptPFHLO(mode, nLO, n, df)
+	}
 	// Gallop: double hi until pfh(hi) meets the requirement; (lo, hi]
 	// then brackets the infimum.
 	lo, hi := 0, 1

@@ -117,6 +117,7 @@ func NewAdaptEval(cfg Config, lo []task.Task, ns []int, nLO int) *AdaptEval {
 // Reset rebinds the state to a new context, keeping the allocated
 // buffers (the pooled path of core.Scratch).
 func (e *AdaptEval) Reset(cfg Config, lo []task.Task, ns []int, nLO int) {
+	safetyView.Get().evalRebinds.Inc()
 	e.cfg = cfg
 	e.kill.bind(cfg, lo, ns, nLO)
 	var w prob.KahanSum
@@ -138,6 +139,7 @@ func (e *AdaptEval) boundProfile(ns []int, nLO, i int) int {
 // KillingPFHLO evaluates eq. (5) for the bound context under the given
 // adaptation model. Identical term order to Config.KillingPFHLO.
 func (e *AdaptEval) KillingPFHLO(adapt *Adaptation) float64 {
+	safetyView.Get().evalReuses.Inc()
 	return e.cfg.killingPFHLOEval(&e.kill, adapt, &e.scr)
 }
 
@@ -145,5 +147,6 @@ func (e *AdaptEval) KillingPFHLO(adapt *Adaptation) float64 {
 // given adaptation model; the ω(1, t) factor is served from the bind.
 // df must be > 1 (validated by callers, as in Config.DegradationPFHLO).
 func (e *AdaptEval) DegradationPFHLO(adapt *Adaptation) float64 {
+	safetyView.Get().evalReuses.Inc()
 	return adapt.AdaptProb(e.cfg.Horizon()) * e.omega / float64(e.cfg.OperationHours)
 }

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"repro/internal/criticality"
+	"repro/internal/obsv"
+)
+
+// simMetrics is the package's instrument bundle (see internal/obsv).
+// The simulator keeps its hot event loop free of instrument traffic:
+// counters accumulate in Stats and the Simulator as before, and one
+// flush at the end of Run publishes the aggregates. Only the run-level
+// span touches the clock, so a disabled registry costs Run nothing.
+type simMetrics struct {
+	runs          *obsv.Counter
+	runNs         *obsv.Histogram
+	modeSwitches  *obsv.Counter
+	preemptions   *obsv.Counter
+	jobsReleased  *obsv.Counter
+	loJobsDropped *obsv.Counter
+	readyDepth    *obsv.Gauge
+}
+
+var simView = obsv.NewView(func(r *obsv.Registry) *simMetrics {
+	return &simMetrics{
+		runs:          r.Counter("sim.runs"),
+		runNs:         r.Histogram("sim.run_ns"),
+		modeSwitches:  r.Counter("sim.mode_switches"),
+		preemptions:   r.Counter("sim.preemptions"),
+		jobsReleased:  r.Counter("sim.jobs_released"),
+		loJobsDropped: r.Counter("sim.lo_jobs_dropped"),
+		readyDepth:    r.Gauge("sim.ready_depth"),
+	}
+})
+
+// flushMetrics publishes one finished run's aggregates. lo_jobs_dropped
+// counts LO jobs lost to the adaptation (killed live jobs plus releases
+// suppressed after the kill) — the simulator-side view of the eq. (5)
+// failure events. ready_depth is the high-water mark of the ready queue
+// over the most recent run: a proxy for worst-case scheduler load and
+// the bound on the job free-list population.
+func (s *Simulator) flushMetrics() {
+	m := simView.Get()
+	m.runs.Inc()
+	if s.stats.ModeSwitched {
+		m.modeSwitches.Inc()
+	}
+	m.preemptions.Add(uint64(s.stats.Preemptions))
+	var released, dropped int64
+	for i := range s.stats.PerTask {
+		ts := &s.stats.PerTask[i]
+		released += ts.Released
+		if ts.Class == criticality.LO {
+			dropped += ts.KilledJobs + ts.SuppressedJobs
+		}
+	}
+	m.jobsReleased.Add(uint64(released))
+	m.loJobsDropped.Add(uint64(dropped))
+	m.readyDepth.Set(int64(s.maxReady))
+}

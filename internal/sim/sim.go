@@ -92,56 +92,6 @@ type Config struct {
 	PreemptionOverhead timeunit.Time
 }
 
-// EventKind tags trace events.
-type EventKind int
-
-// Trace event kinds.
-const (
-	EvRelease EventKind = iota
-	EvComplete
-	EvAttemptFail
-	EvRoundFail
-	EvModeSwitch
-	EvKill
-	EvMiss
-)
-
-// String names the event kind.
-func (k EventKind) String() string {
-	switch k {
-	case EvRelease:
-		return "release"
-	case EvComplete:
-		return "complete"
-	case EvAttemptFail:
-		return "attempt-fail"
-	case EvRoundFail:
-		return "round-fail"
-	case EvModeSwitch:
-		return "mode-switch"
-	case EvKill:
-		return "kill"
-	case EvMiss:
-		return "miss"
-	default:
-		return fmt.Sprintf("EventKind(%d)", int(k))
-	}
-}
-
-// Event is one trace record.
-type Event struct {
-	At      timeunit.Time
-	Kind    EventKind
-	Task    string
-	Seq     int64
-	Attempt int
-}
-
-// String renders e.g. "12ms release τ2#3".
-func (e Event) String() string {
-	return fmt.Sprintf("%v %v %s#%d(attempt %d)", e.At, e.Kind, e.Task, e.Seq, e.Attempt)
-}
-
 // job is one released, incomplete job.
 type job struct {
 	taskIdx   int
@@ -269,17 +219,18 @@ type Simulator struct {
 	faults FaultModel
 	x      float64
 
-	now    timeunit.Time
-	mode   criticality.Class
-	tasks  []taskState
-	ready  readyHeap
-	free   []*job // retired job records, reused across releases
-	stats  Stats
-	trace  []Event
-	slices []Slice
-	prio   []timeunit.Time // PolicyDM: fixed priority rank per task index
-	runIdx int             // taskIdx of the job that ran last, -1 if idle
-	runSeq int64
+	now      timeunit.Time
+	mode     criticality.Class
+	tasks    []taskState
+	ready    readyHeap
+	free     []*job // retired job records, reused across releases
+	stats    Stats
+	trace    []Event
+	slices   []Slice
+	prio     []timeunit.Time // PolicyDM: fixed priority rank per task index
+	runIdx   int             // taskIdx of the job that ran last, -1 if idle
+	runSeq   int64
+	maxReady int // ready-queue high-water mark, published by flushMetrics
 }
 
 // newJob takes a job record from the free list, or allocates one. Over a
@@ -476,21 +427,12 @@ func (s *Simulator) delay(base timeunit.Time) timeunit.Time {
 	return base + timeunit.Time(s.cfg.Sporadic.Rng.Int63n(int64(s.cfg.Sporadic.MaxDelay)+1))
 }
 
-// Trace returns the collected trace events (nil unless TraceLimit > 0).
-func (s *Simulator) Trace() []Event { return s.trace }
-
 // Mode returns the current operating mode (HI after the switch).
 func (s *Simulator) Mode() criticality.Class { return s.mode }
 
-func (s *Simulator) emit(kind EventKind, at timeunit.Time, taskIdx int, seq int64, attempt int) {
-	if len(s.trace) >= s.cfg.TraceLimit {
-		return
-	}
-	s.trace = append(s.trace, Event{At: at, Kind: kind, Task: s.tasks[taskIdx].t.Name, Seq: seq, Attempt: attempt})
-}
-
 // Run executes the simulation and returns the statistics.
 func (s *Simulator) Run() Stats {
+	sp := simView.Get().runNs.Start()
 	horizon := s.cfg.Horizon
 	for s.now < horizon {
 		s.releaseDue()
@@ -545,6 +487,8 @@ func (s *Simulator) Run() Stats {
 		}
 	}
 	s.windDown()
+	sp.End()
+	s.flushMetrics()
 	return s.stats
 }
 
@@ -577,6 +521,9 @@ func (s *Simulator) release(i int, r timeunit.Time) {
 	}
 	j.eff = s.effectiveDeadline(j)
 	s.ready.push(j)
+	if d := len(s.ready); d > s.maxReady {
+		s.maxReady = d
+	}
 	s.stats.PerTask[i].Released++
 	s.emit(EvRelease, r, i, j.seq, 1)
 	st.seq++

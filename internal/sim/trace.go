@@ -8,6 +8,75 @@ import (
 	"repro/internal/timeunit"
 )
 
+// This file is the simulator's tracing layer: the discrete event log
+// (Event, Simulator.Trace), the execution-slice record (Slice,
+// Simulator.Slices) and the Chrome trace-event export that renders
+// both. The event loop in sim.go only calls emit/recordSlice; all
+// trace representation lives here, and the aggregate counters the
+// trace used to be grepped for (mode switches, drops, queue depth) are
+// published as metrics by metrics.go instead.
+
+// EventKind tags trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EvRelease EventKind = iota
+	EvComplete
+	EvAttemptFail
+	EvRoundFail
+	EvModeSwitch
+	EvKill
+	EvMiss
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvRelease:
+		return "release"
+	case EvComplete:
+		return "complete"
+	case EvAttemptFail:
+		return "attempt-fail"
+	case EvRoundFail:
+		return "round-fail"
+	case EvModeSwitch:
+		return "mode-switch"
+	case EvKill:
+		return "kill"
+	case EvMiss:
+		return "miss"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	At      timeunit.Time
+	Kind    EventKind
+	Task    string
+	Seq     int64
+	Attempt int
+}
+
+// String renders e.g. "12ms release τ2#3".
+func (e Event) String() string {
+	return fmt.Sprintf("%v %v %s#%d(attempt %d)", e.At, e.Kind, e.Task, e.Seq, e.Attempt)
+}
+
+// Trace returns the collected trace events (nil unless TraceLimit > 0).
+func (s *Simulator) Trace() []Event { return s.trace }
+
+// emit appends one trace record, respecting the configured limit.
+func (s *Simulator) emit(kind EventKind, at timeunit.Time, taskIdx int, seq int64, attempt int) {
+	if len(s.trace) >= s.cfg.TraceLimit {
+		return
+	}
+	s.trace = append(s.trace, Event{At: at, Kind: kind, Task: s.tasks[taskIdx].t.Name, Seq: seq, Attempt: attempt})
+}
+
 // Slice is one contiguous stretch of processor time given to one attempt
 // of one job.
 type Slice struct {
