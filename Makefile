@@ -3,7 +3,7 @@ DATE := $(shell date +%F)
 FUZZTIME ?= 30s
 
 .PHONY: all check ci vet build test race benchcheck bench bench-compare \
-	bench-smoke staticcheck govulncheck fuzz-smoke profile clean
+	bench-smoke staticcheck govulncheck fuzz-smoke profile pgo clean
 
 all: check
 
@@ -90,6 +90,17 @@ fuzz-smoke:
 profile:
 	$(GO) run ./cmd/ftmc-bench -out - -cpuprofile cpu.prof -memprofile mem.prof > /dev/null
 	@echo "wrote cpu.prof and mem.prof"
+
+# pgo refreshes the committed profile-guided-optimization input: a CPU
+# profile of the benchmark suite (the safety kernel and sweep engines
+# dominate it) written where `go build`'s default -pgo=auto finds it —
+# default.pgo in the main package directory. Commit the refreshed file;
+# the CI pgo job asserts it stays present and loadable.
+pgo:
+	$(GO) run ./cmd/ftmc-bench -out - -benchtime 250ms \
+		-cpuprofile cmd/ftmc-bench/default.pgo > /dev/null
+	$(GO) build -pgo=auto -o /dev/null ./cmd/ftmc-bench
+	@echo "wrote cmd/ftmc-bench/default.pgo"
 
 clean:
 	$(GO) clean ./...

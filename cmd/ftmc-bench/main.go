@@ -104,6 +104,12 @@ type Report struct {
 	Fig3AllocsPerSetPooled float64 `json:"fig3_allocs_per_set_pooled"`
 	Fig3AllocsPerSetRef    float64 `json:"fig3_allocs_per_set_ref"`
 	Fig3AllocReduction     float64 `json:"fig3_alloc_reduction"`
+	// CampaignSpeedup is per-curve/campaign ns-per-op of the full
+	// 4-panel × 2-f Fig. 3 figure at FTMC_WORKERS=1 and equal
+	// SetsPerPoint: the shared-workload engine (one draw per (U, set),
+	// line-8-first verdicts, single-probe line 4) against eight
+	// independent pooled per-curve sweeps.
+	CampaignSpeedup float64 `json:"campaign_speedup"`
 	// CacheHitRate is the process-wide adaptation-cache hit rate over the
 	// whole run.
 	CacheHitRate float64 `json:"cache_hit_rate"`
@@ -221,6 +227,7 @@ func main() {
 
 	var fastNs, naiveNs float64
 	var fig3Pooled, fig3Ref BenchResult
+	var campaign, perCurve BenchResult
 	for _, bench := range benches() {
 		r := testing.Benchmark(bench.fn)
 		br := BenchResult{
@@ -240,6 +247,10 @@ func main() {
 			fig3Pooled = br
 		case "Fig3PanelRef":
 			fig3Ref = br
+		case "Fig3CampaignFigure":
+			campaign = br
+		case "Fig3CampaignPerCurve":
+			perCurve = br
 		}
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "%-28s %12d iter %14.0f ns/op %10d allocs/op\n", bench.name, br.Iterations, br.NsPerOp, br.AllocsPerOp)
@@ -255,6 +266,9 @@ func main() {
 		if fig3Pooled.AllocsPerOp > 0 {
 			rep.Fig3AllocReduction = float64(fig3Ref.AllocsPerOp) / float64(fig3Pooled.AllocsPerOp)
 		}
+	}
+	if campaign.NsPerOp > 0 {
+		rep.CampaignSpeedup = perCurve.NsPerOp / campaign.NsPerOp
 	}
 	rep.CacheHitRate = safety.TotalCacheStats().HitRate()
 	if *metrics {
@@ -303,6 +317,8 @@ func main() {
 			rep.KernelSpeedup, naiveNs/1e6, fastNs/1e6, 100*rep.CacheHitRate, *out)
 		fmt.Printf("ftmc-bench: Fig3 pooled engine %.2fx wall-clock, allocs/set %.1f -> %.1f (%.0fx fewer)\n",
 			rep.Fig3PoolSpeedup, rep.Fig3AllocsPerSetRef, rep.Fig3AllocsPerSetPooled, rep.Fig3AllocReduction)
+		fmt.Printf("ftmc-bench: campaign engine %.1fx wall-clock on the full figure (per-curve %.0fms vs campaign %.1fms)\n",
+			rep.CampaignSpeedup, perCurve.NsPerOp/1e6, campaign.NsPerOp/1e6)
 	}
 
 	if *compare != "" {
@@ -418,6 +434,26 @@ func benches() []namedBench {
 				}
 			}
 		})},
+		{"Fig3CampaignFigure", singleWorker(func(b *testing.B) {
+			ccfg := campaignBenchConfig()
+			for i := 0; i < b.N; i++ {
+				if _, err := expt.Campaign(ccfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})},
+		{"Fig3CampaignPerCurve", singleWorker(func(b *testing.B) {
+			ccfg := campaignBenchConfig()
+			for i := 0; i < b.N; i++ {
+				for _, p := range ccfg.Panels {
+					for _, f := range ccfg.FailProbs {
+						if _, err := expt.Fig3(ccfg.PanelFig3Config(p, f)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})},
 		{"SimulatorHyperperiod", func(b *testing.B) {
 			s := benchSimSet()
 			probs := []float64{1e-3, 1e-3, 1e-3, 1e-3, 1e-3}
@@ -454,6 +490,14 @@ func fig3BenchPanel() expt.Fig3Config {
 	}
 	pcfg.Utils = []float64{0.8}
 	return pcfg
+}
+
+// campaignBenchConfig is the fixed-seed full figure both Fig3Campaign*
+// benchmarks produce: all four panels and both failure probabilities over
+// the whole paper utilization axis, 8 sets per point — the before/after
+// pair behind the report's campaign_speedup.
+func campaignBenchConfig() expt.CampaignConfig {
+	return expt.PaperCampaign(8, 1)
 }
 
 // singleWorker pins FTMC_WORKERS to 1 around fn so the pooled-vs-ref

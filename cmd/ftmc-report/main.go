@@ -87,22 +87,25 @@ func fmsFigures() {
 func fig3(sets int, seed int64) {
 	fmt.Println("## Fig. 3 (acceptance ratios)")
 	fmt.Println()
-	for _, panel := range []string{"3a", "3b", "3c", "3d"} {
-		cfg, err := expt.PanelConfig(panel, sets, seed)
-		if err != nil {
-			fatal(err)
-		}
-		res, err := expt.Fig3(cfg)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("### Panel %s: HI=%v LO=%v mode=%v (%d sets/point)\n\n", panel, cfg.HI, cfg.LO, cfg.Mode, sets)
+	// One shared-workload campaign produces all four panels: each (U, set)
+	// pair is drawn once and evaluated against every panel × failure
+	// probability, so the curves are paired across configurations (see
+	// EXPERIMENTS.md for how this relates to independent per-curve draws).
+	cfg := expt.PaperCampaign(sets, seed)
+	res, err := expt.Campaign(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for pi, panel := range cfg.Panels {
+		pres := res.Panels[pi]
+		fmt.Printf("### Panel %s: HI=%v LO=%v mode=%v (%d sets/point)\n\n",
+			panel.Name, cfg.HI, panel.LO, panel.Mode, sets)
 		fmt.Println("| U | base f=1e-3 | adapt f=1e-3 | base f=1e-5 | adapt f=1e-5 |")
 		fmt.Println("|---|---|---|---|---|")
 		for ui, u := range cfg.Utils {
 			fmt.Printf("| %.2f | %.3f | %.3f | %.3f | %.3f |\n", u,
-				res.Curves[0].Baseline[ui], res.Curves[0].Adapted[ui],
-				res.Curves[1].Baseline[ui], res.Curves[1].Adapted[ui])
+				pres.Curves[0].Baseline[ui], pres.Curves[0].Adapted[ui],
+				pres.Curves[1].Baseline[ui], pres.Curves[1].Adapted[ui])
 		}
 		fmt.Println()
 	}

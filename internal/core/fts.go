@@ -239,10 +239,12 @@ func FTS(s *task.Set, opt Options) (Result, error) {
 }
 
 // FTSWithSafety completes Algorithm 1 (lines 8–15) from a precomputed
-// safety verdict — the cross-design reuse path: one FTSSafety per
-// (Mode, DF) serves every schedulability test S. The verdict must come
-// from FTSSafety on the same set and an Options value differing at most
-// in Test.
+// safety verdict — the cross-design reuse path: one FTSSafety per mode
+// serves every schedulability test S. The verdict must come from
+// FTSSafety on the same set and an Options value differing at most in
+// Test or — in Degrade mode, where the eq. (7) bound does not read the
+// degradation factor — in DF (explore and the df sensitivity sweep lean
+// on exactly that).
 func FTSWithSafety(s *task.Set, opt Options, sv SafetyVerdict) (Result, error) {
 	if err := opt.Validate(); err != nil {
 		return Result{}, err
@@ -304,6 +306,18 @@ func ftsSchedule(s *task.Set, opt Options, cache *safety.AdaptationCache, sv Saf
 		return Result{}, err
 	}
 	return res, nil
+}
+
+// MaxSchedProfile exposes the line-8 search of Algorithm 1 — n²_HI =
+// sup{n ∈ [1, p.NHI] : Γ(p.NHI, p.NLO, n) schedulable by test} (0 when
+// empty) — for engines that orchestrate the surrounding lines themselves.
+// The converted set Γ depends only on the timing parameters, the class
+// partition and the profiles, never on the tasks' failure probabilities or
+// level labels, so campaign sweeps (internal/expt) memoize this search per
+// set across every (f, level-pair, mode) configuration sharing
+// (p.NHI, p.NLO, test). A nil scr selects the allocating conversion path.
+func MaxSchedProfile(s *task.Set, scr *Scratch, test mcsched.Test, p Profiles) (int, error) {
+	return maxSchedProfile(s, scr, test, p)
 }
 
 // maxSchedProfile computes line 8, n²_HI = sup{n ∈ [1, n_HI] :

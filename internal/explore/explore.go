@@ -143,15 +143,25 @@ func Explore(s *task.Set, opt Options) ([]Design, error) {
 		if df <= 1 {
 			return nil, fmt.Errorf("explore: degradation factor must be > 1, got %g", df)
 		}
-		degOpt := core.Options{Safety: opt.Safety, Mode: safety.Degrade, DF: df, Cache: cache, Scratch: scr}
-		sv, err := core.FTSSafety(s, degOpt)
+	}
+	// The eq. (7) bound behind the degradation safety verdict does not
+	// depend on df (only the degraded-mode utilization of line 8 does), so
+	// one FTSSafety serves the whole df axis, like svKill serves the kill
+	// tests.
+	degOpt := core.Options{Safety: opt.Safety, Mode: safety.Degrade, DF: dfs[0], Cache: cache, Scratch: scr}
+	svDeg, err := core.FTSSafety(s, degOpt)
+	if err != nil {
+		return nil, err
+	}
+	m.safetyVerdicts.Inc()
+	for i, df := range dfs {
+		degOpt.DF = df
+		d, err := evaluate(s, degOpt, df, svDeg)
 		if err != nil {
 			return nil, err
 		}
-		m.safetyVerdicts.Inc()
-		d, err := evaluate(s, degOpt, df, sv)
-		if err != nil {
-			return nil, err
+		if i > 0 {
+			m.verdictReuses.Inc()
 		}
 		designs = append(designs, d)
 	}

@@ -1,0 +1,179 @@
+package expt
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/criticality"
+	"repro/internal/safety"
+)
+
+// smallCampaign trims the paper campaign to a differential-test size:
+// all four panels and both failure probabilities over utilizations
+// spanning the feasible, transition and stressed regimes, so every
+// verdict path (baseline accept, schedulability reject, single-probe
+// accept and reject) is exercised against the reference.
+func smallCampaign() CampaignConfig {
+	cfg := PaperCampaign(24, 7)
+	cfg.Utils = []float64{0.5, 0.65, 0.8, 0.9}
+	return cfg
+}
+
+// TestCampaignMatchesFig3Ref is the campaign engine's acceptance test:
+// every (panel, f) slice of the shared-workload sweep must equal the
+// original allocating per-curve path run on the paired single-f config —
+// same seeds, same draws, identical verdicts, so identical ratios.
+func TestCampaignMatchesFig3Ref(t *testing.T) {
+	cfg := smallCampaign()
+	got, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Panels) != len(cfg.Panels) {
+		t.Fatalf("got %d panels, want %d", len(got.Panels), len(cfg.Panels))
+	}
+	for pi, p := range cfg.Panels {
+		for fi, f := range cfg.FailProbs {
+			want, err := Fig3Ref(cfg.PanelFig3Config(p, f))
+			if err != nil {
+				t.Fatalf("panel %s f=%g: Fig3Ref: %v", p.Name, f, err)
+			}
+			if !reflect.DeepEqual(got.Panels[pi].Curves[fi], want.Curves[0]) {
+				t.Errorf("panel %s f=%g: campaign diverged from reference:\n got %+v\nwant %+v",
+					p.Name, f, got.Panels[pi].Curves[fi], want.Curves[0])
+			}
+		}
+	}
+}
+
+// TestCampaignMatchesFig3Pooled cross-checks against the pooled per-curve
+// engine too, closing the triangle campaign = pooled = ref.
+func TestCampaignMatchesFig3Pooled(t *testing.T) {
+	cfg := smallCampaign()
+	got, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, p := range cfg.Panels {
+		for fi, f := range cfg.FailProbs {
+			want, err := Fig3(cfg.PanelFig3Config(p, f))
+			if err != nil {
+				t.Fatalf("panel %s f=%g: Fig3: %v", p.Name, f, err)
+			}
+			if !reflect.DeepEqual(got.Panels[pi].Curves[fi], want.Curves[0]) {
+				t.Errorf("panel %s f=%g: campaign diverged from pooled engine:\n got %+v\nwant %+v",
+					p.Name, f, got.Panels[pi].Curves[fi], want.Curves[0])
+			}
+		}
+	}
+}
+
+// TestCampaignWorkerInvariance checks the determinism contract: the whole
+// figure is byte-identical under FTMC_WORKERS = 1 and 4, because every
+// (set, config) verdict depends only on the set's seed and the config,
+// never on which worker evaluates it or what it evaluated before.
+func TestCampaignWorkerInvariance(t *testing.T) {
+	cfg := smallCampaign()
+	var base CampaignResult
+	for i, w := range []string{"1", "4"} {
+		t.Setenv("FTMC_WORKERS", w)
+		res, err := Campaign(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Panels, base.Panels) {
+			t.Fatalf("FTMC_WORKERS=%s changed the figure:\n got %+v\nwant %+v", w, res.Panels, base.Panels)
+		}
+	}
+}
+
+// TestCampaignValidate exercises the configuration error paths.
+func TestCampaignValidate(t *testing.T) {
+	good := smallCampaign()
+	cases := []struct {
+		name string
+		mut  func(*CampaignConfig)
+	}{
+		{"no panels", func(c *CampaignConfig) { c.Panels = nil }},
+		{"LO not below HI", func(c *CampaignConfig) { c.Panels[0].LO = criticality.LevelA }},
+		{"degrade df", func(c *CampaignConfig) { c.Panels[2].DF = 1 }},
+		{"no fail probs", func(c *CampaignConfig) { c.FailProbs = nil }},
+		{"no utils", func(c *CampaignConfig) { c.Utils = nil }},
+		{"no sets", func(c *CampaignConfig) { c.SetsPerPoint = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := good
+		cfg.Panels = append([]CampaignPanel(nil), good.Panels...)
+		tc.mut(&cfg)
+		if _, err := Campaign(cfg); err == nil {
+			t.Errorf("%s: Campaign accepted an invalid config", tc.name)
+		}
+	}
+}
+
+// TestPaperCampaignShape pins the published figure's configuration: four
+// panels 3a–3d matching PanelConfig, and both paper failure probabilities.
+func TestPaperCampaignShape(t *testing.T) {
+	cfg := PaperCampaign(500, 1)
+	if len(cfg.Panels) != 4 {
+		t.Fatalf("got %d panels, want 4", len(cfg.Panels))
+	}
+	for _, p := range cfg.Panels {
+		want, err := PanelConfig(p.Name, 500, 1)
+		if err != nil {
+			t.Fatalf("panel %s: %v", p.Name, err)
+		}
+		if p.LO != want.LO || p.Mode != want.Mode || p.DF != want.DF {
+			t.Errorf("panel %s: got (LO=%v mode=%v df=%g), want (LO=%v mode=%v df=%g)",
+				p.Name, p.LO, p.Mode, p.DF, want.LO, want.Mode, want.DF)
+		}
+		if p.Mode == safety.Degrade && p.DF <= 1 {
+			t.Errorf("panel %s: degrade panel without a df", p.Name)
+		}
+	}
+	if !reflect.DeepEqual(cfg.FailProbs, []float64{1e-3, 1e-5}) {
+		t.Errorf("fail probs = %v, want paper's {1e-3, 1e-5}", cfg.FailProbs)
+	}
+}
+
+// benchCampaign is the benchmark figure: the full 4-panel × 2-f
+// cross-product at a bench-sized sample count.
+func benchCampaign() CampaignConfig {
+	cfg := PaperCampaign(16, 1)
+	cfg.Utils = []float64{0.6, 0.85}
+	return cfg
+}
+
+// BenchmarkCampaignFigure measures the shared-workload engine producing
+// the whole figure in one pass.
+func BenchmarkCampaignFigure(b *testing.B) {
+	cfg := benchCampaign()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Campaign(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignPerCurve measures the same figure through the
+// per-curve pooled path: one Fig3 run per (panel, f), redrawing the
+// workloads for every configuration — the before side of the campaign
+// engine's ≥3× target.
+func BenchmarkCampaignPerCurve(b *testing.B) {
+	cfg := benchCampaign()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, p := range cfg.Panels {
+			for _, f := range cfg.FailProbs {
+				if _, err := Fig3(cfg.PanelFig3Config(p, f)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}

@@ -18,6 +18,17 @@ type exptMetrics struct {
 	poolChunkNs    *obsv.Histogram
 	fig3Points     *obsv.Counter
 	fig3PointNs    *obsv.Histogram
+	// Campaign-engine reuse telemetry: sets drawn once, configurations
+	// served per draw (their ratio is the draw amortization), baseline
+	// short-circuits, and the line-8 memo's hit/search split (hits are
+	// whole bisected schedulability scans skipped).
+	campaignPoints        *obsv.Counter
+	campaignPointNs       *obsv.Histogram
+	campaignSets          *obsv.Counter
+	campaignConfigs       *obsv.Counter
+	campaignBaselineHits  *obsv.Counter
+	campaignSchedMemoHits *obsv.Counter
+	campaignSchedSearches *obsv.Counter
 }
 
 var exptView = obsv.NewView(func(r *obsv.Registry) *exptMetrics {
@@ -29,5 +40,12 @@ var exptView = obsv.NewView(func(r *obsv.Registry) *exptMetrics {
 		poolChunkNs:    r.Histogram("expt.pool.chunk_ns"),
 		fig3Points:     r.Counter("expt.fig3.points"),
 		fig3PointNs:    r.Histogram("expt.fig3.point_ns"),
+		campaignPoints:        r.Counter("expt.campaign.points"),
+		campaignPointNs:       r.Histogram("expt.campaign.point_ns"),
+		campaignSets:          r.Counter("expt.campaign.sets"),
+		campaignConfigs:       r.Counter("expt.campaign.configs"),
+		campaignBaselineHits:  r.Counter("expt.campaign.baseline_hits"),
+		campaignSchedMemoHits: r.Counter("expt.campaign.sched_memo_hits"),
+		campaignSchedSearches: r.Counter("expt.campaign.sched_searches"),
 	}
 })

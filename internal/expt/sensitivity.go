@@ -40,40 +40,76 @@ func DFSweep(hi, lo criticality.Level, u, failProb float64, dfs []float64, setsP
 	if len(dfs) == 0 || setsPerPoint < 1 {
 		return nil, fmt.Errorf("expt: need df values and sets per point")
 	}
-	params := gen.PaperParams(hi, lo, u, failProb)
-	scfg := safety.DefaultConfig()
-	out := make([]DFPoint, 0, len(dfs))
 	for _, df := range dfs {
 		if df <= 1 {
 			return nil, fmt.Errorf("expt: degradation factor must be > 1, got %g", df)
 		}
-		// Parallel evaluation into per-index slots, serial reduction: the
-		// Kahan sum accumulates in index order, keeping the result
-		// bit-identical to the serial sweep regardless of worker count.
-		type verdict struct {
-			ok  bool
-			pfh float64
-		}
-		verdicts := make([]verdict, setsPerPoint)
-		err := ForEach(setsPerPoint, func(i int) error {
-			rng := rand.New(rand.NewSource(seed + int64(i)))
-			s, err := gen.TaskSet(rng, params)
-			if err != nil {
-				return nil // degenerate draw: counts as rejected
-			}
-			res, err := core.FTS(s, core.Options{Safety: scfg, Mode: safety.Degrade, DF: df})
+	}
+	params := gen.PaperParams(hi, lo, u, failProb)
+	scfg := safety.DefaultConfig()
+	// Shared-workload evaluation: set i is drawn once (the drawer matches
+	// the allocating generator bit for bit on seed + i, the seeds the
+	// per-df sweep used) and walks the whole df axis. The eq. (7) safety
+	// verdict is df-independent, so one FTSSafety per set serves every df
+	// and only the line-8 schedulability search reruns. Verdicts land in
+	// per-(set, df) slots and the Kahan sums accumulate serially in set
+	// order per df, keeping each point bit-identical to the independent
+	// per-df sweep regardless of worker count.
+	type verdict struct {
+		ok  bool
+		pfh float64
+	}
+	type dfEval struct {
+		drawer *gen.Drawer
+		scr    *core.Scratch
+		cache  *safety.AdaptationCache
+	}
+	verdicts := make([]verdict, setsPerPoint*len(dfs))
+	evals := make([]*dfEval, Workers())
+	err := ForEachWorker(setsPerPoint, fig3Chunk, func(w, i int) error {
+		ev := evals[w]
+		if ev == nil {
+			d, err := gen.NewDrawer(params, 0)
 			if err != nil {
 				return err
 			}
-			verdicts[i] = verdict{ok: res.OK, pfh: res.PFHLO}
-			return nil
-		})
-		if err != nil {
-			return nil, err
+			ev = &dfEval{drawer: d, scr: core.NewScratch()}
+			evals[w] = ev
 		}
+		s, err := ev.drawer.Draw(seed + int64(i))
+		if err != nil {
+			return nil // degenerate draw: counts as rejected at every df
+		}
+		hiT, loT := s.ByClass(criticality.HI), s.ByClass(criticality.LO)
+		if ev.cache == nil {
+			ev.cache = safety.NewAdaptationCache(scfg, hiT, loT)
+		} else {
+			ev.cache.Reset(scfg, hiT, loT)
+		}
+		opt := core.Options{Safety: scfg, Mode: safety.Degrade, DF: dfs[0], Cache: ev.cache, Scratch: ev.scr}
+		sv, err := core.FTSSafety(s, opt)
+		if err != nil {
+			return err
+		}
+		for di, df := range dfs {
+			opt.DF = df
+			res, err := core.FTSWithSafety(s, opt, sv)
+			if err != nil {
+				return err
+			}
+			verdicts[i*len(dfs)+di] = verdict{ok: res.OK, pfh: res.PFHLO}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DFPoint, 0, len(dfs))
+	for di, df := range dfs {
 		accepted := 0
 		var pfhSum prob.KahanSum
-		for _, v := range verdicts {
+		for i := 0; i < setsPerPoint; i++ {
+			v := verdicts[i*len(dfs)+di]
 			if v.ok {
 				accepted++
 				pfhSum.Add(v.pfh)

@@ -1,11 +1,17 @@
 package expt
 
 import (
+	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/criticality"
+	"repro/internal/gen"
+	"repro/internal/prob"
 	"repro/internal/safety"
+	"repro/internal/stats"
 )
 
 func TestDFSweepShape(t *testing.T) {
@@ -33,6 +39,58 @@ func TestDFSweepShape(t *testing.T) {
 	}
 	if points[len(points)-1].Acceptance == 0 {
 		t.Error("no acceptance even at df=16: sweep exercised nothing")
+	}
+}
+
+// TestDFSweepMatchesIndependent locks the shared-workload sweep (one draw
+// and one safety verdict per set, walked across the df axis) to the
+// independent per-df evaluation it replaced: a fresh allocating generator
+// run and a full transient FTS per (df, set) on the same seed + i
+// derivation. Every point's acceptance, interval and mean pfh must match
+// exactly, including across worker counts.
+func TestDFSweepMatchesIndependent(t *testing.T) {
+	dfs := []float64{1.5, 2, 4, 8}
+	const sets, seed = 24, 3
+	params := gen.PaperParams(criticality.LevelB, criticality.LevelD, 0.8, 1e-5)
+	scfg := safety.DefaultConfig()
+	var want []DFPoint
+	for _, df := range dfs {
+		accepted := 0
+		var pfhSum prob.KahanSum
+		for i := 0; i < sets; i++ {
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			s, err := gen.TaskSet(rng, params)
+			if err != nil {
+				continue // degenerate draw: rejected
+			}
+			res, err := core.FTS(s, core.Options{Safety: scfg, Mode: safety.Degrade, DF: df})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.OK {
+				accepted++
+				pfhSum.Add(res.PFHLO)
+			}
+		}
+		p := DFPoint{
+			DF:         df,
+			Acceptance: float64(accepted) / float64(sets),
+			CI:         stats.Wilson95(accepted, sets),
+		}
+		if accepted > 0 {
+			p.MeanPFHLO = pfhSum.Value() / float64(accepted)
+		}
+		want = append(want, p)
+	}
+	for _, w := range []string{"1", "4"} {
+		t.Setenv("FTMC_WORKERS", w)
+		got, err := DFSweep(criticality.LevelB, criticality.LevelD, 0.8, 1e-5, dfs, sets, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("FTMC_WORKERS=%s: shared-workload sweep diverged:\n got %+v\nwant %+v", w, got, want)
+		}
 	}
 }
 

@@ -48,6 +48,23 @@ func NewDrawer(p Params, tasksPerSet int) (*Drawer, error) {
 	return &Drawer{p: p, n: tasksPerSet, rng: rand.New(rand.NewSource(1))}, nil
 }
 
+// Retarget moves the drawer to a new target utilization, revalidating the
+// amended parameters while keeping the arena. Campaign sweeps walk the
+// utilization axis with one drawer per worker instead of rebuilding a
+// drawer (and its arena) at every data point.
+func (d *Drawer) Retarget(targetU float64) error {
+	if d.p.TargetU == targetU {
+		return nil
+	}
+	p := d.p
+	p.TargetU = targetU
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	d.p = p
+	return nil
+}
+
 // name returns the cached "τi" label (1-based).
 func (d *Drawer) name(i int) string {
 	for len(d.names) < i {

@@ -328,3 +328,20 @@ func (c *AdaptationCache) adaptPFHLO(mode AdaptMode, nLO, nprime int, df float64
 	}
 	return c.DegradationPFHLOUniform(nLO, nprime, df)
 }
+
+// PFHLOUniform evaluates the pfh(LO) bound of one adaptation mode at a
+// single uniform profile n′ — eq. (5) for killing, eq. (7) for
+// degradation, memoized like the line-4 search's probes. Because the
+// bound is non-increasing in n′ (Lemma 3.3/3.4), one evaluation at
+// n′ = n²_HI decides Algorithm 1's verdict outright:
+//
+//	n¹_HI ≤ n²_HI  ⇔  pfh(n²_HI) < PFH_LO
+//
+// (the no-adaptation limit underlying checkAdaptFeasible is a lower
+// bound of every pfh(n′), so an infeasible requirement also fails the
+// probe). Verdict-only sweeps (the Fig. 3 campaign engine) use this in
+// place of MinAdaptProfile when the exact n¹_HI is not needed, trading
+// the O(log n¹) bound evaluations of the bisection for exactly one.
+func (c *AdaptationCache) PFHLOUniform(mode AdaptMode, nLO, nprime int, df float64) (float64, error) {
+	return c.adaptPFHLO(mode, nLO, nprime, df)
+}

@@ -231,6 +231,14 @@ type Simulator struct {
 	runIdx   int             // taskIdx of the job that ran last, -1 if idle
 	runSeq   int64
 	maxReady int // ready-queue high-water mark, published by flushMetrics
+	// relMinIdx caches the task index of the earliest pending release so
+	// the per-iteration nextReleaseTime is O(1) instead of a scan over
+	// all tasks: -1 means recompute, len(tasks) means nothing pending
+	// (every task dead). release() only moves a task's nextRelease
+	// upward, so the cache stays valid unless the minimum itself moved;
+	// switchMode (kills and degradation postponements) invalidates it
+	// wholesale.
+	relMinIdx int
 }
 
 // newJob takes a job record from the free list, or allocates one. Over a
@@ -311,6 +319,14 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.PreemptionOverhead < 0 {
 		return nil, fmt.Errorf("sim: negative preemption overhead %v", cfg.PreemptionOverhead)
 	}
+	if sp := cfg.Sporadic; sp != nil {
+		if sp.MaxDelay < 0 {
+			return nil, fmt.Errorf("sim: sporadic MaxDelay must be >= 0, got %v", sp.MaxDelay)
+		}
+		if sp.MaxDelay > 0 && sp.Rng == nil {
+			return nil, fmt.Errorf("sim: sporadic delays (MaxDelay=%v) need an Rng", sp.MaxDelay)
+		}
+	}
 	switch cfg.Mode {
 	case safety.Kill:
 	case safety.Degrade:
@@ -382,7 +398,7 @@ func New(cfg Config) (*Simulator, error) {
 			}
 		}
 	}
-	s := &Simulator{cfg: cfg, faults: faults, x: x, mode: criticality.LO, runIdx: -1}
+	s := &Simulator{cfg: cfg, faults: faults, x: x, mode: criticality.LO, runIdx: -1, relMinIdx: -1}
 	if cfg.Policy == PolicyDM {
 		ranks, err := priorityRanks(cfg)
 		if err != nil {
@@ -529,6 +545,11 @@ func (s *Simulator) release(i int, r timeunit.Time) {
 	st.seq++
 	st.lastRelease = r
 	st.nextRelease = s.delay(r + period)
+	// Raising any other task's nextRelease cannot lower the cached
+	// minimum; raising the minimum's own can move it anywhere.
+	if i == s.relMinIdx {
+		s.relMinIdx = -1
+	}
 }
 
 // effectiveDeadline computes the EDF key: HI jobs use virtual deadlines
@@ -546,16 +567,30 @@ func (s *Simulator) effectiveDeadline(j *job) timeunit.Time {
 }
 
 // nextReleaseTime returns the earliest pending release, capped at the
-// horizon.
+// horizon. The argmin over tasks is cached in relMinIdx and only
+// recomputed after a mutation that can move the minimum (the running
+// min's own re-release, or a mode switch).
 func (s *Simulator) nextReleaseTime(horizon timeunit.Time) timeunit.Time {
-	next := horizon
-	for i := range s.tasks {
-		st := &s.tasks[i]
-		if !st.dead && st.nextRelease < next {
-			next = st.nextRelease
+	if s.relMinIdx < 0 {
+		min := len(s.tasks)
+		for i := range s.tasks {
+			st := &s.tasks[i]
+			if st.dead {
+				continue
+			}
+			if min == len(s.tasks) || st.nextRelease < s.tasks[min].nextRelease {
+				min = i
+			}
 		}
+		s.relMinIdx = min
 	}
-	return next
+	if s.relMinIdx == len(s.tasks) {
+		return horizon // every task dead: no pending release
+	}
+	if next := s.tasks[s.relMinIdx].nextRelease; next < horizon {
+		return next
+	}
+	return horizon
 }
 
 // finishAttempt handles the sanity check at the end of an attempt.
@@ -606,6 +641,7 @@ func (s *Simulator) finishAttempt(j *job) {
 // switchMode performs the LO → HI transition: HI jobs revert to real
 // deadlines; LO tasks are killed or degraded.
 func (s *Simulator) switchMode() {
+	s.relMinIdx = -1 // kills and postponements below can move the min
 	s.mode = criticality.HI
 	s.stats.ModeSwitched = true
 	s.stats.ModeSwitchAt = s.now

@@ -49,6 +49,10 @@ func TestConfigValidation(t *testing.T) {
 		func(c *Config) { c.Mode = safety.Degrade; c.DF = 1 },
 		func(c *Config) { c.Policy = PolicyEDFVD; c.VDFactor = 1.5 },
 		func(c *Config) { c.Policy = PolicyEDFVD; c.VDFactor = -0.1 },
+		// A negative MaxDelay used to silently disable sporadic delays,
+		// and a missing Rng used to panic inside delay() mid-run.
+		func(c *Config) { c.Sporadic = &Sporadic{MaxDelay: ms(-1)} },
+		func(c *Config) { c.Sporadic = &Sporadic{MaxDelay: ms(30)} },
 	}
 	for i, mutate := range cases {
 		cfg := good
@@ -57,6 +61,17 @@ func TestConfigValidation(t *testing.T) {
 			t.Errorf("case %d: expected config error", i)
 		}
 	}
+}
+
+func TestSporadicZeroDelayAccepted(t *testing.T) {
+	s := pair(100, 10, 50, 5)
+	cfg := baseConfig(s)
+	cfg.Sporadic = &Sporadic{} // MaxDelay 0: delays disabled, no Rng needed
+	sm, err := New(cfg)
+	if err != nil {
+		t.Fatalf("zero-delay sporadic config rejected: %v", err)
+	}
+	sm.Run() // must behave like the strictly periodic simulator, not panic
 }
 
 func TestVDFactorDerivedFromProfiles(t *testing.T) {

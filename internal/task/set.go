@@ -180,6 +180,30 @@ func (s *Set) ScaledUtilization(c criticality.Class, n int) float64 {
 	return float64(n) * s.UtilizationClass(c)
 }
 
+// RestampFailProb sets every task's per-attempt failure probability to f
+// in place, including the cached class views. It exists for shared-workload
+// sweeps (the Fig. 3 campaign engine): the random generators consume their
+// RNG identically for every failure probability, so one drawn set can serve
+// several f values by restamping instead of redrawing. The levels, timing
+// parameters and class partition are untouched, so no revalidation or
+// reclassification is needed. Callers holding an analysis cache bound to
+// this set's tasks (safety.AdaptationCache) must rebind it after restamping.
+func (s *Set) RestampFailProb(f float64) error {
+	if f < 0 || f >= 1 {
+		return fmt.Errorf("task: failure probability must be in [0,1), got %g", f)
+	}
+	for i := range s.tasks {
+		s.tasks[i].FailProb = f
+	}
+	for i := range s.hi {
+		s.hi[i].FailProb = f
+	}
+	for i := range s.lo {
+		s.lo[i].FailProb = f
+	}
+	return nil
+}
+
 // AllImplicit reports whether every task has D = T.
 func (s *Set) AllImplicit() bool {
 	for _, t := range s.tasks {
