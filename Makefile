@@ -2,8 +2,9 @@ GO ?= go
 DATE := $(shell date +%F)
 FUZZTIME ?= 30s
 
-.PHONY: all check ci vet build test race benchcheck bench bench-compare \
-	bench-smoke staticcheck govulncheck fuzz-smoke profile pgo clean
+.PHONY: all check ci vet build test race race-pool benchcheck bench \
+	bench-compare bench-smoke staticcheck govulncheck fuzz-smoke profile \
+	pgo clean
 
 all: check
 
@@ -14,9 +15,10 @@ all: check
 check: vet build race benchcheck
 
 # ci mirrors the GitHub Actions matrix locally: the check gate plus the
-# lint pair, the fuzz smoke and the bench smoke with its exit-code
-# convention (regression tolerated, harness error fatal).
-ci: check staticcheck govulncheck fuzz-smoke bench-smoke
+# lint pair, the fuzz smoke, the focused pool/shard race pass and the
+# bench smoke with its exit-code convention (regression tolerated,
+# harness error fatal).
+ci: check staticcheck govulncheck fuzz-smoke race-pool bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,8 +32,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-pool is the focused race pass over the concurrency-bearing
+# pieces: the work-stealing pool (claim/steal CAS protocol, invariance
+# across worker counts) and the sharded adaptation-cache pool. A repeat
+# count varies goroutine interleavings beyond what one -race run sees.
+race-pool:
+	$(GO) test -race -count 2 \
+		-run 'ForEachWorker|StealPool|Invariance|WorkersBadEnv|CacheShards|ContextHash' \
+		./internal/expt/ ./internal/safety/
+
 benchcheck:
-	$(GO) test -run '^$$' -bench=SafetyKillingPFH -benchtime=1x ./...
+	$(GO) test -run '^$$' -bench='SafetyKillingPFH|KillingBatch' -benchtime=1x ./...
 
 # bench first runs the pooled-engine micro-benchmarks with allocation
 # counts (Fig. 3 point, FT-S with/without scratch, one simulator

@@ -113,12 +113,51 @@ type Report struct {
 	// CacheHitRate is the process-wide adaptation-cache hit rate over the
 	// whole run.
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	// BatchKernel compares the batched SoA eq. (5) kernel against the
+	// scalar kernel on the same 64-set paper corpus, in ns per set.
+	BatchKernel *BatchKernelSection `json:"batch_kernel,omitempty"`
+	// StealPool compares the work-stealing pool against the retired
+	// fixed atomic-cursor scheduler on a skewed synthetic workload.
+	StealPool *StealPoolSection `json:"steal_pool,omitempty"`
+	// ShardedCache reports the sharded adaptation-cache pool under
+	// 8-way concurrent access.
+	ShardedCache *ShardedCacheSection `json:"sharded_cache,omitempty"`
 	// BeforeAfter compares this run against the -before baseline, keyed
 	// by benchmark name; absent without -before.
 	BeforeAfter map[string]BeforeAfter `json:"before_after,omitempty"`
 	// Metrics is the internal/obsv instrument snapshot of the run;
 	// present only with -metrics.
 	Metrics *obsv.Snapshot `json:"metrics,omitempty"`
+}
+
+// BatchKernelSection is the scalar-vs-batched eq. (5) comparison at the
+// acceptance batch width: the same KillingBatch64 corpus through one
+// batched call and through per-set scalar evaluations with prebuilt
+// adaptation state.
+type BatchKernelSection struct {
+	Width          int     `json:"width"`
+	ScalarNsPerSet float64 `json:"scalar_ns_per_set"`
+	BatchNsPerSet  float64 `json:"batch_ns_per_set"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// StealPoolSection compares the stealing scheduler against the fixed
+// atomic-cursor baseline (ForEachWorkerFixed) on a workload whose
+// per-index cost is skewed the way the campaign's cheap-test-first
+// ordering skews set evaluation.
+type StealPoolSection struct {
+	FixedNsPerOp float64 `json:"fixed_ns_per_op"`
+	StealNsPerOp float64 `json:"steal_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// ShardedCacheSection reports the CacheShards pool hammered by 8-way
+// concurrent Get+bound traffic over a small context universe: the cost
+// of one resolve+bound cycle and the pooled caches' memo hit rate.
+type ShardedCacheSection struct {
+	NsPerGet    float64 `json:"ns_per_get"`
+	MemoHitRate float64 `json:"memo_hit_rate"`
+	Contexts    int     `json:"contexts"`
 }
 
 // loadReport reads a prior BENCH_*.json report.
@@ -228,6 +267,8 @@ func main() {
 	var fastNs, naiveNs float64
 	var fig3Pooled, fig3Ref BenchResult
 	var campaign, perCurve BenchResult
+	var batchKernel, batchScalar BenchResult
+	var poolSteal, poolFixed, shardGet BenchResult
 	for _, bench := range benches() {
 		r := testing.Benchmark(bench.fn)
 		br := BenchResult{
@@ -251,6 +292,16 @@ func main() {
 			campaign = br
 		case "Fig3CampaignPerCurve":
 			perCurve = br
+		case "KillingBatch64":
+			batchKernel = br
+		case "KillingBatchScalar64":
+			batchScalar = br
+		case "PoolStealSkewed":
+			poolSteal = br
+		case "PoolFixedSkewed":
+			poolFixed = br
+		case "ShardedCacheConcurrent8":
+			shardGet = br
 		}
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "%-28s %12d iter %14.0f ns/op %10d allocs/op\n", bench.name, br.Iterations, br.NsPerOp, br.AllocsPerOp)
@@ -269,6 +320,28 @@ func main() {
 	}
 	if campaign.NsPerOp > 0 {
 		rep.CampaignSpeedup = perCurve.NsPerOp / campaign.NsPerOp
+	}
+	if batchKernel.NsPerOp > 0 {
+		rep.BatchKernel = &BatchKernelSection{
+			Width:          batchBenchWidth,
+			ScalarNsPerSet: batchScalar.NsPerOp / batchBenchWidth,
+			BatchNsPerSet:  batchKernel.NsPerOp / batchBenchWidth,
+			Speedup:        batchScalar.NsPerOp / batchKernel.NsPerOp,
+		}
+	}
+	if poolSteal.NsPerOp > 0 {
+		rep.StealPool = &StealPoolSection{
+			FixedNsPerOp: poolFixed.NsPerOp,
+			StealNsPerOp: poolSteal.NsPerOp,
+			Speedup:      poolFixed.NsPerOp / poolSteal.NsPerOp,
+		}
+	}
+	if shardGet.NsPerOp > 0 {
+		rep.ShardedCache = &ShardedCacheSection{
+			NsPerGet:    shardGet.NsPerOp,
+			MemoHitRate: shardBenchStats.HitRate(),
+			Contexts:    shardBenchContexts,
+		}
 	}
 	rep.CacheHitRate = safety.TotalCacheStats().HitRate()
 	if *metrics {
@@ -319,6 +392,17 @@ func main() {
 			rep.Fig3PoolSpeedup, rep.Fig3AllocsPerSetRef, rep.Fig3AllocsPerSetPooled, rep.Fig3AllocReduction)
 		fmt.Printf("ftmc-bench: campaign engine %.1fx wall-clock on the full figure (per-curve %.0fms vs campaign %.1fms)\n",
 			rep.CampaignSpeedup, perCurve.NsPerOp/1e6, campaign.NsPerOp/1e6)
+		if rep.BatchKernel != nil {
+			fmt.Printf("ftmc-bench: batched eq.(5) kernel %.2fx ns/set at width %d (scalar %.0fns vs batch %.0fns)\n",
+				rep.BatchKernel.Speedup, rep.BatchKernel.Width, rep.BatchKernel.ScalarNsPerSet, rep.BatchKernel.BatchNsPerSet)
+		}
+		if rep.StealPool != nil {
+			fmt.Printf("ftmc-bench: stealing pool %.2fx vs fixed cursor on the skewed workload\n", rep.StealPool.Speedup)
+		}
+		if rep.ShardedCache != nil {
+			fmt.Printf("ftmc-bench: sharded cache %.0fns/get at %d contexts, memo hit rate %.0f%%\n",
+				rep.ShardedCache.NsPerGet, rep.ShardedCache.Contexts, 100*rep.ShardedCache.MemoHitRate)
+		}
 	}
 
 	if *compare != "" {
@@ -375,6 +459,43 @@ func benches() []namedBench {
 				}
 			}
 		}},
+		{"KillingBatch64", func(b *testing.B) {
+			jobs := batchBenchCorpus()
+			out := make([]float64, len(jobs))
+			bl := safety.NewBatchLO()
+			scfg := safety.DefaultConfig()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scfg.KillingBatch(jobs, out, bl)
+			}
+		}},
+		{"KillingBatchScalar64", func(b *testing.B) {
+			jobs := batchBenchCorpus()
+			scfg := safety.DefaultConfig()
+			adapts := make([]*safety.Adaptation, len(jobs))
+			for j, jb := range jobs {
+				a, err := safety.NewUniformAdaptation(scfg, jb.HI, jb.NPrime)
+				if err != nil {
+					b.Fatal(err)
+				}
+				adapts[j] = a
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, jb := range jobs {
+					if scfg.KillingPFHLOUniform(jb.LO, jb.NLO, adapts[j]) <= 0 {
+						b.Fatal("bad bound")
+					}
+				}
+			}
+		}},
+		{"PoolStealSkewed", func(b *testing.B) {
+			poolBench(b, expt.ForEachWorker)
+		}},
+		{"PoolFixedSkewed", func(b *testing.B) {
+			poolBench(b, expt.ForEachWorkerFixed)
+		}},
+		{"ShardedCacheConcurrent8", benchShardedCache},
 		{"Fig1FMSKilling", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := expt.Fig1(); err != nil {
@@ -502,20 +623,118 @@ func campaignBenchConfig() expt.CampaignConfig {
 
 // singleWorker pins FTMC_WORKERS to 1 around fn so the pooled-vs-ref
 // comparison in the committed report measures single-worker wall clock,
-// independent of the host's core count.
+// independent of the host's core count. The restore rides on b.Setenv's
+// cleanup, so a panicking or Fatal-ing benchmark cannot leak the pin
+// into the benchmarks that run after it.
 func singleWorker(fn func(*testing.B)) func(*testing.B) {
 	return func(b *testing.B) {
-		old, had := os.LookupEnv("FTMC_WORKERS")
-		os.Setenv("FTMC_WORKERS", "1")
-		defer func() {
-			if had {
-				os.Setenv("FTMC_WORKERS", old)
-			} else {
-				os.Unsetenv("FTMC_WORKERS")
-			}
-		}()
+		b.Setenv("FTMC_WORKERS", "1")
 		fn(b)
 	}
+}
+
+// batchBenchWidth is the batched-kernel benchmark width — the batch
+// acceptance floor of the PR that introduced the SoA tier.
+const batchBenchWidth = 64
+
+// batchBenchCorpus draws batchBenchWidth Appendix C sets at U = 0.8,
+// f = 1e-5 (the campaign's hard operating point) as uniform-profile kill
+// jobs, the shared workload of the KillingBatch64/KillingBatchScalar64
+// pair behind the report's batch_kernel section.
+func batchBenchCorpus() []safety.KillJob {
+	rng := rand.New(rand.NewSource(99))
+	jobs := make([]safety.KillJob, 0, batchBenchWidth)
+	for len(jobs) < batchBenchWidth {
+		s, err := gen.TaskSet(rng, gen.PaperParams(criticality.LevelB, criticality.LevelC, 0.8, 1e-5))
+		if err != nil {
+			continue
+		}
+		hi := append([]task.Task(nil), s.ByClass(criticality.HI)...)
+		lo := append([]task.Task(nil), s.ByClass(criticality.LO)...)
+		if len(hi) == 0 || len(lo) == 0 {
+			continue
+		}
+		jobs = append(jobs, safety.KillJob{HI: hi, LO: lo, NPrime: 2, NLO: 2})
+	}
+	return jobs
+}
+
+// poolBench drives one scheduler implementation over a skewed synthetic
+// workload: every eighth index costs ~16x, the shape the campaign's
+// cheap-test-first ordering produces, so scheduler quality shows as
+// wall clock and scheduler overhead shows on the cheap indices.
+func poolBench(b *testing.B, run func(n, chunk int, fn func(worker, i int) error) error) {
+	const n = 256
+	sink := make([]uint64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(n, 2, func(_, i int) error {
+			iters := 400
+			if i%8 == 0 {
+				iters = 6400
+			}
+			x := uint64(i) + 1
+			for k := 0; k < iters; k++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+			}
+			sink[i] = x
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// shardBenchStats / shardBenchContexts carry the sharded-cache pool's
+// aggregate memo statistics out of the benchmark closure into the
+// report's sharded_cache section.
+var (
+	shardBenchStats    safety.CacheStats
+	shardBenchContexts int
+)
+
+// benchShardedCache hammers one CacheShards pool with 8-way concurrent
+// resolve+bound traffic over an 8-context universe (paper draws at
+// U = 0.8): the serve/explore sharing pattern the shards exist for.
+func benchShardedCache(b *testing.B) {
+	const contexts = 8
+	scfg := safety.DefaultConfig()
+	his := make([][]task.Task, 0, contexts)
+	los := make([][]task.Task, 0, contexts)
+	rng := rand.New(rand.NewSource(17))
+	for len(his) < contexts {
+		s, err := gen.TaskSet(rng, gen.PaperParams(criticality.LevelB, criticality.LevelC, 0.8, 1e-3))
+		if err != nil {
+			continue
+		}
+		hi := append([]task.Task(nil), s.ByClass(criticality.HI)...)
+		lo := append([]task.Task(nil), s.ByClass(criticality.LO)...)
+		if len(hi) == 0 || len(lo) == 0 {
+			continue
+		}
+		his = append(his, hi)
+		los = append(los, lo)
+	}
+	pool := safety.NewCacheShards()
+	gomax := runtime.GOMAXPROCS(0)
+	b.SetParallelism((contexts + gomax - 1) / gomax) // ≥ 8 goroutines
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			k := i % contexts
+			i++
+			c := pool.Get(scfg, his[k], los[k])
+			if v, err := c.KillingPFHLOUniform(2, 1+k%3); err != nil || v <= 0 {
+				b.Fatal("bad pooled bound")
+			}
+		}
+	})
+	b.StopTimer()
+	shardBenchStats = pool.Stats()
+	shardBenchContexts = pool.Contexts()
 }
 
 // benchSimSet is the Example 3.1 task set (hyperperiod 12.6 s).

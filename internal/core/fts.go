@@ -31,6 +31,13 @@ type Options struct {
 	// df can share one cache across every design point. Nil means a
 	// transient cache per call (correct, no reuse).
 	Cache *safety.AdaptationCache
+	// Shared, when non-nil, resolves the adaptation cache from a
+	// process-wide sharded pool keyed by the canonical analysis context
+	// (safety.CacheShards), so concurrent workers — and successive design
+	// points — evaluating the same set share one set of memoized bounds.
+	// Precedence: Cache, then Shared, then Scratch; a Scratch may still
+	// be set alongside Shared for the conversion arenas.
+	Shared *safety.CacheShards
 	// Scratch, when non-nil, makes FTS reuse per-worker arenas for the
 	// adaptation cache and the line-8 conversions, so evaluating a stream
 	// of task sets is allocation-free in the steady state (the Monte-Carlo
@@ -196,9 +203,10 @@ func ftsSafety(s *task.Set, opt Options, cache *safety.AdaptationCache) (SafetyV
 }
 
 // resolveCache picks the adaptation cache FTS evaluates through: the
-// explicit Options.Cache, else the scratch-pooled cache rebound to this
-// set, else a transient one. The bool reports whether the scratch cache
-// was (re)bound, so FTS resolves exactly once per call — rebinding resets
+// explicit Options.Cache, else the sharded pool's cache for this
+// context, else the scratch-pooled cache rebound to this set, else a
+// transient one. The bool reports whether the scratch cache was
+// (re)bound, so FTS resolves exactly once per call — rebinding resets
 // the memoized bounds.
 func (o Options) resolveCache(s *task.Set) (*safety.AdaptationCache, bool) {
 	if o.Cache != nil {
@@ -206,6 +214,9 @@ func (o Options) resolveCache(s *task.Set) (*safety.AdaptationCache, bool) {
 	}
 	hi := s.ByClass(criticality.HI)
 	lo := s.ByClass(criticality.LO)
+	if o.Shared != nil {
+		return o.Shared.Get(o.Safety, hi, lo), false
+	}
 	if o.Scratch != nil {
 		return o.Scratch.adaptCache(o.Safety, hi, lo), true
 	}

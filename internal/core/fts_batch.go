@@ -1,0 +1,212 @@
+package core
+
+import (
+	"repro/internal/criticality"
+	"repro/internal/safety"
+	"repro/internal/task"
+)
+
+// This file is the batched tier of Algorithm 1: FTSBatch evaluates FT-S
+// for a slice of task sets under one Options value, feeding the line-4
+// search and the final pfh(LO) bound through safety's batched eq. (5)
+// kernel (one KillingBatch call per probe round for the whole batch)
+// instead of per-set scalar evaluations. Results are exactly FTS's —
+// the batched kernel, the scalar kernel and the cached incremental path
+// are pinned bit-identical to each other — which TestFTSBatchDifferential
+// verifies Result-for-Result.
+//
+// The batch tier applies to Kill mode; Degrade's eq. (7) bound is a
+// closed form with nothing to batch, so the Degrade entry points loop
+// the scalar path. Options.Cache and Options.Shared are not consulted
+// (the batch carries its own state); Options.Scratch is still honored
+// for the line-8 conversion arenas.
+
+// FTSSafetyBatch runs lines 1–7 of Algorithm 1 for every set: the
+// per-level minimal re-execution profiles (scalar, eq. 2), then one
+// lockstep batched line-4 search (safety.MinAdaptKillBatch) across all
+// sets that reached it. svs[i] corresponds to sets[i]. A nil b uses
+// transient batch state.
+func FTSSafetyBatch(sets []*task.Set, opt Options, b *safety.BatchLO) ([]SafetyVerdict, error) {
+	svs, _, err := ftsSafetyBatch(sets, opt, b)
+	return svs, err
+}
+
+// ftsSafetyBatch is FTSSafetyBatch plus the per-set probe records of the
+// batched line-4 search (nil for sets that never reached line 4, and in
+// Degrade mode), which FTSBatch reuses for the final pfh(LO) bound.
+func ftsSafetyBatch(sets []*task.Set, opt Options, b *safety.BatchLO) ([]SafetyVerdict, [][]safety.KillProbe, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, nil, err
+	}
+	svs := make([]SafetyVerdict, len(sets))
+	if opt.Mode == safety.Degrade {
+		for i, s := range sets {
+			sv, err := FTSSafety(s, opt)
+			if err != nil {
+				return nil, nil, err
+			}
+			svs[i] = sv
+		}
+		return svs, nil, nil
+	}
+
+	cfg := opt.Safety
+	jobs := make([]safety.AdaptSearchJob, 0, len(sets))
+	idx := make([]int, 0, len(sets))
+	for i, s := range sets {
+		dual := s.Dual()
+		nHI, err := cfg.MinReexecProfile(s.ByClass(criticality.HI), dual.Requirement(criticality.HI))
+		if err != nil {
+			svs[i].Reason = FailReexecProfile
+			continue
+		}
+		svs[i].NHI = nHI
+		nLO, err := cfg.MinReexecProfile(s.ByClass(criticality.LO), dual.Requirement(criticality.LO))
+		if err != nil {
+			svs[i].Reason = FailReexecProfile
+			continue
+		}
+		svs[i].NLO = nLO
+		jobs = append(jobs, safety.AdaptSearchJob{
+			HI:          s.ByClass(criticality.HI),
+			LO:          s.ByClass(criticality.LO),
+			NLO:         nLO,
+			Requirement: dual.Requirement(criticality.LO),
+		})
+		idx = append(idx, i)
+	}
+
+	res := make([]safety.AdaptSearchResult, len(jobs))
+	cfg.MinAdaptKillBatch(jobs, res, b)
+	probes := make([][]safety.KillProbe, len(sets))
+	for k, i := range idx {
+		if res[k].Err != nil {
+			svs[i].N1HI = safety.MaxProfile + 1
+			svs[i].Reason = FailSafetyAdapt
+			continue
+		}
+		svs[i].N1HI = res[k].N1
+		probes[i] = res[k].Probes
+		if res[k].N1 > svs[i].NHI {
+			svs[i].Reason = FailSafetyAdapt
+		}
+	}
+	return svs, probes, nil
+}
+
+// FTSWithSafetyBatch completes Algorithm 1 (lines 8–15) for every set
+// from precomputed safety verdicts — the batch twin of FTSWithSafety.
+// svs[i] must come from FTSSafetyBatch (or per-set FTSSafety) on sets[i]
+// under an Options value differing at most in Test. The line-8 searches
+// run per set (schedulability tests are cheap and set-local); the final
+// pfh(LO) bounds of every successful set are evaluated in one
+// KillingBatch call. A nil b uses transient batch state.
+func FTSWithSafetyBatch(sets []*task.Set, opt Options, svs []SafetyVerdict, b *safety.BatchLO) ([]Result, error) {
+	return ftsScheduleBatch(sets, opt, svs, nil, b)
+}
+
+// FTSBatch runs Algorithm 1 on every set: batched lines 1–7, per-set
+// line 8, and one batched evaluation of the final pfh(LO) bounds,
+// reusing line-4 probe values when the search already visited n²_HI.
+// Each Result is exactly what FTS(sets[i], opt) returns. A nil b uses
+// transient batch state.
+func FTSBatch(sets []*task.Set, opt Options, b *safety.BatchLO) ([]Result, error) {
+	svs, probes, err := ftsSafetyBatch(sets, opt, b)
+	if err != nil {
+		return nil, err
+	}
+	return ftsScheduleBatch(sets, opt, svs, probes, b)
+}
+
+// ftsScheduleBatch is lines 8–15 over the batch. probes, when non-nil,
+// holds each set's line-4 probe records for final-bound reuse.
+func ftsScheduleBatch(sets []*task.Set, opt Options, svs []SafetyVerdict, probes [][]safety.KillProbe, b *safety.BatchLO) ([]Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if len(svs) != len(sets) {
+		panic("core: safety verdict count does not match the batch")
+	}
+	if opt.Mode == safety.Degrade {
+		results := make([]Result, len(sets))
+		for i, s := range sets {
+			res, err := FTSWithSafety(s, opt, svs[i])
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+
+	m := coreView.Get()
+	cfg := opt.Safety
+	test := opt.test()
+	results := make([]Result, len(sets))
+	kjobs := make([]safety.KillJob, 0, len(sets))
+	fidx := make([]int, 0, len(sets))
+	for i, s := range sets {
+		m.ftsCalls.Inc()
+		sv := svs[i]
+		res := Result{
+			TestName: test.Name(),
+			NHI:      sv.NHI, NLO: sv.NLO, N1HI: sv.N1HI,
+			Reason: sv.Reason,
+		}
+		if sv.Reason != FailNone {
+			results[i] = res
+			continue
+		}
+		n2, err := maxSchedProfile(s, opt.Scratch, test, Profiles{NHI: sv.NHI, NLO: sv.NLO, NPrime: sv.NHI})
+		if err != nil {
+			return nil, err
+		}
+		res.N2HI = n2
+		if n2 == 0 || sv.N1HI > n2 {
+			res.Reason = FailUnschedulable
+			results[i] = res
+			continue
+		}
+		res.OK = true
+		m.ftsSuccess.Inc()
+		res.Profiles = Profiles{NHI: sv.NHI, NLO: sv.NLO, NPrime: n2}
+		if opt.Scratch == nil {
+			res.Converted, err = Convert(s, res.Profiles)
+			if err != nil {
+				return nil, err
+			}
+		}
+		res.PFHHI = cfg.PlainPFHUniform(s.ByClass(criticality.HI), sv.NHI)
+		// Final pfh(LO) at n²_HI: reuse a line-4 probe when the search
+		// visited it (the batch twin of ftsSchedule's cache reuse), else
+		// queue it for the single batched evaluation below.
+		found := false
+		if probes != nil {
+			for _, p := range probes[i] {
+				if p.NPrime == n2 {
+					res.PFHLO = p.PFH
+					found = true
+					break
+				}
+			}
+		}
+		results[i] = res
+		if !found {
+			kjobs = append(kjobs, safety.KillJob{
+				HI:     s.ByClass(criticality.HI),
+				LO:     s.ByClass(criticality.LO),
+				NPrime: n2,
+				NLO:    sv.NLO,
+			})
+			fidx = append(fidx, i)
+		}
+	}
+	if len(kjobs) > 0 {
+		vals := make([]float64, len(kjobs))
+		cfg.KillingBatch(kjobs, vals, b)
+		for k, i := range fidx {
+			results[i].PFHLO = vals[k]
+		}
+	}
+	return results, nil
+}

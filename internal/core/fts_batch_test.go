@@ -1,0 +1,130 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/safety"
+	"repro/internal/task"
+)
+
+// batchCorpus mixes utilizations so the batch holds every verdict class:
+// successes, line-4 failures, unschedulable sets.
+func batchCorpus(tb testing.TB) []*task.Set {
+	tb.Helper()
+	sets := append(randomSets(tb, 25, 0.85), randomSets(tb, 15, 0.6)...)
+	return sets
+}
+
+// TestFTSBatchDifferential pins FTSBatch to per-set FTS, Result for
+// Result — the batched line-4 search, the probe-reuse of the final
+// bound and the batched final eq. (5) evaluations must all be invisible.
+func TestFTSBatchDifferential(t *testing.T) {
+	sets := batchCorpus(t)
+	opt := Options{Safety: safety.DefaultConfig(), Mode: safety.Kill}
+	got, err := FTSBatch(sets, opt, safety.NewBatchLO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sets) {
+		t.Fatalf("batch returned %d results for %d sets", len(got), len(sets))
+	}
+	for i, s := range sets {
+		want, err := FTS(s, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("set %d diverged:\n got %+v\nwant %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestFTSBatchScratch runs the batch through a conversion Scratch: same
+// verdicts, Converted nil by the Scratch contract on both paths.
+func TestFTSBatchScratch(t *testing.T) {
+	sets := batchCorpus(t)
+	opt := Options{Safety: safety.DefaultConfig(), Mode: safety.Kill, Scratch: NewScratch()}
+	got, err := FTSBatch(sets, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalarOpt := opt
+	scalarOpt.Scratch = NewScratch()
+	for i, s := range sets {
+		want, err := FTS(s, scalarOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Converted != nil {
+			t.Fatal("batch scratch mode must leave Converted nil")
+		}
+		if got[i] != want {
+			t.Fatalf("set %d diverged under scratch:\n got %+v\nwant %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestFTSSafetyBatchDifferential pins the split pair: FTSSafetyBatch
+// against per-set FTSSafety, then FTSWithSafetyBatch completing those
+// verdicts against per-set FTSWithSafety.
+func TestFTSSafetyBatchDifferential(t *testing.T) {
+	sets := batchCorpus(t)
+	opt := Options{Safety: safety.DefaultConfig(), Mode: safety.Kill}
+	b := safety.NewBatchLO()
+	svs, err := FTSSafetyBatch(sets, opt, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sets {
+		want, err := FTSSafety(s, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if svs[i] != want {
+			t.Fatalf("set %d verdict diverged:\n got %+v\nwant %+v", i, svs[i], want)
+		}
+	}
+	got, err := FTSWithSafetyBatch(sets, opt, svs, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sets {
+		want, err := FTSWithSafety(s, opt, svs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("set %d completion diverged:\n got %+v\nwant %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestFTSBatchDegrade checks the Degrade fallback: eq. (7) has nothing
+// to batch, so the batch entry points must still agree with per-set FTS.
+func TestFTSBatchDegrade(t *testing.T) {
+	sets := randomSets(t, 15, 0.85)
+	opt := Options{Safety: safety.DefaultConfig(), Mode: safety.Degrade, DF: 2}
+	got, err := FTSBatch(sets, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sets {
+		want, err := FTS(s, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("set %d diverged in Degrade mode:\n got %+v\nwant %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestFTSBatchEmpty: a zero-set batch is a no-op, not a panic.
+func TestFTSBatchEmpty(t *testing.T) {
+	opt := Options{Safety: safety.DefaultConfig(), Mode: safety.Kill}
+	res, err := FTSBatch(nil, opt, nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: %v, %d results", err, len(res))
+	}
+}

@@ -5,7 +5,9 @@ import "repro/internal/obsv"
 // exptMetrics is the package's instrument bundle (see internal/obsv):
 // the shared worker pool's dispatch volume, chunk claims and per-chunk
 // wall time (chunk throughput = chunks / Σ chunk_ns), the live worker
-// occupancy gauge, and the Fig. 3 engine's per-data-point latency —
+// occupancy gauge, the stealing scheduler's successful steal count
+// (high steals = skewed per-index cost; zero under FTMC_WORKERS=1),
+// and the Fig. 3 engine's per-data-point latency —
 // enough to tell "workers starved" (occupancy low, chunk_ns flat) from
 // "points got slower" (point_ns up) without a profiler. Fields are nil
 // while metrics are disabled; the per-item hot path is untouched
@@ -16,6 +18,8 @@ type exptMetrics struct {
 	poolItems      *obsv.Counter
 	poolActive     *obsv.Gauge
 	poolChunkNs    *obsv.Histogram
+	poolSteals     *obsv.Counter
+	workersBadEnv  *obsv.Counter
 	fig3Points     *obsv.Counter
 	fig3PointNs    *obsv.Histogram
 	// Campaign-engine reuse telemetry: sets drawn once, configurations
@@ -29,17 +33,23 @@ type exptMetrics struct {
 	campaignBaselineHits  *obsv.Counter
 	campaignSchedMemoHits *obsv.Counter
 	campaignSchedSearches *obsv.Counter
+	// campaignBatchedProbes counts kill-mode eq. (5) verdict probes that
+	// were deferred into per-chunk KillingBatch calls instead of running
+	// through the scalar cache path.
+	campaignBatchedProbes *obsv.Counter
 }
 
 var exptView = obsv.NewView(func(r *obsv.Registry) *exptMetrics {
 	return &exptMetrics{
-		poolDispatches: r.Counter("expt.pool.dispatches"),
-		poolChunks:     r.Counter("expt.pool.chunks"),
-		poolItems:      r.Counter("expt.pool.items"),
-		poolActive:     r.Gauge("expt.pool.active_workers"),
-		poolChunkNs:    r.Histogram("expt.pool.chunk_ns"),
-		fig3Points:     r.Counter("expt.fig3.points"),
-		fig3PointNs:    r.Histogram("expt.fig3.point_ns"),
+		poolDispatches:        r.Counter("expt.pool.dispatches"),
+		poolChunks:            r.Counter("expt.pool.chunks"),
+		poolItems:             r.Counter("expt.pool.items"),
+		poolActive:            r.Gauge("expt.pool.active_workers"),
+		poolChunkNs:           r.Histogram("expt.pool.chunk_ns"),
+		poolSteals:            r.Counter("expt.pool.steals"),
+		workersBadEnv:         r.Counter("expt.workers.env_invalid"),
+		fig3Points:            r.Counter("expt.fig3.points"),
+		fig3PointNs:           r.Histogram("expt.fig3.point_ns"),
 		campaignPoints:        r.Counter("expt.campaign.points"),
 		campaignPointNs:       r.Histogram("expt.campaign.point_ns"),
 		campaignSets:          r.Counter("expt.campaign.sets"),
@@ -47,5 +57,6 @@ var exptView = obsv.NewView(func(r *obsv.Registry) *exptMetrics {
 		campaignBaselineHits:  r.Counter("expt.campaign.baseline_hits"),
 		campaignSchedMemoHits: r.Counter("expt.campaign.sched_memo_hits"),
 		campaignSchedSearches: r.Counter("expt.campaign.sched_searches"),
+		campaignBatchedProbes: r.Counter("expt.campaign.batched_probes"),
 	}
 })

@@ -126,6 +126,69 @@ func (c Config) killingPFHLOFast(loTasks []task.Task, ns []int, uniform int, ada
 // than once per adaptation candidate. scr provides the staircase and
 // pattern buffers.
 func (c Config) mergeTail(lo task.Task, roundCost timeunit.Time, r int64, log1mq float64, adapt *Adaptation, scr *kernelScratch, sum *prob.KahanSum) {
+	ts := c.tailEnter(lo, roundCost, r, log1mq, adapt.hi, adapt.nprime, adapt.logTerm, scr, sum)
+	stairs, s, m := ts.stairs, ts.s, ts.m
+
+	// Division-free per-staircase sweep (the generic path, and the tail
+	// of the patterned one, where staircases start hitting zero).
+	for m < r {
+		for idx := 0; idx < len(stairs); {
+			st := &stairs[idx]
+			st.phi -= st.rem
+			d := st.base
+			if st.phi < 0 {
+				st.phi += st.period
+				d++
+			}
+			if st.r <= d {
+				// The staircase reaches (or would pass) zero: the actual
+				// round count clamps at 0 and never recovers.
+				s.Add(float64(-st.r) * st.logTerm)
+				stairs[idx] = stairs[len(stairs)-1]
+				stairs = stairs[:len(stairs)-1]
+				continue
+			}
+			if d > 0 {
+				st.r -= d
+				s.Add(float64(-d) * st.logTerm)
+			}
+			idx++
+		}
+		x := s.Value() + log1mq
+		if x > 0 {
+			x = 0
+		}
+		sum.Add(prob.OneMinusExpFast(x))
+		m++
+		if len(stairs) == 0 {
+			emitRun(sum, r-m, &s, log1mq)
+			return
+		}
+	}
+}
+
+// tailState is the resume point of one LO task's tail sweep after the
+// setup phases of tailEnter: the live staircases, the running logR Kahan
+// sum and the next point index m. m == r means the whole tail was
+// emitted during setup (no active staircase, or the patterned collapse
+// covered every point).
+type tailState struct {
+	stairs []hiStair
+	s      prob.KahanSum
+	m      int64
+}
+
+// tailEnter runs the setup phases of the tail sweep for one LO task —
+// staircase construction at the first tail point, the first emit, and
+// the patterned cycle collapse when applicable — feeding the emitted
+// eq. (5) terms into sum and returning the generic-sweep resume state.
+// The floating-point operation sequence is exactly the pre-sweep prefix
+// of the merged kernel, so the scalar path (mergeTail) and the batched
+// path (Config.KillingBatch) agree bit for bit. The adaptation model is
+// passed as its three parallel components (Adaptation fields, or the
+// batch jobs' arena-backed equivalents). The returned staircases alias
+// scr.stairs and are valid until the next call on the same scratch.
+func (c Config) tailEnter(lo task.Task, roundCost timeunit.Time, r int64, log1mq float64, hiTasks []task.Task, nprimes []int, logTerms []float64, scr *kernelScratch, sum *prob.KahanSum) tailState {
 	t := c.Horizon()
 	T := int64(lo.Period)
 	alpha := t - roundCost - lo.Period + lo.Deadline
@@ -135,25 +198,25 @@ func (c Config) mergeTail(lo task.Task, roundCost timeunit.Time, r int64, log1mq
 	// as α decreases.
 	stairs := scr.stairs[:0]
 	var s prob.KahanSum // running Σ_j r_j·logTerm_j = logR(α)
-	for j := range adapt.hi {
-		if adapt.logTerm[j] == 0 {
+	for j := range hiTasks {
+		if logTerms[j] == 0 {
 			continue
 		}
-		rj := c.Rounds(adapt.hi[j], adapt.nprime[j], alpha)
+		rj := c.Rounds(hiTasks[j], nprimes[j], alpha)
 		if rj == 0 {
 			continue
 		}
-		cost := int64(c.effectiveRoundCost(adapt.hi[j].WCET, adapt.nprime[j]))
-		Tj := int64(adapt.hi[j].Period)
+		cost := int64(c.effectiveRoundCost(hiTasks[j].WCET, nprimes[j]))
+		Tj := int64(hiTasks[j].Period)
 		stairs = append(stairs, hiStair{
 			r: rj, phi: (int64(alpha) - cost) % Tj,
 			rem: T % Tj, base: T / Tj,
-			period: Tj, cost: cost, logTerm: adapt.logTerm[j],
+			period: Tj, cost: cost, logTerm: logTerms[j],
 		})
-		s.Add(float64(rj) * adapt.logTerm[j])
+		s.Add(float64(rj) * logTerms[j])
 	}
-	// Keep any capacity growth for the next call (the sweep below only
-	// ever shrinks the local slice).
+	// Keep any capacity growth for the next call (the sweep only ever
+	// shrinks the local slice).
 	scr.stairs = stairs
 
 	// Emit the first tail point, then step through the rest.
@@ -161,7 +224,7 @@ func (c Config) mergeTail(lo task.Task, roundCost timeunit.Time, r int64, log1mq
 	if len(stairs) == 0 {
 		// No staircase active: logR is constant over the whole tail.
 		emitRun(sum, r-m, &s, log1mq)
-		return
+		return tailState{stairs: stairs, s: s, m: r}
 	}
 
 	// Patterned fast path: precompute one period of per-step ΔS values
@@ -230,42 +293,7 @@ func (c Config) mergeTail(lo task.Task, roundCost timeunit.Time, r int64, log1mq
 		}
 	}
 
-	// Division-free per-staircase sweep (the generic path, and the tail
-	// of the patterned one, where staircases start hitting zero).
-	for m < r {
-		for idx := 0; idx < len(stairs); {
-			st := &stairs[idx]
-			st.phi -= st.rem
-			d := st.base
-			if st.phi < 0 {
-				st.phi += st.period
-				d++
-			}
-			if st.r <= d {
-				// The staircase reaches (or would pass) zero: the actual
-				// round count clamps at 0 and never recovers.
-				s.Add(float64(-st.r) * st.logTerm)
-				stairs[idx] = stairs[len(stairs)-1]
-				stairs = stairs[:len(stairs)-1]
-				continue
-			}
-			if d > 0 {
-				st.r -= d
-				s.Add(float64(-d) * st.logTerm)
-			}
-			idx++
-		}
-		x := s.Value() + log1mq
-		if x > 0 {
-			x = 0
-		}
-		sum.Add(prob.OneMinusExpFast(x))
-		m++
-		if len(stairs) == 0 {
-			emitRun(sum, r-m, &s, log1mq)
-			return
-		}
-	}
+	return tailState{stairs: stairs, s: s, m: m}
 }
 
 // emitRun adds k eq. (5) terms that share the current logR value and

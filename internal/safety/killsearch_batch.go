@@ -1,0 +1,171 @@
+package safety
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/task"
+)
+
+// This file implements the batched line-4 search of Algorithm 1 for the
+// killing mode: MinAdaptKillBatch runs AdaptationCache.MinAdaptProfile's
+// gallop-plus-bisection for k task sets in lockstep, so every probe round
+// is one KillingBatch call instead of k scalar eq. (5) evaluations. The
+// probe sequence of each job is exactly the scalar search's — jobs never
+// influence each other's brackets — and the probe values are exactly the
+// scalar kernel's (KillingBatch's bit-identity contract), so the returned
+// n¹ agrees with MinAdaptProfile bit for bit. TestMinAdaptKillBatch pins
+// both.
+
+// AdaptSearchJob is one line-4 search of a batch: the (HI, LO) partition
+// of a set, the LO re-execution profile, and the PFH_LO requirement the
+// adaptation profile must beat. The task slices must stay unmutated for
+// the duration of the MinAdaptKillBatch call.
+type AdaptSearchJob struct {
+	HI, LO      []task.Task
+	NLO         int     // uniform LO re-execution profile n_LO ≥ 1
+	Requirement float64 // PFH_LO; +Inf means any profile is safe
+}
+
+// KillProbe records one batched eq. (5) evaluation: pfh(LO) under the
+// uniform killing profile NPrime.
+type KillProbe struct {
+	NPrime int
+	PFH    float64
+}
+
+// AdaptSearchResult is the outcome of one job's line-4 search. Err is
+// non-nil exactly when the scalar MinAdaptProfile would have failed, with
+// the same message (no-kill limit already above the requirement, or the
+// gallop exhausting MaxProfile). Probes lists the eq. (5) evaluations the
+// search made, in probe order, so callers needing pfh(LO) at a profile
+// the search visited (Algorithm 1's final bound at n²_HI, say) can reuse
+// the value instead of re-evaluating.
+type AdaptSearchResult struct {
+	N1     int
+	Err    error
+	Probes []KillProbe
+}
+
+// searchPhase tracks a job through the gallop → bisect → done state
+// machine of the lockstep search.
+type searchPhase uint8
+
+const (
+	searchGallop searchPhase = iota
+	searchBisect
+	searchDone
+)
+
+// MinAdaptKillBatch runs line 4 of Algorithm 1 — n¹_HI = inf{n′ :
+// pfh(LO) < PFH_LO} under LO-task killing — for every job, writing the
+// outcome of job i to out[i]. The search replicates
+// AdaptationCache.MinAdaptProfile per job (Inf requirement → 1 with no
+// probes; the no-kill-limit feasibility refusal; exponential gallop
+// capped at MaxProfile; bisection of the bracket), but advances all jobs
+// in lockstep so each probe round is a single KillingBatch call. A nil b
+// uses transient batch state. Panics on len(out) ≠ len(jobs) or an
+// invalid Config, mirroring KillingBatch.
+func (c Config) MinAdaptKillBatch(jobs []AdaptSearchJob, out []AdaptSearchResult, b *BatchLO) {
+	if len(out) != len(jobs) {
+		panic(fmt.Sprintf("safety: %d outputs for %d batched searches", len(out), len(jobs)))
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	if b == nil {
+		b = NewBatchLO()
+	}
+	probes := safetyView.Get().minAdaptProbes
+
+	// Scalar prechecks, then the lockstep state per still-searching job.
+	type state struct {
+		lo, hi int
+		phase  searchPhase
+	}
+	states := make([]state, len(jobs))
+	active := make([]int, 0, len(jobs))
+	for i := range jobs {
+		out[i] = AdaptSearchResult{}
+		if jobs[i].NLO < 1 {
+			panic(fmt.Sprintf("safety: batched LO re-execution profile must be >= 1, got %d", jobs[i].NLO))
+		}
+		req := jobs[i].Requirement
+		if math.IsInf(req, 1) {
+			out[i].N1 = 1
+			states[i].phase = searchDone
+			continue
+		}
+		if limit := c.killingPFHLOLimitUniform(jobs[i].LO, jobs[i].NLO); limit >= req {
+			out[i].Err = fmt.Errorf("safety: killing cannot keep pfh(LO) below %g: the no-kill limit is already %g", req, limit)
+			states[i].phase = searchDone
+			continue
+		}
+		states[i] = state{lo: 0, hi: 1, phase: searchGallop}
+		active = append(active, i)
+	}
+
+	kjobs := make([]KillJob, 0, len(active))
+	vals := make([]float64, 0, len(active))
+	for len(active) > 0 {
+		// Assemble this round's probes: the gallop probes the clamped
+		// hi, the bisection probes the bracket midpoint.
+		kjobs = kjobs[:0]
+		for _, i := range active {
+			st := &states[i]
+			n := 0
+			if st.phase == searchGallop {
+				if st.hi > MaxProfile {
+					st.hi = MaxProfile
+				}
+				n = st.hi
+			} else {
+				n = st.lo + (st.hi-st.lo)/2
+			}
+			kjobs = append(kjobs, KillJob{HI: jobs[i].HI, LO: jobs[i].LO, NPrime: n, NLO: jobs[i].NLO})
+			probes.Inc()
+		}
+		if cap(vals) < len(kjobs) {
+			vals = make([]float64, len(kjobs))
+		}
+		vals = vals[:len(kjobs)]
+		c.KillingBatch(kjobs, vals, b)
+
+		// Advance every state exactly as the scalar search would.
+		next := active[:0]
+		for k, i := range active {
+			st := &states[i]
+			n, v, req := kjobs[k].NPrime, vals[k], jobs[i].Requirement
+			out[i].Probes = append(out[i].Probes, KillProbe{NPrime: n, PFH: v})
+			if st.phase == searchGallop {
+				if v < req {
+					st.phase = searchBisect
+				} else if st.hi == MaxProfile {
+					out[i].Err = fmt.Errorf("safety: no adaptation profile <= %d keeps pfh(LO) below %g under %v",
+						MaxProfile, req, Kill)
+					st.phase = searchDone
+					continue
+				} else {
+					st.lo, st.hi = st.hi, st.hi*2
+					next = append(next, i)
+					continue
+				}
+			} else {
+				if v < req {
+					st.hi = n
+				} else {
+					st.lo = n
+				}
+			}
+			// In bisection (just entered or continuing): the bracket
+			// (lo, hi] has pfh(hi) < req; converged when it is one wide.
+			if st.hi-st.lo > 1 {
+				next = append(next, i)
+				continue
+			}
+			out[i].N1 = st.hi
+			st.phase = searchDone
+		}
+		active = next
+	}
+}

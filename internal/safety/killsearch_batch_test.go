@@ -1,0 +1,140 @@
+package safety
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/criticality"
+	"repro/internal/gen"
+	"repro/internal/task"
+)
+
+// searchCorpus draws width Appendix C sets and returns line-4 search
+// jobs carrying the sets' real dual PFH_LO requirements.
+func searchCorpus(tb testing.TB, width int, f float64) []AdaptSearchJob {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	jobs := make([]AdaptSearchJob, 0, width)
+	for len(jobs) < width {
+		s, err := gen.TaskSet(rng, gen.PaperParams(criticality.LevelB, criticality.LevelC, 0.8, f))
+		if err != nil {
+			continue
+		}
+		hi := append([]task.Task(nil), s.ByClass(criticality.HI)...)
+		lo := append([]task.Task(nil), s.ByClass(criticality.LO)...)
+		if len(hi) == 0 || len(lo) == 0 {
+			continue
+		}
+		jobs = append(jobs, AdaptSearchJob{
+			HI: hi, LO: lo, NLO: 2,
+			Requirement: s.Dual().Requirement(criticality.LO),
+		})
+	}
+	return jobs
+}
+
+// TestMinAdaptKillBatchDifferential pins the lockstep batched line-4
+// search to the scalar one: same n¹, same errors (message and all), and
+// every recorded probe value equal to the cached scalar evaluation. The
+// requirement matrix covers the interesting regimes: the sets' real dual
+// requirements, +Inf (no probes), 0 (the no-kill-limit refusal), and a
+// requirement wedged between the n′ → ∞ limit and pfh(MaxProfile) (the
+// gallop-exhausted failure).
+func TestMinAdaptKillBatchDifferential(t *testing.T) {
+	cfg := DefaultConfig()
+	b := NewBatchLO()
+	for _, f := range []float64{1e-3, 1e-5} {
+		base := searchCorpus(t, 16, f)
+		jobs := make([]AdaptSearchJob, 0, 4*len(base))
+		for _, jb := range base {
+			jobs = append(jobs, jb)
+			inf := jb
+			inf.Requirement = math.Inf(1)
+			jobs = append(jobs, inf)
+			zero := jb
+			zero.Requirement = 0
+			jobs = append(jobs, zero)
+			// A requirement below pfh(MaxProfile) but above the limit
+			// exhausts the gallop; only add it when the wedge is real.
+			limit := cfg.killingPFHLOLimitUniform(jb.LO, jb.NLO)
+			atMax, err := NewAdaptationCache(cfg, jb.HI, jb.LO).KillingPFHLOUniform(jb.NLO, MaxProfile)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if atMax > limit {
+				tight := jb
+				tight.Requirement = limit + (atMax-limit)/2
+				jobs = append(jobs, tight)
+			}
+		}
+		out := make([]AdaptSearchResult, len(jobs))
+		cfg.MinAdaptKillBatch(jobs, out, b)
+		for i, jb := range jobs {
+			cache := NewAdaptationCache(cfg, jb.HI, jb.LO)
+			wantN1, wantErr := cache.MinAdaptProfile(Kill, jb.NLO, 0, jb.Requirement)
+			if (out[i].Err == nil) != (wantErr == nil) {
+				t.Fatalf("f=%g job %d (req=%g): batch err %v, scalar err %v", f, i, jb.Requirement, out[i].Err, wantErr)
+			}
+			if wantErr != nil {
+				if out[i].Err.Error() != wantErr.Error() {
+					t.Errorf("f=%g job %d: error mismatch:\n got %v\nwant %v", f, i, out[i].Err, wantErr)
+				}
+				continue
+			}
+			if out[i].N1 != wantN1 {
+				t.Errorf("f=%g job %d (req=%g): batch n1=%d, scalar n1=%d", f, i, jb.Requirement, out[i].N1, wantN1)
+			}
+			if math.IsInf(jb.Requirement, 1) {
+				if len(out[i].Probes) != 0 {
+					t.Errorf("f=%g job %d: Inf requirement probed %d times", f, i, len(out[i].Probes))
+				}
+				continue
+			}
+			if len(out[i].Probes) == 0 {
+				t.Errorf("f=%g job %d: finite requirement recorded no probes", f, i)
+			}
+			for _, p := range out[i].Probes {
+				want, err := cache.KillingPFHLOUniform(jb.NLO, p.NPrime)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p.PFH != want {
+					t.Errorf("f=%g job %d probe n'=%d: batch %.17g != scalar %.17g", f, i, p.NPrime, p.PFH, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMinAdaptKillBatchEdges covers the trivial shapes: the empty batch,
+// a batch of one, and the length-mismatch panic.
+func TestMinAdaptKillBatchEdges(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinAdaptKillBatch(nil, nil, nil)
+	jobs := searchCorpus(t, 1, 1e-3)
+	out := make([]AdaptSearchResult, 1)
+	cfg.MinAdaptKillBatch(jobs, out, nil)
+	cache := NewAdaptationCache(cfg, jobs[0].HI, jobs[0].LO)
+	want, wantErr := cache.MinAdaptProfile(Kill, jobs[0].NLO, 0, jobs[0].Requirement)
+	if wantErr != nil {
+		if out[0].Err == nil || out[0].Err.Error() != wantErr.Error() {
+			t.Fatalf("batch of one: got err %v, want %v", out[0].Err, wantErr)
+		}
+	} else if out[0].Err != nil || out[0].N1 != want {
+		t.Fatalf("batch of one: got (%d, %v), want (%d, nil)", out[0].N1, out[0].Err, want)
+	}
+	panicked := func(fn func()) (p bool) {
+		defer func() { p = recover() != nil }()
+		fn()
+		return false
+	}
+	if !panicked(func() { cfg.MinAdaptKillBatch(jobs, make([]AdaptSearchResult, 2), nil) }) {
+		t.Error("length mismatch did not panic")
+	}
+	bad := jobs[0]
+	bad.NLO = 0
+	if !panicked(func() { cfg.MinAdaptKillBatch([]AdaptSearchJob{bad}, make([]AdaptSearchResult, 1), nil) }) {
+		t.Error("NLO = 0 did not panic")
+	}
+}

@@ -1,0 +1,167 @@
+package safety
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/task"
+)
+
+// shardCount is the power-of-two width of a CacheShards pool. Sizing: a
+// Get takes one shard mutex for a map probe (bounds evaluate outside the
+// shard lock, under the resolved cache's own lock), so shards only need
+// to outnumber plausible worker counts by enough that the birthday
+// collision rate on concurrent probes stays low — 64 shards keep the
+// expected contention below 2% at 16 workers for a few dozen bytes of
+// fixed overhead per shard.
+const shardCount = 64
+
+// CacheShards is a concurrency-safe pool of AdaptationCaches keyed by
+// the canonical analysis context (Config plus the analysis-relevant
+// fields of the HI/LO task partition). Design sweeps that evaluate the
+// same drawn set under several configurations — the Fig. 3 campaign's
+// panels, the FMS design walks — resolve the same shared cache from any
+// worker and reuse each other's memoized eq. (3)/(5)/(7) quantities,
+// where per-worker Scratch caches would each redo them.
+//
+// The pool only grows; its lifetime is the caller's retention unit (one
+// campaign point, one sweep). Entries own private copies of the task
+// slices, so callers may pass views into per-worker arenas that are
+// recycled immediately after Get returns.
+type CacheShards struct {
+	shards [shardCount]cacheShard
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[uint64][]*shardEntry
+}
+
+// shardEntry pairs one canonical context with its shared cache. The
+// context fields are the collision guard: two contexts with equal
+// hashes still only share a cache when every analysis-relevant field
+// matches exactly.
+type shardEntry struct {
+	cfg    Config
+	hi, lo []task.Task
+	cache  *AdaptationCache
+}
+
+// NewCacheShards returns an empty pool.
+func NewCacheShards() *CacheShards { return &CacheShards{} }
+
+// contextHash is FNV-1a over the analysis-relevant context: the Config
+// and, per task, period, deadline, WCET, criticality level and the raw
+// bits of the failure probability. Task names are deliberately excluded
+// — restamped clones of a set analyze identically — and so is slice
+// identity: equal parameters mean equal bounds.
+func contextHash(cfg Config, hi, lo []task.Task) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime
+			v >>= 8
+		}
+	}
+	word(uint64(cfg.OperationHours))
+	if cfg.AssumeFullWCET {
+		word(1)
+	} else {
+		word(0)
+	}
+	walk := func(ts []task.Task) {
+		word(uint64(len(ts)))
+		for _, t := range ts {
+			word(uint64(t.Period))
+			word(uint64(t.Deadline))
+			word(uint64(t.WCET))
+			word(uint64(t.Level))
+			word(math.Float64bits(t.FailProb))
+		}
+	}
+	walk(hi)
+	walk(lo)
+	return h
+}
+
+// sameTasks compares the analysis-relevant task fields (the collision
+// guard twin of contextHash).
+func sameTasks(a, b []task.Task) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Period != b[i].Period || a[i].Deadline != b[i].Deadline ||
+			a[i].WCET != b[i].WCET || a[i].Level != b[i].Level ||
+			math.Float64bits(a[i].FailProb) != math.Float64bits(b[i].FailProb) {
+			return false
+		}
+	}
+	return true
+}
+
+// Get resolves the shared cache of the analysis context, creating it on
+// first use. The returned cache is safe for concurrent use (it carries
+// its own lock); the shard lock covers only the probe. hi and lo are
+// copied on insert, never retained.
+func (s *CacheShards) Get(cfg Config, hi, lo []task.Task) *AdaptationCache {
+	h := contextHash(cfg, hi, lo)
+	sh := &s.shards[h&(shardCount-1)]
+	m := safetyView.Get()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.m == nil {
+		sh.m = make(map[uint64][]*shardEntry)
+	}
+	for _, e := range sh.m[h] {
+		if e.cfg == cfg && sameTasks(e.hi, hi) && sameTasks(e.lo, lo) {
+			m.shardHits.Inc()
+			return e.cache
+		}
+	}
+	m.shardMisses.Inc()
+	e := &shardEntry{
+		cfg: cfg,
+		hi:  append([]task.Task(nil), hi...),
+		lo:  append([]task.Task(nil), lo...),
+	}
+	e.cache = NewAdaptationCache(cfg, e.hi, e.lo)
+	sh.m[h] = append(sh.m[h], e)
+	return e.cache
+}
+
+// Contexts returns the number of distinct analysis contexts pooled.
+func (s *CacheShards) Contexts() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, es := range sh.m {
+			n += len(es)
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats aggregates the hit/miss counters of every pooled cache.
+func (s *CacheShards) Stats() CacheStats {
+	var agg CacheStats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, es := range sh.m {
+			for _, e := range es {
+				st := e.cache.Stats()
+				agg.Hits += st.Hits
+				agg.Misses += st.Misses
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return agg
+}
