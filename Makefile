@@ -3,8 +3,8 @@ DATE := $(shell date +%F)
 FUZZTIME ?= 30s
 
 .PHONY: all check ci vet build test race race-pool benchcheck bench \
-	bench-compare bench-smoke staticcheck govulncheck fuzz-smoke profile \
-	pgo clean
+	bench-compare bench-smoke serve-smoke staticcheck govulncheck \
+	fuzz-smoke profile pgo clean
 
 all: check
 
@@ -18,7 +18,7 @@ check: vet build race benchcheck
 # lint pair, the fuzz smoke, the focused pool/shard race pass and the
 # bench smoke with its exit-code convention (regression tolerated,
 # harness error fatal).
-ci: check staticcheck govulncheck fuzz-smoke race-pool bench-smoke
+ci: check staticcheck govulncheck fuzz-smoke race-pool bench-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -71,6 +71,15 @@ bench-smoke:
 	/tmp/ftmc-bench-smoke-bin -benchtime 5ms -metrics -out /tmp/ftmc-bench-smoke.json
 	/tmp/ftmc-bench-smoke-bin -benchtime 1ms -out /tmp/ftmc-bench-smoke2.json \
 		-compare /tmp/ftmc-bench-smoke.json || test $$? -eq 2
+
+# serve-smoke drives the serving stack end to end as CI does: build
+# ftmc-serve and ftmc-load as real binaries, boot the server on an
+# ephemeral port, run a closed-loop burst against /v1/verdict, assert
+# the canonical-hash cache hit (via the expvar snapshot on /metrics)
+# and a clean drain on SIGTERM. The scenario lives in
+# TestCLIServeAndLoad so local and CI runs are identical.
+serve-smoke:
+	$(GO) test -race -count 1 -v -run '^TestCLIServeAndLoad$$' .
 
 # staticcheck / govulncheck run the deeper analyzers when installed
 # (CI installs them; locally `go install honnef.co/go/tools/cmd/staticcheck@latest`

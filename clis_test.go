@@ -4,11 +4,16 @@ package ftmc
 // -short.
 
 import (
+	"bufio"
+	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func runCLI(t *testing.T, args ...string) string {
@@ -106,5 +111,102 @@ func TestCLISimMetrics(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("sim -metrics output missing %s:\n%s", want, out)
 		}
+	}
+}
+
+// TestCLIServeAndLoad is the serving smoke: build the server and the
+// load generator, start the server on an ephemeral port, drive it,
+// assert verdicts were served (with the cache actually hitting in the
+// published expvar snapshot), and shut down cleanly on SIGTERM.
+func TestCLIServeAndLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI runs skipped in -short mode")
+	}
+	dir := t.TempDir()
+	serveBin := filepath.Join(dir, "ftmc-serve")
+	loadBin := filepath.Join(dir, "ftmc-load")
+	for bin, pkg := range map[string]string{serveBin: "./cmd/ftmc-serve", loadBin: "./cmd/ftmc-load"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	srv := exec.Command(serveBin, "-addr", "127.0.0.1:0")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("server printed nothing: %v", sc.Err())
+	}
+	first := sc.Text()
+	const prefix = "ftmc-serve listening on "
+	if !strings.HasPrefix(first, prefix) {
+		t.Fatalf("unexpected first line %q", first)
+	}
+	base := "http://" + strings.TrimPrefix(first, prefix)
+	go func() { // keep draining so the child never blocks on stdout
+		for sc.Scan() {
+		}
+	}()
+
+	for i := 0; ; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("/healthz: status %d", resp.StatusCode)
+			}
+			break
+		}
+		if i > 100 {
+			t.Fatalf("server never became healthy: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	out, err := exec.Command(loadBin,
+		"-addr", base, "-duration", "1s", "-concurrency", "4", "-sets", "8").CombinedOutput()
+	if err != nil {
+		t.Fatalf("ftmc-load: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "verdicts/sec") {
+		t.Errorf("load output:\n%s", out)
+	}
+
+	// The 8-set mix over a 1s run must have produced cache hits, visible
+	// through the published registry.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		FTMC struct {
+			Counters map[string]uint64 `json:"counters"`
+		} `json:"ftmc"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if vars.FTMC.Counters["serve.cache.hits"] == 0 {
+		t.Errorf("no cache hits in /metrics: %v", vars.FTMC.Counters)
+	}
+	if vars.FTMC.Counters["serve.requests"] == 0 {
+		t.Errorf("no requests counted in /metrics: %v", vars.FTMC.Counters)
+	}
+
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("server did not exit cleanly on SIGTERM: %v", err)
 	}
 }

@@ -122,6 +122,10 @@ type Report struct {
 	// ShardedCache reports the sharded adaptation-cache pool under
 	// 8-way concurrent access.
 	ShardedCache *ShardedCacheSection `json:"sharded_cache,omitempty"`
+	// ServeThroughput reports the verdict pipeline (internal/serve)
+	// across the cold-cache, warm-cache and batched/unbatched-miss
+	// regimes at FTMC_WORKERS=1 (see serve_bench.go).
+	ServeThroughput *ServeThroughputSection `json:"serve_throughput,omitempty"`
 	// BeforeAfter compares this run against the -before baseline, keyed
 	// by benchmark name; absent without -before.
 	BeforeAfter map[string]BeforeAfter `json:"before_after,omitempty"`
@@ -262,6 +266,10 @@ func main() {
 		Manifest:  obsv.NewManifest(),
 		Benchtime: benchtime.String(),
 	}
+	if rep.Manifest.GitDirty {
+		fmt.Fprintln(os.Stderr,
+			"ftmc-bench: warning: VCS working tree is dirty — this report does not describe a committed state; commit (or stash) before refreshing BENCH history")
+	}
 	safety.ResetTotalCacheStats()
 
 	var fastNs, naiveNs float64
@@ -343,6 +351,12 @@ func main() {
 			Contexts:    shardBenchContexts,
 		}
 	}
+	if st, err := serveThroughputSection(); err != nil {
+		fmt.Fprintf(os.Stderr, "ftmc-bench: serve_throughput: %v\n", err)
+		os.Exit(1)
+	} else {
+		rep.ServeThroughput = st
+	}
 	rep.CacheHitRate = safety.TotalCacheStats().HitRate()
 	if *metrics {
 		snap := obsv.Default().Snapshot()
@@ -402,6 +416,12 @@ func main() {
 		if rep.ShardedCache != nil {
 			fmt.Printf("ftmc-bench: sharded cache %.0fns/get at %d contexts, memo hit rate %.0f%%\n",
 				rep.ShardedCache.NsPerGet, rep.ShardedCache.Contexts, 100*rep.ShardedCache.MemoHitRate)
+		}
+		if st := rep.ServeThroughput; st != nil {
+			fmt.Printf("ftmc-bench: serve pipeline cold %.0fns warm %.0fns per verdict (%.0fx), miss batching %.0fns -> %.0fns (%.2fx) at concurrency %d, workers %d\n",
+				st.ColdCache.NsPerVerdict, st.WarmCache.NsPerVerdict, st.WarmSpeedup,
+				st.UnbatchedMiss.NsPerVerdict, st.BatchedMiss.NsPerVerdict, st.BatchedSpeedup,
+				st.Concurrency, st.Workers)
 		}
 	}
 

@@ -1,0 +1,83 @@
+// ftmc-load drives a running ftmc-serve instance and reports sustained
+// verdict throughput and exact latency quantiles.
+//
+// Usage:
+//
+//	ftmc-load -addr http://127.0.0.1:8080 [-duration 3s] [-concurrency 8]
+//	          [-rate 0] [-sets 64] [-seed 1] [-tenant t] [-mode kill]
+//	          [-test name] [-df 0] [-json]
+//
+// Two regimes:
+//
+//   - Closed loop (default): each worker keeps one request in flight,
+//     so offered load adapts to service rate — the steady-state
+//     throughput measurement.
+//   - Open loop (-rate > 0): arrivals are scheduled at a fixed rate
+//     regardless of responses — the overload measurement, where shed
+//     (429/503) counts and bounded accepted-latency matter.
+//
+// The request mix cycles uniformly over -sets distinct generated task
+// sets, so the server-side cache-hit ratio climbs toward 1 as the run
+// outlasts the corpus. Exit status is 1 on harness errors (unreachable
+// server, transport failures) and 0 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+	duration := flag.Duration("duration", 3*time.Second, "load duration")
+	concurrency := flag.Int("concurrency", 8, "worker count")
+	rate := flag.Float64("rate", 0, "open-loop arrivals/sec (0 = closed loop)")
+	sets := flag.Int("sets", 64, "distinct task sets in the request mix")
+	seed := flag.Int64("seed", 1, "workload seed")
+	tenant := flag.String("tenant", "", "X-FTMC-Tenant header value")
+	mode := flag.String("mode", "", `adaptation mode ("kill" default, "degrade")`)
+	test := flag.String("test", "", "schedulability test name (empty = mode default)")
+	df := flag.Float64("df", 0, "degradation factor (degrade mode)")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	rep, err := serve.RunLoad(serve.LoadOptions{
+		Addr:        *addr,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		Rate:        *rate,
+		Sets:        *sets,
+		Seed:        *seed,
+		Tenant:      *tenant,
+		Mode:        *mode,
+		Test:        *test,
+		DF:          *df,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftmc-load: %v\n", err)
+		os.Exit(1)
+	}
+	if rep.OK == 0 && rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "ftmc-load: no request succeeded (%d errors) — is the server up at %s?\n", rep.Errors, *addr)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "ftmc-load: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("requests %d  ok %d  cached %d  shed %d  errors %d  in %.2fs\n",
+		rep.Requests, rep.OK, rep.Cached, rep.Shed, rep.Errors, rep.Seconds)
+	fmt.Printf("%.0f verdicts/sec  latency p50 %s  p90 %s  p99 %s\n",
+		rep.VerdictsPerSec,
+		time.Duration(rep.P50Ns), time.Duration(rep.P90Ns), time.Duration(rep.P99Ns))
+}

@@ -1,0 +1,98 @@
+// ftmc-serve is the FT-S verdict server: the repository's analysis
+// engine behind an HTTP/JSON API, fronted by the internal/serve
+// pipeline — canonical-hash verdict cache, micro-batched admission of
+// cache misses into the batched Algorithm 1 kernel, per-tenant
+// token-bucket quotas and load shedding.
+//
+// Usage:
+//
+//	ftmc-serve [-addr :8080] [-cache 65536] [-max-batch 16]
+//	           [-linger 200µs] [-queue 1024] [-shard-contexts 0]
+//	           [-quota-rate 0] [-quota-burst 0]
+//
+// Endpoints:
+//
+//	POST /v1/verdict  — analyze one task set (see internal/serve)
+//	GET  /healthz     — liveness
+//	GET  /metrics     — expvar snapshot, registry published as "ftmc"
+//	GET  /debug/vars  — alias of /metrics
+//
+// The process runs a metrics registry unconditionally (serving is the
+// one workload where observability outweighs the nanoseconds) and
+// prints the bound address on stdout once listening. SIGINT/SIGTERM
+// shut down gracefully: stop accepting, drain in-flight and admitted
+// requests, then exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obsv"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	cache := flag.Int("cache", serve.DefaultCacheEntries, "verdict-cache entry bound")
+	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "micro-batch width cap (1 disables batching)")
+	linger := flag.Duration("linger", time.Duration(serve.DefaultLingerNs), "micro-batch linger window")
+	queue := flag.Int("queue", serve.DefaultQueueDepth, "admission queue depth (full queue sheds with 503)")
+	shardContexts := flag.Int("shard-contexts", 0, "per-shard adaptation-context cap (0 = safety default)")
+	quotaRate := flag.Float64("quota-rate", 0, "per-tenant quota in verdicts/sec (0 disables)")
+	quotaBurst := flag.Int("quota-burst", 0, "per-tenant token-bucket depth (0 derives from rate)")
+	flag.Parse()
+
+	reg := obsv.NewRegistry()
+	obsv.SetDefault(reg)
+	reg.Publish("ftmc")
+
+	pipe := serve.NewPipeline(serve.Options{
+		CacheEntries:  *cache,
+		MaxBatch:      *maxBatch,
+		LingerNs:      int64(*linger),
+		QueueDepth:    *queue,
+		ShardContexts: *shardContexts,
+	})
+	srv := serve.NewServer(pipe, serve.ServerOptions{
+		QuotaRate:  *quotaRate,
+		QuotaBurst: *quotaBurst,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftmc-serve: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv}
+	fmt.Printf("ftmc-serve listening on %s\n", ln.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("ftmc-serve: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "ftmc-serve: shutdown: %v\n", err)
+		}
+		pipe.Close()
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "ftmc-serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package obsv
 
 import (
 	"encoding/json"
+	"expvar"
 	"math"
 	"sync"
 	"testing"
@@ -230,5 +231,77 @@ func TestSnapshotJSONOmitsEmptySections(t *testing.T) {
 	}
 	if string(data) != `{"schema":1}` {
 		t.Fatalf("empty snapshot JSON = %s", data)
+	}
+}
+
+// TestPublishConcurrentSnapshots pins the serving-layer contract for
+// Registry.Publish: the expvar snapshot is taken lazily on every read,
+// so readers race live writers by construction. Under -race this must
+// be clean, the JSON must parse at every instant, and the totals must
+// land once the writers drain.
+func TestPublishConcurrentSnapshots(t *testing.T) {
+	r := NewRegistry()
+	// expvar names are process-global and never unpublished; a
+	// test-only name keeps this isolated from the "ftmc" production
+	// publication.
+	const name = "obsv-test-publish"
+	r.Publish(name)
+	r.Publish(name) // idempotent: must not panic on the duplicate
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("Publish did not register the expvar")
+	}
+
+	c := r.Counter("pub.c")
+	g := r.Gauge("pub.g")
+	h := r.Histogram("pub.h")
+
+	const workers = 4
+	const perWorker = 5_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	// Readers hammer the published expvar (String marshals a fresh
+	// Snapshot each call) while the writers are live. Every
+	// intermediate snapshot must be well-formed JSON with monotonically
+	// plausible values, even though individual reads tear.
+	var prev uint64
+	for i := 0; i < 200; i++ {
+		var s Snapshot
+		if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+			t.Fatalf("snapshot %d is not valid JSON: %v", i, err)
+		}
+		if s.Schema != SchemaVersion {
+			t.Fatalf("snapshot %d schema = %d", i, s.Schema)
+		}
+		if got := s.Counters["pub.c"]; got < prev {
+			t.Fatalf("counter went backwards: %d after %d", got, prev)
+		} else {
+			prev = got
+		}
+	}
+	wg.Wait()
+
+	var s Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Counters["pub.c"]; got != workers*perWorker {
+		t.Fatalf("final counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Gauges["pub.g"]; got != workers*perWorker {
+		t.Fatalf("final gauge = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Histograms["pub.h"].Count; got != workers*perWorker {
+		t.Fatalf("final histogram count = %d, want %d", got, workers*perWorker)
 	}
 }

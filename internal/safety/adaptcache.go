@@ -49,9 +49,12 @@ type AdaptationCache struct {
 	keval killEval
 }
 
-// CacheStats reports cache effectiveness.
+// CacheStats reports cache effectiveness. Evictions is only nonzero for
+// aggregates over an LRU-bounded pool (CacheShards.Stats): the number of
+// contexts the pool has retired to stay within its cap.
 type CacheStats struct {
 	Hits, Misses uint64
+	Evictions    uint64
 }
 
 // HitRate returns Hits/(Hits+Misses), 0 when empty.

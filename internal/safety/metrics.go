@@ -24,8 +24,9 @@ type safetyMetrics struct {
 	batchCalls  *obsv.Counter
 	batchJobs   *obsv.Counter
 	batchWidth  *obsv.Histogram
-	shardHits   *obsv.Counter
-	shardMisses *obsv.Counter
+	shardHits      *obsv.Counter
+	shardMisses    *obsv.Counter
+	shardEvictions *obsv.Counter
 }
 
 var safetyView = obsv.NewView(func(r *obsv.Registry) *safetyMetrics {
@@ -40,5 +41,6 @@ var safetyView = obsv.NewView(func(r *obsv.Registry) *safetyMetrics {
 		batchWidth:     r.Histogram("safety.batch.width"),
 		shardHits:      r.Counter("safety.shards.hits"),
 		shardMisses:    r.Counter("safety.shards.misses"),
+		shardEvictions: r.Counter("safety.shards.evictions"),
 	}
 })

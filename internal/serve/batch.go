@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/safety"
+	"repro/internal/task"
+)
+
+// admission is one cache-missed request queued for batched analysis:
+// the canonicalized set, the fully resolved analysis options, and a
+// buffered reply channel (capacity 1, so the dispatcher never blocks on
+// a slow or abandoned caller).
+type admission struct {
+	set   *task.Set
+	opt   core.Options
+	key   optKey
+	reply chan reply
+}
+
+// reply carries one analysis answer back to the waiting Verdict call.
+type reply struct {
+	res core.Result
+	err error
+}
+
+// batcher coalesces concurrent cache misses into core.FTSBatch
+// dispatches. One dispatcher goroutine collects admissions: the first
+// miss opens a batch, the linger window bounds how long it waits for
+// company, and maxBatch bounds the width. A collected batch is grouped
+// by optKey (FTSBatch evaluates one Options value per call) and each
+// group runs through the batched Algorithm 1 tier — split over the
+// work-stealing pool when more than one worker is configured, so a
+// multi-core server evaluates one batch in parallel.
+//
+// The admission queue is a bounded channel: tryEnqueue is non-blocking
+// and a full queue is the caller's signal to shed (ErrOverloaded)
+// rather than build an unbounded backlog.
+type batcher struct {
+	in       chan *admission
+	maxBatch int
+	linger   time.Duration
+	done     chan struct{}
+	// blo is the serial path's reusable batch arena; parallel splits use
+	// transient per-call state instead (the arena is single-sweep).
+	blo *safety.BatchLO
+}
+
+func newBatcher(maxBatch int, lingerNs int64, queueDepth int) *batcher {
+	b := &batcher{
+		in:       make(chan *admission, queueDepth),
+		maxBatch: maxBatch,
+		linger:   time.Duration(lingerNs),
+		done:     make(chan struct{}),
+		blo:      &safety.BatchLO{},
+	}
+	go b.dispatch()
+	return b
+}
+
+// tryEnqueue admits a (non-blocking); false means the queue is full.
+// The caller (Pipeline.Verdict) guarantees via its close lock that no
+// enqueue races batcher.stop's channel close.
+func (b *batcher) tryEnqueue(a *admission) bool {
+	select {
+	case b.in <- a:
+		serveView.Get().queueDepth.Set(int64(len(b.in)))
+		return true
+	default:
+		return false
+	}
+}
+
+// stop closes the admission queue and waits for the dispatcher to
+// drain and answer everything already admitted.
+func (b *batcher) stop() {
+	close(b.in)
+	<-b.done
+}
+
+// dispatch is the collector loop: block for the first admission of a
+// batch, linger (bounded) to let it fill, run, repeat. After stop, the
+// channel drains its backlog and the loop exits.
+func (b *batcher) dispatch() {
+	defer close(b.done)
+	timer := time.NewTimer(b.linger)
+	defer timer.Stop()
+	for {
+		a, ok := <-b.in
+		if !ok {
+			return
+		}
+		batch := append(make([]*admission, 0, b.maxBatch), a)
+		if b.maxBatch > 1 {
+			// Cohort collection is yield-based, not timer-based: a timer
+			// only has to fire when every goroutine is parked, and on that
+			// path its real granularity is the runtime's sleep wakeup
+			// (~1ms on small hosts) — three orders of magnitude over a
+			// "short" linger, paid once per batch. Instead: greedily drain
+			// whatever is queued, and when the queue runs dry yield the
+			// processor a few times so submitters that are already awake
+			// (woken by the previous batch's replies, mid-way through
+			// hashing and canonicalizing their next request) reach their
+			// enqueue. When the queue is still empty after yielding, the
+			// cohort is complete — everyone who was going to batch has
+			// batched — and the batch dispatches immediately, with no
+			// timer on the steady-state path at all. Only a still-lone
+			// first miss parks on the linger timer to wait for company,
+			// once per batch.
+			yields := 0
+			parked := false
+		collect:
+			for len(batch) < b.maxBatch {
+				select {
+				case a2, ok := <-b.in:
+					if !ok {
+						break collect // queue closed: run what we have
+					}
+					batch = append(batch, a2)
+					yields = 0
+					continue
+				default:
+				}
+				if yields < collectYields {
+					yields++
+					runtime.Gosched()
+					continue
+				}
+				if len(batch) > 1 || parked || b.linger <= 0 {
+					break collect
+				}
+				parked = true
+				drainTimer(timer)
+				timer.Reset(b.linger)
+				select {
+				case a2, ok := <-b.in:
+					if !ok {
+						break collect
+					}
+					batch = append(batch, a2)
+					yields = 0
+				case <-timer.C:
+					break collect
+				}
+			}
+		}
+		serveView.Get().queueDepth.Set(int64(len(b.in)))
+		b.run(batch)
+	}
+}
+
+// drainTimer stops t and empties its channel, leaving it ready for
+// Reset regardless of whether it already fired.
+func drainTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// run analyzes one collected batch: group by optKey, then one batched
+// Algorithm 1 evaluation per group. Width-1 groups take the scalar path
+// (which consults the shared adaptation shards); wider groups take
+// core.FTSBatch, split over the worker pool when it has more than one
+// worker.
+func (b *batcher) run(batch []*admission) {
+	m := serveView.Get()
+	m.batchDispatches.Inc()
+	m.batchJobs.Add(uint64(len(batch)))
+	m.batchWidth.Observe(int64(len(batch)))
+
+	// Group by options, preserving arrival order within a group.
+	groups := make(map[optKey][]*admission, 1)
+	order := make([]optKey, 0, 1)
+	for _, a := range batch {
+		if _, seen := groups[a.key]; !seen {
+			order = append(order, a.key)
+		}
+		groups[a.key] = append(groups[a.key], a)
+	}
+	for _, k := range order {
+		b.runGroup(groups[k])
+	}
+}
+
+func (b *batcher) runGroup(group []*admission) {
+	if len(group) == 1 {
+		a := group[0]
+		res, err := core.FTS(a.set, a.opt)
+		a.reply <- reply{res: res, err: err}
+		return
+	}
+	sets := make([]*task.Set, len(group))
+	for i, a := range group {
+		sets[i] = a.set
+	}
+	opt := group[0].opt
+	workers := expt.Workers()
+	if workers <= 1 || len(group) < 2*minParallelBatch {
+		results, err := core.FTSBatch(sets, opt, b.blo)
+		answerGroup(group, results, err)
+		return
+	}
+	// Split the group into contiguous per-worker subranges; each runs
+	// its own FTSBatch call with transient batch state.
+	chunk := (len(group) + workers - 1) / workers
+	if chunk < minParallelBatch {
+		chunk = minParallelBatch
+	}
+	_ = expt.ForEachWorkerChunked(len(group), chunk, func(_, start, end int) error {
+		results, err := core.FTSBatch(sets[start:end], opt, nil)
+		answerGroup(group[start:end], results, err)
+		return nil
+	})
+}
+
+// minParallelBatch is the smallest per-worker subrange worth a pool
+// handoff: below this, the batched kernel's amortization loses more to
+// goroutine wakeup than the split gains.
+const minParallelBatch = 4
+
+// collectYields is how many scheduler yields the dispatcher grants a
+// dry queue before declaring the cohort complete. On a single
+// processor one yield runs every runnable submitter to its enqueue, so
+// a small budget suffices; it exists to give multiprocessor stragglers
+// (awake on another P, a few microseconds from enqueueing) more than
+// one chance.
+const collectYields = 4
+
+// answerGroup delivers one subrange's results (or its shared error) to
+// every waiting caller.
+func answerGroup(group []*admission, results []core.Result, err error) {
+	if err != nil {
+		for _, a := range group {
+			a.reply <- reply{err: err}
+		}
+		return
+	}
+	for i, a := range group {
+		a.reply <- reply{res: results[i]}
+	}
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/task"
+)
+
+// vshardCount is the power-of-two shard width of the verdict cache.
+// Hits take one shard mutex for a map probe plus an LRU touch; 16
+// shards keep contention negligible at serve concurrency while the
+// per-shard LRU lists stay short enough to reason about.
+const vshardCount = 16
+
+// ckey is the full verdict-cache key: the canonical task-multiset hash
+// plus the analysis options. Distinct multisets colliding on the hash
+// chain within one map slot, guarded by SameTasksCanonical.
+type ckey struct {
+	hash uint64
+	opt  optKey
+}
+
+// ventry is one cached verdict with its collision guard (the canonical
+// task tuples the verdict was computed from).
+type ventry struct {
+	key   ckey
+	tasks []task.Task
+	v     Verdict
+	elem  *list.Element // position in the shard's LRU list
+}
+
+// vshard is one verdict-cache shard: a key-chained map plus an LRU
+// list (front = most recent).
+type vshard struct {
+	mu        sync.Mutex
+	m         map[ckey][]*ventry
+	lru       *list.List
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// verdictCache is the sharded LRU verdict cache. cap is per shard.
+type verdictCache struct {
+	shards [vshardCount]vshard
+	cap    int
+}
+
+// newVerdictCache builds a cache bounding totalEntries across shards
+// (rounded up to a whole number per shard, minimum one).
+func newVerdictCache(totalEntries int) *verdictCache {
+	per := (totalEntries + vshardCount - 1) / vshardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &verdictCache{cap: per}
+	for i := range c.shards {
+		c.shards[i].m = make(map[ckey][]*ventry)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+// get probes the cache. ts is the request's task slice in the
+// submitter's order; the guard is order-insensitive, so permutations of
+// a cached multiset hit.
+func (c *verdictCache) get(hash uint64, opt optKey, ts []task.Task) (Verdict, bool) {
+	sh := &c.shards[hash&(vshardCount-1)]
+	k := ckey{hash: hash, opt: opt}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, e := range sh.m[k] {
+		if task.SameTasksCanonical(e.tasks, ts) {
+			sh.lru.MoveToFront(e.elem)
+			sh.hits++
+			return e.v, true
+		}
+	}
+	sh.misses++
+	return Verdict{}, false
+}
+
+// add inserts a verdict computed for the canonical tasks ts (which the
+// entry aliases; callers pass the canonicalized set's own slice, owned
+// by the set and never mutated). Racing inserts of the same key are
+// harmless: the duplicate is found and skipped.
+func (c *verdictCache) add(hash uint64, opt optKey, ts []task.Task, v Verdict) {
+	sh := &c.shards[hash&(vshardCount-1)]
+	k := ckey{hash: hash, opt: opt}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, e := range sh.m[k] {
+		if task.SameTasksCanonical(e.tasks, ts) {
+			return // lost a benign race; the existing entry is identical
+		}
+	}
+	if sh.lru.Len() >= c.cap {
+		sh.evictOldest()
+	}
+	e := &ventry{key: k, tasks: ts, v: v}
+	e.elem = sh.lru.PushFront(e)
+	sh.m[k] = append(sh.m[k], e)
+}
+
+// evictOldest removes the shard's LRU entry. Called with the shard lock
+// held.
+func (sh *vshard) evictOldest() {
+	back := sh.lru.Back()
+	if back == nil {
+		return
+	}
+	e := back.Value.(*ventry)
+	sh.lru.Remove(back)
+	es := sh.m[e.key]
+	for i, cand := range es {
+		if cand == e {
+			es[i] = es[len(es)-1]
+			es = es[:len(es)-1]
+			break
+		}
+	}
+	if len(es) == 0 {
+		delete(sh.m, e.key)
+	} else {
+		sh.m[e.key] = es
+	}
+	sh.evictions++
+}
+
+// stats aggregates hit/miss/eviction counters and current occupancy.
+func (c *verdictCache) stats() (hits, misses, evictions uint64, entries int) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		hits += sh.hits
+		misses += sh.misses
+		evictions += sh.evictions
+		entries += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return
+}
+
+// flush empties every shard, keeping the counters.
+func (c *verdictCache) flush() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[ckey][]*ventry)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
+}

@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/criticality"
+	"repro/internal/gen"
+	"repro/internal/obsv"
+	"repro/internal/safety"
+	"repro/internal/task"
+)
+
+// serveCorpus draws n dual-criticality multisets (both classes
+// populated) in generation order — the request streams of every
+// pipeline test.
+func serveCorpus(t testing.TB, seed int64, n int) [][]task.Task {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]task.Task, 0, n)
+	for len(out) < n {
+		s, err := gen.TaskSet(rng, gen.PaperParams(criticality.LevelB, criticality.LevelC, 0.7, 1e-5))
+		if err != nil {
+			continue
+		}
+		if len(s.ByClass(criticality.HI)) == 0 || len(s.ByClass(criticality.LO)) == 0 {
+			continue
+		}
+		out = append(out, append([]task.Task(nil), s.Tasks()...))
+	}
+	return out
+}
+
+// directVerdict is the reference path the pipeline must reproduce
+// byte-for-byte: canonicalize, build the set, run core.FTS directly
+// with no shared or cached state.
+func directVerdict(t testing.TB, req Request) Verdict {
+	t.Helper()
+	_, test, err := keyOf(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := task.HashTasksCanonical(req.Tasks)
+	ts := append([]task.Task(nil), req.Tasks...)
+	task.SortCanonical(ts)
+	s, err := task.NewSet(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := req.DF
+	if req.Mode == safety.Kill {
+		df = 0
+	}
+	res, err := core.FTS(s, core.Options{Safety: req.Safety, Mode: req.Mode, DF: df, Test: test})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return verdictOf(res, h)
+}
+
+// sameVerdict compares two verdicts bit-for-bit (PFH bounds by float
+// bit pattern), ignoring cache provenance.
+func sameVerdict(a, b Verdict) bool {
+	a.Cached, b.Cached = false, false
+	return a == b &&
+		math.Float64bits(a.PFHHI) == math.Float64bits(b.PFHHI) &&
+		math.Float64bits(a.PFHLO) == math.Float64bits(b.PFHLO)
+}
+
+// permuted returns a deterministic shuffle of ts.
+func permuted(ts []task.Task, seed int64) []task.Task {
+	out := append([]task.Task(nil), ts...)
+	rand.New(rand.NewSource(seed)).Shuffle(len(out), func(i, j int) {
+		out[i], out[j] = out[j], out[i]
+	})
+	return out
+}
+
+// TestPipelineDifferential is the acceptance pin: every serving path —
+// uncached, cached (including permuted resubmission) and batched-miss —
+// returns verdicts bit-identical to a direct core.FTS run, profiles and
+// PFH bounds included, across kill and degrade modes and explicit
+// schedulability tests.
+func TestPipelineDifferential(t *testing.T) {
+	tasksets := serveCorpus(t, 11, 24)
+	cfg := safety.DefaultConfig()
+	variants := []Request{
+		{Safety: cfg, Mode: safety.Kill},
+		{Safety: cfg, Mode: safety.Kill, Test: "edf"},
+		{Safety: cfg, Mode: safety.Kill, Test: "dbf-tune"},
+		{Safety: cfg, Mode: safety.Degrade, DF: 1.3},
+		{Safety: cfg, Mode: safety.Degrade, DF: 1.5, Test: "edf-vd-degrade"},
+	}
+	reqs := make([]Request, 0, len(tasksets)*len(variants))
+	for _, ts := range tasksets {
+		for _, v := range variants {
+			r := v
+			r.Tasks = ts
+			reqs = append(reqs, r)
+		}
+	}
+	want := make([]Verdict, len(reqs))
+	for i, r := range reqs {
+		want[i] = directVerdict(t, r)
+	}
+
+	// Sequential pipeline: first pass misses, second (permuted) pass hits.
+	p := NewPipeline(Options{})
+	defer p.Close()
+	for i, r := range reqs {
+		got, err := p.Verdict(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cached {
+			t.Fatalf("request %d: first submission reported cached", i)
+		}
+		if !sameVerdict(got, want[i]) {
+			t.Fatalf("request %d: uncached verdict diverged\n got %+v\nwant %+v", i, got, want[i])
+		}
+		perm := r
+		perm.Tasks = permuted(r.Tasks, int64(i))
+		again, err := p.Verdict(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !again.Cached {
+			t.Fatalf("request %d: permuted resubmission missed the cache", i)
+		}
+		if !sameVerdict(again, want[i]) {
+			t.Fatalf("request %d: cached verdict diverged\n got %+v\nwant %+v", i, again, want[i])
+		}
+	}
+
+	// Concurrent pipeline with a wide linger: misses coalesce into
+	// batches, and every batched verdict must still match the reference.
+	pb := NewPipeline(Options{MaxBatch: 8, LingerNs: int64(2 * time.Millisecond)})
+	defer pb.Close()
+	got := make([]Verdict, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = pb.Verdict(reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !sameVerdict(got[i], want[i]) {
+			t.Fatalf("request %d: batched-miss verdict diverged\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPipelineBatchingForms: under concurrency and a generous linger,
+// the dispatcher must actually coalesce misses — far fewer FTSBatch
+// dispatches than jobs.
+func TestPipelineBatchingForms(t *testing.T) {
+	reg := obsv.NewRegistry()
+	obsv.SetDefault(reg)
+	defer obsv.SetDefault(nil)
+
+	tasksets := serveCorpus(t, 23, 32)
+	p := NewPipeline(Options{MaxBatch: 8, LingerNs: int64(20 * time.Millisecond)})
+	defer p.Close()
+	cfg := safety.DefaultConfig()
+	var wg sync.WaitGroup
+	for _, ts := range tasksets {
+		wg.Add(1)
+		go func(ts []task.Task) {
+			defer wg.Done()
+			if _, err := p.Verdict(Request{Tasks: ts, Safety: cfg, Mode: safety.Kill}); err != nil {
+				t.Error(err)
+			}
+		}(ts)
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	jobs := snap.Counters["serve.batch.jobs"]
+	dispatches := snap.Counters["serve.batch.dispatches"]
+	if jobs != uint64(len(tasksets)) {
+		t.Fatalf("batcher saw %d jobs, want %d", jobs, len(tasksets))
+	}
+	if dispatches*2 > jobs {
+		t.Fatalf("no real coalescing: %d dispatches for %d jobs", dispatches, jobs)
+	}
+	if w := snap.Histograms["serve.batch.width"]; w.MaxNs < 2 {
+		t.Fatalf("max batch width %d, want >= 2", w.MaxNs)
+	}
+}
+
+// TestPipelineVerdictCacheLRU: the verdict cache stays within its entry
+// bound under churn, counts evictions, and keeps the hottest entry
+// resident.
+func TestPipelineVerdictCacheLRU(t *testing.T) {
+	const entries = 16
+	p := NewPipeline(Options{CacheEntries: entries, MaxBatch: 1})
+	defer p.Close()
+	cfg := safety.DefaultConfig()
+	tasksets := serveCorpus(t, 37, 5*entries)
+	for _, ts := range tasksets {
+		if _, err := p.Verdict(Request{Tasks: ts, Safety: cfg, Mode: safety.Kill}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, evictions, live := p.CacheStats()
+	if live > entries {
+		t.Fatalf("cache holds %d entries, cap is %d", live, entries)
+	}
+	if evictions == 0 {
+		t.Fatalf("5x-overcommitted cache evicted nothing (hits %d misses %d)", hits, misses)
+	}
+	if misses < uint64(len(tasksets)) {
+		t.Fatalf("expected >= %d misses, got %d", len(tasksets), misses)
+	}
+	// The most recent insert is by construction still resident.
+	last := Request{Tasks: permuted(tasksets[len(tasksets)-1], 99), Safety: cfg, Mode: safety.Kill}
+	v, err := p.Verdict(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Cached {
+		t.Fatal("most recently inserted verdict was not resident")
+	}
+}
+
+// TestPipelineShedsWhenQueueFull: with the admission queue full, new
+// misses shed with ErrOverloaded instead of queuing, and admitted work
+// still completes correctly once the dispatcher drains. The pipeline is
+// assembled without its dispatcher so queue saturation is a constructed
+// fact, not a scheduler race (on one core the cooperative scheduler
+// lets a live dispatcher outrun any burst).
+func TestPipelineShedsWhenQueueFull(t *testing.T) {
+	p := &Pipeline{cache: newVerdictCache(64), shards: safety.NewCacheShards()}
+	p.batcher = &batcher{
+		in:       make(chan *admission, 1),
+		maxBatch: 1,
+		linger:   time.Millisecond,
+		done:     make(chan struct{}),
+		blo:      &safety.BatchLO{},
+	}
+	cfg := safety.DefaultConfig()
+	tasksets := serveCorpus(t, 41, 4)
+	want := directVerdict(t, Request{Tasks: tasksets[0], Safety: cfg, Mode: safety.Kill})
+
+	// First miss occupies the queue's only slot and blocks on its reply.
+	admitted := make(chan error, 1)
+	var got Verdict
+	go func() {
+		var err error
+		got, err = p.Verdict(Request{Tasks: tasksets[0], Safety: cfg, Mode: safety.Kill})
+		admitted <- err
+	}()
+	for len(p.batcher.in) == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Every further miss must shed immediately.
+	for _, ts := range tasksets[1:] {
+		if _, err := p.Verdict(Request{Tasks: ts, Safety: cfg, Mode: safety.Kill}); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("miss against a full queue: got %v, want ErrOverloaded", err)
+		}
+	}
+	// Start the dispatcher: the admitted request drains and answers
+	// exactly the direct verdict.
+	go p.batcher.dispatch()
+	if err := <-admitted; err != nil {
+		t.Fatal(err)
+	}
+	if !sameVerdict(got, want) {
+		t.Fatalf("admitted verdict diverged after drain\n got %+v\nwant %+v", got, want)
+	}
+	p.Close()
+	if _, err := p.Verdict(Request{Tasks: tasksets[1], Safety: cfg, Mode: safety.Kill}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("miss after Close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestPipelineInvalidRequests: malformed requests classify as
+// ErrInvalid without touching the analysis queue.
+func TestPipelineInvalidRequests(t *testing.T) {
+	p := NewPipeline(Options{})
+	defer p.Close()
+	cfg := safety.DefaultConfig()
+	ts := serveCorpus(t, 43, 1)[0]
+	bad := []Request{
+		{Tasks: ts, Safety: cfg, Mode: safety.AdaptMode(99)},
+		{Tasks: ts, Safety: cfg, Mode: safety.Degrade, DF: 1},
+		{Tasks: ts, Safety: cfg, Mode: safety.Kill, Test: "no-such-test"},
+		{Tasks: ts, Safety: cfg, Mode: safety.Kill, Test: "edf-vd-degrade"},
+		{Tasks: ts, Safety: safety.Config{OperationHours: -1}, Mode: safety.Kill},
+		{Tasks: nil, Safety: cfg, Mode: safety.Kill},
+	}
+	for i, r := range bad {
+		if _, err := p.Verdict(r); !errors.Is(err, ErrInvalid) {
+			t.Errorf("bad request %d: got %v, want ErrInvalid", i, err)
+		}
+	}
+}
+
+// TestPipelineClose: Close is idempotent, drains admitted work, rejects
+// new analyses with ErrClosed, and keeps serving cache hits.
+func TestPipelineClose(t *testing.T) {
+	p := NewPipeline(Options{})
+	cfg := safety.DefaultConfig()
+	tasksets := serveCorpus(t, 47, 2)
+	warm := Request{Tasks: tasksets[0], Safety: cfg, Mode: safety.Kill}
+	if _, err := p.Verdict(warm); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close()
+	if _, err := p.Verdict(Request{Tasks: tasksets[1], Safety: cfg, Mode: safety.Kill}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("miss after Close: got %v, want ErrClosed", err)
+	}
+	v, err := p.Verdict(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Cached {
+		t.Fatal("cache hit after Close was not served from cache")
+	}
+}

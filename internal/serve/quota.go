@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// quotaTable is the per-tenant token-bucket admission quota: each
+// tenant (the X-FTMC-Tenant header; empty is one shared anonymous
+// tenant) refills at rate tokens/second up to burst. A request costs
+// one token; an empty bucket is a 429 with the refill time as
+// Retry-After. Buckets are lazily created and the table is bounded:
+// when maxTenants distinct tenants have buckets, the coldest-started
+// table is simply reset — a full reset grants every active tenant a
+// fresh burst, which errs toward admitting, never toward starving.
+type quotaTable struct {
+	mu    sync.Mutex
+	rate  float64
+	burst float64
+	m     map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxTenants bounds the quota table so an adversarial tenant-header
+// stream cannot grow it without limit.
+const maxTenants = 4096
+
+// newQuotaTable builds a table granting rate requests/second with the
+// given burst depth per tenant. rate <= 0 disables quotas (nil table).
+func newQuotaTable(rate float64, burst int) *quotaTable {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, math.Ceil(rate))
+	}
+	return &quotaTable{rate: rate, burst: b, m: make(map[string]*bucket)}
+}
+
+// allow spends one token of tenant's bucket. When the bucket is empty
+// it reports false and the duration until one token refills (the
+// Retry-After hint). A nil table allows everything.
+func (q *quotaTable) allow(tenant string, now time.Time) (bool, time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.m[tenant]
+	if !ok {
+		if len(q.m) >= maxTenants {
+			q.m = make(map[string]*bucket)
+		}
+		b = &bucket{tokens: q.burst, last: now}
+		q.m[tenant] = b
+	} else {
+		b.tokens = math.Min(q.burst, b.tokens+now.Sub(b.last).Seconds()*q.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	return false, wait
+}

@@ -1,0 +1,366 @@
+// Package serve is the FT-S admission-control pipeline: the
+// sustained-throughput path that turns the repository's analysis engine
+// into an online verdict service. A request is a dual-criticality task
+// set plus analysis options; the answer is the complete Algorithm 1
+// verdict (profiles, failure classification, achieved PFH bounds).
+//
+// The pipeline has three tiers, each amortizing work the tier below
+// would redo:
+//
+//   - A sharded LRU verdict cache keyed by the canonical (order-
+//     insensitive) task-set hash and the analysis options. Resubmitted
+//     sets — including permutations — are answered without touching the
+//     analysis at all; a hit is a hash, a shard lock and a multiset
+//     guard, hundreds of times cheaper than an uncached analysis.
+//
+//   - A micro-batching admission stage for cache misses: concurrent
+//     misses coalesce into core.FTSBatch calls (bounded batch size,
+//     bounded linger window), amortizing the eq. (5) kernel and the
+//     dispatch overhead across requests the same way expt.Campaign
+//     amortizes them across a figure. Batches are split over the
+//     work-stealing pool (expt.ForEachWorkerChunked), so multi-core
+//     servers evaluate one batch in parallel.
+//
+//   - The per-context safety.CacheShards pool underneath, shared by
+//     every analysis the pipeline runs, so repeated analysis contexts
+//     (e.g. the same set under a different schedulability test) reuse
+//     memoized eq. (3)/(5)/(7) state even when the verdict cache
+//     missed.
+//
+// Verdicts are computed on the canonical task ordering
+// (task.SortCanonical), so every permutation of one multiset is
+// answered by bitwise the same verdict — cached or not. The pipeline is
+// pinned to the direct core path by TestPipelineDifferential.
+//
+// The HTTP layer (server.go) adds per-tenant token-bucket quotas and
+// load shedding on top; cmd/ftmc-serve is the runnable server and
+// cmd/ftmc-load the load generator.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/mcsched"
+	"repro/internal/safety"
+	"repro/internal/task"
+)
+
+// Errors the pipeline classifies for the transport layer.
+var (
+	// ErrInvalid marks a malformed request (bad task set or options);
+	// the HTTP layer maps it to 400.
+	ErrInvalid = errors.New("serve: invalid request")
+	// ErrOverloaded marks a full admission queue; the HTTP layer maps it
+	// to 503 with a Retry-After.
+	ErrOverloaded = errors.New("serve: admission queue full")
+	// ErrClosed marks a pipeline that has been shut down.
+	ErrClosed = errors.New("serve: pipeline closed")
+)
+
+// Request is one verdict request: the task multiset and the analysis
+// options. Tasks are never mutated (the pipeline copies before
+// canonicalizing); the slice may be a view into transport scratch.
+type Request struct {
+	// Tasks is the dual-criticality task multiset to analyze.
+	Tasks []task.Task
+	// Safety is the PFH analysis configuration.
+	Safety safety.Config
+	// Mode selects LO-task killing or service degradation.
+	Mode safety.AdaptMode
+	// DF is the degradation factor (> 1); read only in Degrade mode.
+	DF float64
+	// Test names the schedulability test S: one of "", "edf-vd", "edf",
+	// "dm-rta", "smc", "amc-rtb", "dbf-tune", "edf-vd-degrade". Empty
+	// selects Algorithm 1's default for the mode.
+	Test string
+}
+
+// Verdict is the complete FT-S answer for one request — core.Result
+// minus the converted set (rebuildable from the profiles), plus cache
+// provenance. All fields that exist in core.Result are bit-identical to
+// a direct core.FTS run on the canonicalized set.
+type Verdict struct {
+	OK     bool   `json:"ok"`
+	Reason string `json:"reason,omitempty"`
+	// NHI, NLO, N1HI, N2HI are the Algorithm 1 search results.
+	NHI  int `json:"n_hi"`
+	NLO  int `json:"n_lo"`
+	N1HI int `json:"n1_hi"`
+	N2HI int `json:"n2_hi"`
+	// Profiles are the chosen profiles on success.
+	Profiles ProfilesJSON `json:"profiles"`
+	// PFHHI, PFHLO are the achieved safety bounds on success.
+	PFHHI float64 `json:"pfh_hi,omitempty"`
+	PFHLO float64 `json:"pfh_lo,omitempty"`
+	// Test records which schedulability test S decided line 8.
+	Test string `json:"test"`
+	// Hash is the canonical task-set hash (hex), the verdict-cache key.
+	Hash string `json:"hash"`
+	// Cached reports whether this answer came from the verdict cache.
+	Cached bool `json:"cached"`
+}
+
+// ProfilesJSON is core.Profiles with JSON tags.
+type ProfilesJSON struct {
+	NHI    int `json:"n_hi"`
+	NLO    int `json:"n_lo"`
+	NPrime int `json:"n_prime"`
+}
+
+// optKey is the comparable analysis-options half of a verdict-cache
+// key. DF is normalized to 0 outside Degrade mode (it is not read
+// there), so kill requests differing only in a stray df collide.
+type optKey struct {
+	cfg  safety.Config
+	mode safety.AdaptMode
+	df   uint64 // Float64bits; 0 in Kill mode
+	test string // resolved test name ("" = mode default)
+}
+
+// resolveTest maps a request's test name to the mcsched implementation.
+// The empty name resolves to nil (core.Options' per-mode default).
+func resolveTest(name string, mode safety.AdaptMode, df float64) (mcsched.Test, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "edf-vd":
+		return mcsched.EDFVD{}, nil
+	case "edf":
+		return mcsched.EDFWorstCase{}, nil
+	case "dm-rta":
+		return mcsched.DMRTA{}, nil
+	case "smc":
+		return mcsched.SMC{}, nil
+	case "amc-rtb":
+		return mcsched.AMCrtb{}, nil
+	case "dbf-tune":
+		return mcsched.DBFTune{}, nil
+	case "edf-vd-degrade":
+		if mode != safety.Degrade {
+			return nil, fmt.Errorf("%w: test %q requires degrade mode", ErrInvalid, name)
+		}
+		return mcsched.EDFVDDegrade{DF: df}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown schedulability test %q", ErrInvalid, name)
+	}
+}
+
+// keyOf validates the option fields of a request and builds its cache
+// key and the resolved schedulability test.
+func keyOf(req Request) (optKey, mcsched.Test, error) {
+	if err := req.Safety.Validate(); err != nil {
+		return optKey{}, nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	df := req.DF
+	switch req.Mode {
+	case safety.Kill:
+		df = 0
+	case safety.Degrade:
+		if !(df > 1) {
+			return optKey{}, nil, fmt.Errorf("%w: degradation factor must be > 1, got %g", ErrInvalid, df)
+		}
+	default:
+		return optKey{}, nil, fmt.Errorf("%w: unknown adaptation mode %d", ErrInvalid, int(req.Mode))
+	}
+	test, err := resolveTest(req.Test, req.Mode, df)
+	if err != nil {
+		return optKey{}, nil, err
+	}
+	return optKey{cfg: req.Safety, mode: req.Mode, df: math.Float64bits(df), test: req.Test}, test, nil
+}
+
+// Options configures a Pipeline.
+type Options struct {
+	// CacheEntries bounds the verdict cache (total entries across its
+	// shards); <= 0 selects DefaultCacheEntries.
+	CacheEntries int
+	// MaxBatch is the micro-batch width cap: at most this many queued
+	// cache misses are analyzed per core.FTSBatch dispatch. 1 disables
+	// batching (every miss analyzed on its own). <= 0 selects
+	// DefaultMaxBatch.
+	MaxBatch int
+	// LingerNs is the micro-batch linger bound in nanoseconds: a miss
+	// that is still alone after the dispatcher's yield-based cohort
+	// collection parks at most this long waiting for company before it
+	// is analyzed by itself. Cohorts that do form (the queue was
+	// non-empty, or submitters reached their enqueue within the yield
+	// budget) dispatch immediately without consulting the timer. The
+	// tradeoff is documented in DESIGN.md §9: longer lingering widens
+	// batches (more kernel amortization) but adds up to LingerNs to an
+	// isolated miss's latency. <= 0 selects DefaultLingerNs.
+	LingerNs int64
+	// QueueDepth bounds the admission queue of cache misses; a full
+	// queue sheds (ErrOverloaded) instead of growing. <= 0 selects
+	// DefaultQueueDepth.
+	QueueDepth int
+	// ShardContexts caps the per-shard context count of the underlying
+	// safety.CacheShards pool (see safety.NewCacheShardsCap); 0 selects
+	// the safety default.
+	ShardContexts int
+}
+
+// Pipeline defaults, sized for the single-process serve workload: a
+// 64Ki-verdict cache is a few tens of MB at paper set sizes; batch 16
+// with a 200µs linger keeps worst-case added latency far below one
+// uncached analysis while filling batches at even modest concurrency.
+const (
+	DefaultCacheEntries = 1 << 16
+	DefaultMaxBatch     = 16
+	DefaultLingerNs     = 200_000
+	DefaultQueueDepth   = 1024
+)
+
+// Pipeline is the verdict pipeline: cache, batcher, shared adaptation
+// shards. Safe for concurrent use. Create with NewPipeline; Close
+// drains the batcher.
+type Pipeline struct {
+	cache   *verdictCache
+	shards  *safety.CacheShards
+	batcher *batcher
+
+	// closeMu serializes enqueues against Close: Verdict holds the read
+	// side across the closed-check + enqueue pair, so no admission can
+	// slip into the queue after Close's write lock decides the final
+	// drain.
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// NewPipeline builds and starts a pipeline (its dispatcher goroutine
+// runs until Close).
+func NewPipeline(o Options) *Pipeline {
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = DefaultCacheEntries
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.LingerNs <= 0 {
+		o.LingerNs = DefaultLingerNs
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	var shards *safety.CacheShards
+	if o.ShardContexts > 0 {
+		shards = safety.NewCacheShardsCap(o.ShardContexts)
+	} else {
+		shards = safety.NewCacheShards()
+	}
+	p := &Pipeline{
+		cache:  newVerdictCache(o.CacheEntries),
+		shards: shards,
+	}
+	p.batcher = newBatcher(o.MaxBatch, o.LingerNs, o.QueueDepth)
+	return p
+}
+
+// Verdict answers one request: cache hit, or batched analysis on miss.
+// Errors are ErrInvalid (bad request), ErrOverloaded (admission queue
+// full) or ErrClosed; analysis itself cannot fail on a validated
+// request.
+func (p *Pipeline) Verdict(req Request) (Verdict, error) {
+	m := serveView.Get()
+	sp := m.verdictNs.Start()
+	defer sp.End()
+	m.requests.Inc()
+
+	key, test, err := keyOf(req)
+	if err != nil {
+		m.invalid.Inc()
+		return Verdict{}, err
+	}
+	h := task.HashTasksCanonical(req.Tasks)
+	if v, ok := p.cache.get(h, key, req.Tasks); ok {
+		m.cacheHits.Inc()
+		v.Cached = true
+		return v, nil
+	}
+	m.cacheMisses.Inc()
+
+	// Miss: canonicalize the execution order, validate, and enqueue.
+	ts := append([]task.Task(nil), req.Tasks...)
+	task.SortCanonical(ts)
+	set, err := task.NewSet(ts)
+	if err != nil {
+		m.invalid.Inc()
+		return Verdict{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	df := req.DF
+	if req.Mode == safety.Kill {
+		df = 0
+	}
+	opt := core.Options{
+		Safety: req.Safety,
+		Mode:   req.Mode,
+		DF:     df,
+		Test:   test,
+		Shared: p.shards,
+	}
+	a := &admission{set: set, opt: opt, key: key, reply: make(chan reply, 1)}
+
+	p.closeMu.RLock()
+	if p.closed {
+		p.closeMu.RUnlock()
+		return Verdict{}, ErrClosed
+	}
+	ok := p.batcher.tryEnqueue(a)
+	p.closeMu.RUnlock()
+	if !ok {
+		m.shedQueue.Inc()
+		return Verdict{}, ErrOverloaded
+	}
+	r := <-a.reply
+	if r.err != nil {
+		return Verdict{}, r.err
+	}
+	v := verdictOf(r.res, h)
+	p.cache.add(h, key, set.Tasks(), v)
+	return v, nil
+}
+
+// verdictOf projects a core.Result onto the wire verdict.
+func verdictOf(res core.Result, hash uint64) Verdict {
+	return Verdict{
+		OK:     res.OK,
+		Reason: string(res.Reason),
+		NHI:    res.NHI, NLO: res.NLO, N1HI: res.N1HI, N2HI: res.N2HI,
+		Profiles: ProfilesJSON{NHI: res.Profiles.NHI, NLO: res.Profiles.NLO, NPrime: res.Profiles.NPrime},
+		PFHHI:    res.PFHHI, PFHLO: res.PFHLO,
+		Test: res.TestName,
+		Hash: strconv.FormatUint(hash, 16),
+	}
+}
+
+// CacheStats reports the verdict cache's effectiveness and occupancy.
+func (p *Pipeline) CacheStats() (hits, misses, evictions uint64, entries int) {
+	return p.cache.stats()
+}
+
+// Contexts returns the number of adaptation contexts pooled underneath
+// the verdict cache (bounded by the shard cap; overload tests use it as
+// a memory-leak probe).
+func (p *Pipeline) Contexts() int { return p.shards.Contexts() }
+
+// FlushCache empties the verdict cache (benchmarks and cache-rollover
+// administration). In-flight analyses are unaffected.
+func (p *Pipeline) FlushCache() { p.cache.flush() }
+
+// Close stops the batcher after draining already-admitted requests;
+// subsequent Verdict calls that need analysis return ErrClosed (cache
+// hits are still answered — the cache needs no goroutine). Idempotent.
+func (p *Pipeline) Close() {
+	p.closeMu.Lock()
+	if p.closed {
+		p.closeMu.Unlock()
+		return
+	}
+	p.closed = true
+	p.closeMu.Unlock()
+	p.batcher.stop()
+}

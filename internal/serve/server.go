@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/safety"
+	"repro/internal/task"
+)
+
+// ServerOptions configures the HTTP front of the pipeline.
+type ServerOptions struct {
+	// QuotaRate is the per-tenant admission rate in verdicts/second
+	// (tenants are distinguished by the X-FTMC-Tenant header); <= 0
+	// disables quotas.
+	QuotaRate float64
+	// QuotaBurst is the token-bucket depth; <= 0 derives it from the
+	// rate (at least one).
+	QuotaBurst int
+	// ShedRetryAfter is the Retry-After hint on 503 responses (admission
+	// queue full or server draining); <= 0 selects one second.
+	ShedRetryAfter time.Duration
+}
+
+// Server is the HTTP/JSON front of a verdict Pipeline:
+//
+//	POST /v1/verdict  — analyze one task set, JSON in/out
+//	GET  /healthz     — liveness
+//	GET  /metrics     — expvar snapshot (obsv registries publish here)
+//	GET  /debug/vars  — alias of /metrics
+//
+// Overload surfaces as fast failure, never as queueing: a tenant over
+// its quota gets 429, a full admission queue gets 503, both with a
+// Retry-After. Create with NewServer; Close drains the pipeline.
+type Server struct {
+	pipe       *Pipeline
+	quotas     *quotaTable
+	mux        *http.ServeMux
+	retryAfter time.Duration
+}
+
+// NewServer wraps p. The server does not own p's lifecycle unless
+// Close is used.
+func NewServer(p *Pipeline, o ServerOptions) *Server {
+	if o.ShedRetryAfter <= 0 {
+		o.ShedRetryAfter = time.Second
+	}
+	s := &Server{
+		pipe:       p,
+		quotas:     newQuotaTable(o.QuotaRate, o.QuotaBurst),
+		mux:        http.NewServeMux(),
+		retryAfter: o.ShedRetryAfter,
+	}
+	s.mux.HandleFunc("/v1/verdict", s.handleVerdict)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.Handle("/metrics", expvar.Handler())
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close shuts the underlying pipeline down (drains admitted work).
+func (s *Server) Close() { s.pipe.Close() }
+
+// wireRequest is the POST /v1/verdict body. The set uses the
+// repository's task-file shape ({"tasks":[{"T","C","level","f",...}]},
+// times as timeunit strings); options default to the paper's setup
+// (kill mode, OS = 1 h, full-WCET assumption).
+type wireRequest struct {
+	Set      task.Set `json:"set"`
+	Mode     string   `json:"mode,omitempty"` // "kill" (default) | "degrade"
+	DF       float64  `json:"df,omitempty"`
+	OSHours  int      `json:"os_hours,omitempty"`  // default 1
+	FullWCET *bool    `json:"full_wcet,omitempty"` // default true
+	Test     string   `json:"test,omitempty"`
+}
+
+// wireError is every non-200 body.
+type wireError struct {
+	Error string `json:"error"`
+}
+
+// maxBodyBytes bounds /v1/verdict request bodies; paper-scale sets are
+// a few KB.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, wireError{Error: "POST only"})
+		return
+	}
+	if ok, wait := s.quotas.allow(r.Header.Get("X-FTMC-Tenant"), time.Now()); !ok {
+		serveView.Get().shedQuota.Inc()
+		setRetryAfter(w, wait)
+		writeJSON(w, http.StatusTooManyRequests, wireError{Error: "tenant quota exhausted"})
+		return
+	}
+	var in wireRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&in); err != nil {
+		serveView.Get().invalid.Inc()
+		writeJSON(w, http.StatusBadRequest, wireError{Error: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	req, err := in.toRequest()
+	if err != nil {
+		serveView.Get().invalid.Inc()
+		writeJSON(w, http.StatusBadRequest, wireError{Error: err.Error()})
+		return
+	}
+	v, err := s.pipe.Verdict(req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, v)
+	case errors.Is(err, ErrInvalid):
+		writeJSON(w, http.StatusBadRequest, wireError{Error: err.Error()})
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
+		setRetryAfter(w, s.retryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, wireError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, wireError{Error: err.Error()})
+	}
+}
+
+// toRequest maps the wire form onto a pipeline request, applying the
+// paper defaults.
+func (in *wireRequest) toRequest() (Request, error) {
+	var mode safety.AdaptMode
+	switch in.Mode {
+	case "", "kill":
+		mode = safety.Kill
+	case "degrade":
+		mode = safety.Degrade
+	default:
+		return Request{}, fmt.Errorf("unknown mode %q (want \"kill\" or \"degrade\")", in.Mode)
+	}
+	cfg := safety.DefaultConfig()
+	if in.OSHours != 0 {
+		cfg.OperationHours = in.OSHours
+	}
+	if in.FullWCET != nil {
+		cfg.AssumeFullWCET = *in.FullWCET
+	}
+	return Request{
+		Tasks:  in.Set.Tasks(),
+		Safety: cfg,
+		Mode:   mode,
+		DF:     in.DF,
+		Test:   in.Test,
+	}, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// setRetryAfter writes the Retry-After header in whole seconds,
+// rounding up (a Retry-After of 0 would invite an immediate retry
+// storm).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/safety"
+	"repro/internal/task"
+)
+
+// postVerdict marshals a wire request for ts and POSTs it.
+func postVerdict(t *testing.T, client *http.Client, url string, ts []task.Task, extra map[string]any, tenant string) *http.Response {
+	t.Helper()
+	s, err := task.NewSet(append([]task.Task(nil), ts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := map[string]any{"set": s}
+	for k, v := range extra {
+		body[k] = v
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/verdict", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-FTMC-Tenant", tenant)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeVerdict(t *testing.T, resp *http.Response) Verdict {
+	t.Helper()
+	defer resp.Body.Close()
+	var v Verdict
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestServerVerdictHTTP: the HTTP round trip returns exactly the
+// direct-path verdict (floats survive the JSON round trip bit-exactly),
+// and a resubmission is served from the cache.
+func TestServerVerdictHTTP(t *testing.T) {
+	p := NewPipeline(Options{})
+	srv := httptest.NewServer(NewServer(p, ServerOptions{}))
+	defer srv.Close()
+	defer p.Close()
+
+	tasksets := serveCorpus(t, 61, 4)
+	for i, ts := range tasksets {
+		want := directVerdict(t, Request{Tasks: ts, Safety: safety.DefaultConfig(), Mode: safety.Kill})
+		resp := postVerdict(t, srv.Client(), srv.URL, ts, nil, "")
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("set %d: status %d: %s", i, resp.StatusCode, b)
+		}
+		got := decodeVerdict(t, resp)
+		if !sameVerdict(got, want) {
+			t.Fatalf("set %d: HTTP verdict diverged\n got %+v\nwant %+v", i, got, want)
+		}
+		again := decodeVerdict(t, postVerdict(t, srv.Client(), srv.URL, ts, nil, ""))
+		if !again.Cached {
+			t.Fatalf("set %d: resubmission missed the cache", i)
+		}
+		if !sameVerdict(again, want) {
+			t.Fatalf("set %d: cached HTTP verdict diverged", i)
+		}
+	}
+
+	// Degrade mode over the wire.
+	ts := tasksets[0]
+	wantD := directVerdict(t, Request{Tasks: ts, Safety: safety.DefaultConfig(), Mode: safety.Degrade, DF: 1.3})
+	resp := postVerdict(t, srv.Client(), srv.URL, ts, map[string]any{"mode": "degrade", "df": 1.3}, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degrade: status %d", resp.StatusCode)
+	}
+	if got := decodeVerdict(t, resp); !sameVerdict(got, wantD) {
+		t.Fatalf("degrade verdict diverged\n got %+v\nwant %+v", got, wantD)
+	}
+
+	// Liveness.
+	hresp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz: status %d", hresp.StatusCode)
+	}
+}
+
+// TestServerBadRequests: malformed traffic maps to 405/400, never 5xx.
+func TestServerBadRequests(t *testing.T) {
+	p := NewPipeline(Options{})
+	srv := httptest.NewServer(NewServer(p, ServerOptions{}))
+	defer srv.Close()
+	defer p.Close()
+	ts := serveCorpus(t, 67, 1)[0]
+
+	if resp, err := srv.Client().Get(srv.URL + "/v1/verdict"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET verdict: status %d, want 405", resp.StatusCode)
+		}
+	}
+	if resp, err := srv.Client().Post(srv.URL+"/v1/verdict", "application/json", bytes.NewReader([]byte("{not json"))); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad JSON: status %d, want 400", resp.StatusCode)
+		}
+	}
+	for i, extra := range []map[string]any{
+		{"mode": "panic"},
+		{"mode": "degrade", "df": 1.0},
+		{"test": "no-such-test"},
+		{"os_hours": -3},
+	} {
+		resp := postVerdict(t, srv.Client(), srv.URL, ts, extra, "")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad request %d (%v): status %d, want 400", i, extra, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerQuota: a tenant over its token bucket gets 429 with a
+// Retry-After hint; other tenants are unaffected.
+func TestServerQuota(t *testing.T) {
+	p := NewPipeline(Options{})
+	srv := httptest.NewServer(NewServer(p, ServerOptions{QuotaRate: 1e-6, QuotaBurst: 2}))
+	defer srv.Close()
+	defer p.Close()
+	ts := serveCorpus(t, 71, 1)[0]
+
+	for i := 0; i < 2; i++ {
+		resp := postVerdict(t, srv.Client(), srv.URL, ts, nil, "tenant-a")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp := postVerdict(t, srv.Client(), srv.URL, ts, nil, "tenant-a")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota request: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("429 without a usable Retry-After (%q)", ra)
+	}
+	// A different tenant has its own bucket.
+	resp = postVerdict(t, srv.Client(), srv.URL, ts, nil, "tenant-b")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh tenant: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServerOverload: with the admission queue saturated, verdict
+// requests fail fast with 503 + Retry-After (no queueing), the admitted
+// request still completes with the exact verdict once the dispatcher
+// drains, and the server leaks neither goroutines nor analysis
+// contexts. Queue saturation is constructed (dispatcher started late),
+// not raced — see TestPipelineShedsWhenQueueFull.
+func TestServerOverload(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	p := &Pipeline{cache: newVerdictCache(64), shards: safety.NewCacheShards()}
+	p.batcher = &batcher{
+		in:       make(chan *admission, 1),
+		maxBatch: 1,
+		linger:   time.Millisecond,
+		done:     make(chan struct{}),
+		blo:      &safety.BatchLO{},
+	}
+	srv := httptest.NewServer(NewServer(p, ServerOptions{}))
+	tasksets := serveCorpus(t, 73, 4)
+	want := directVerdict(t, Request{Tasks: tasksets[0], Safety: safety.DefaultConfig(), Mode: safety.Kill})
+
+	admitted := make(chan Verdict, 1)
+	go func() {
+		resp := postVerdict(t, srv.Client(), srv.URL, tasksets[0], nil, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("admitted request: status %d", resp.StatusCode)
+		}
+		admitted <- decodeVerdict(t, resp)
+	}()
+	for len(p.batcher.in) == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	var accepted time.Duration
+	for _, ts := range tasksets[1:] {
+		t0 := time.Now()
+		resp := postVerdict(t, srv.Client(), srv.URL, ts, nil, "")
+		resp.Body.Close()
+		if d := time.Since(t0); d > accepted {
+			accepted = d
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request against full queue: status %d, want 503", resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+			t.Fatalf("503 without a usable Retry-After (%q)", ra)
+		}
+	}
+	// Shedding must be fast — far below one Retry-After period.
+	if accepted > 500*time.Millisecond {
+		t.Fatalf("shed responses took %v; shedding must not queue", accepted)
+	}
+
+	go p.batcher.dispatch()
+	if got := <-admitted; !sameVerdict(got, want) {
+		t.Fatalf("drained verdict diverged\n got %+v\nwant %+v", got, want)
+	}
+	if n := p.Contexts(); n > 64*safety.DefaultShardContexts {
+		t.Fatalf("context pool grew unboundedly: %d", n)
+	}
+
+	srv.Close()
+	p.Close()
+	// Goroutines must return to (about) the pre-test level.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline+2 {
+		t.Fatalf("goroutines leaked: %d now vs %d at start", n, baseline)
+	}
+}
+
+// TestQuotaTableBounded: the lazily-grown tenant table cannot exceed
+// its cap even under a distinct-tenant flood.
+func TestQuotaTableBounded(t *testing.T) {
+	q := newQuotaTable(100, 10)
+	now := time.Now()
+	for i := 0; i < 3*maxTenants; i++ {
+		q.allow(fmt.Sprintf("tenant-%d", i), now)
+		if len(q.m) > maxTenants {
+			t.Fatalf("quota table grew to %d tenants, cap is %d", len(q.m), maxTenants)
+		}
+	}
+}

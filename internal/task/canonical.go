@@ -1,0 +1,193 @@
+package task
+
+import (
+	"math"
+	"sort"
+)
+
+// This file defines the canonical identity of a task set for caching
+// layers: which fields matter to the analysis, how to hash them, and how
+// to compare and order sets so that equal-up-to-reordering submissions
+// collide intentionally.
+//
+// Two identity notions coexist, for two different cache layers:
+//
+//   - The ordered identity (HashTasksOrdered / SameTasksOrdered) treats
+//     task order as significant. The analysis kernels sum floating-point
+//     quantities in slice order, so bitwise reproducibility of cached
+//     bounds is only guaranteed between slices with identical ordering —
+//     safety.CacheShards keys on this.
+//
+//   - The canonical identity (HashTasksCanonical / SameTasksCanonical)
+//     is order-insensitive: any permutation of the same multiset of
+//     analysis tuples hashes equally. Serving layers key complete
+//     verdicts on it, after first normalizing the execution order with
+//     SortCanonical so every permutation is analyzed — and answered —
+//     through one representative ordering.
+//
+// Task names are excluded from both identities: restamped or renamed
+// clones of a set analyze identically (the same contract
+// safety.contextHash has always used).
+
+// hashSeed is an arbitrary odd constant starting every hash chain.
+const hashSeed = 0x9e3779b97f4a7c15
+
+// mix64 is the splitmix64 finalizer: a cheap bijective mixer whose
+// output bits all depend on all input bits. Word-at-a-time mixing keeps
+// hashing a 15-task set in the low hundreds of nanoseconds, which is
+// what makes a verdict-cache hit dramatically cheaper than an analysis.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// chain folds one word into a running hash.
+func chain(h, w uint64) uint64 { return mix64(h ^ w) }
+
+// AnalysisHash hashes the analysis-relevant fields of one task: period,
+// deadline, WCET, criticality level and the raw bits of the failure
+// probability. The name is deliberately excluded.
+func (t Task) AnalysisHash() uint64 {
+	h := uint64(hashSeed)
+	h = chain(h, uint64(t.Period))
+	h = chain(h, uint64(t.Deadline))
+	h = chain(h, uint64(t.WCET))
+	h = chain(h, uint64(t.Level))
+	h = chain(h, math.Float64bits(float64(t.FailProb)))
+	return h
+}
+
+// HashTasksOrdered folds the tasks' analysis hashes into h in slice
+// order: permutations of the same tasks hash differently. Callers chain
+// several groups (e.g. a HI view then a LO view) through the returned
+// value.
+func HashTasksOrdered(h uint64, ts []Task) uint64 {
+	h = chain(h, uint64(len(ts)))
+	for i := range ts {
+		h = chain(h, ts[i].AnalysisHash())
+	}
+	return h
+}
+
+// HashTasksCanonical hashes the multiset of analysis tuples: any
+// permutation of the same tasks returns the same value. The per-task
+// hashes are combined commutatively (sum and xor, then mixed), so no
+// sorting — and no allocation — happens on this path; a cache-hit probe
+// pays only len(ts) task hashes.
+func HashTasksCanonical(ts []Task) uint64 {
+	var sum, xor uint64
+	for i := range ts {
+		ph := ts[i].AnalysisHash()
+		sum += ph
+		xor ^= ph
+	}
+	return mix64(chain(chain(hashSeed, uint64(len(ts))), sum) ^ mix64(xor))
+}
+
+// CanonicalHash is HashTasksCanonical over the set's tasks: the
+// order-insensitive identity serving caches key verdicts on.
+func (s *Set) CanonicalHash() uint64 { return HashTasksCanonical(s.tasks) }
+
+// sameAnalysis reports whether two tasks agree on every analysis-relevant
+// field (the collision-guard twin of AnalysisHash).
+func sameAnalysis(a, b Task) bool {
+	return a.Period == b.Period && a.Deadline == b.Deadline &&
+		a.WCET == b.WCET && a.Level == b.Level &&
+		math.Float64bits(float64(a.FailProb)) == math.Float64bits(float64(b.FailProb))
+}
+
+// SameTasksOrdered reports whether a and b carry the same analysis
+// tuples in the same order.
+func SameTasksOrdered(a, b []Task) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !sameAnalysis(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SameTasksCanonical reports whether a and b carry the same multiset of
+// analysis tuples, in any order — the full-equality collision guard
+// behind HashTasksCanonical. The common case (a repeated submission with
+// unchanged ordering) is the allocation-free ordered compare; only
+// genuinely permuted resubmissions fall back to the O(n²) multiset
+// match, still allocation-free for the task counts the model deals in.
+func SameTasksCanonical(a, b []Task) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if SameTasksOrdered(a, b) {
+		return true
+	}
+	// Multiset match: every a[i] consumes one unmatched b[j]. used is a
+	// bitset over len(b) ≤ 64 entries; larger sets (far beyond any
+	// generator here) fall back to a sorted compare.
+	if len(b) > 64 {
+		return sameTasksSorted(a, b)
+	}
+	var used uint64
+	for i := range a {
+		found := false
+		for j := range b {
+			if used&(1<<uint(j)) != 0 {
+				continue
+			}
+			if sameAnalysis(a[i], b[j]) {
+				used |= 1 << uint(j)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// sameTasksSorted is the allocating fallback multiset compare for sets
+// beyond the bitset width.
+func sameTasksSorted(a, b []Task) bool {
+	as := append([]Task(nil), a...)
+	bs := append([]Task(nil), b...)
+	SortCanonical(as)
+	SortCanonical(bs)
+	return SameTasksOrdered(as, bs)
+}
+
+// analysisLess is the canonical strict order on analysis tuples:
+// lexicographic over (Period, Deadline, WCET, Level, FailProb bits).
+// Tasks comparing equal here are interchangeable for every analysis in
+// the repository, so any stable order among them is canonical.
+func analysisLess(a, b Task) bool {
+	if a.Period != b.Period {
+		return a.Period < b.Period
+	}
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	if a.WCET != b.WCET {
+		return a.WCET < b.WCET
+	}
+	if a.Level != b.Level {
+		return a.Level < b.Level
+	}
+	return math.Float64bits(float64(a.FailProb)) < math.Float64bits(float64(b.FailProb))
+}
+
+// SortCanonical sorts ts in place into the canonical analysis order, so
+// every permutation of one multiset analyzes through the same slice
+// order — which is what makes cached verdicts bitwise-reproducible for
+// reordered resubmissions: floating-point accumulation order is fixed by
+// the canonical order, not by the submitter's.
+func SortCanonical(ts []Task) {
+	sort.SliceStable(ts, func(i, j int) bool { return analysisLess(ts[i], ts[j]) })
+}

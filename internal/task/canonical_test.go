@@ -1,0 +1,148 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/criticality"
+	"repro/internal/timeunit"
+)
+
+// canonTask builds a valid task with the given analysis tuple.
+func canonTask(name string, T, D, C int64, l criticality.Level, f float64) Task {
+	return Task{
+		Name: name, Period: timeunit.Milliseconds(T), Deadline: timeunit.Milliseconds(D),
+		WCET: timeunit.Milliseconds(C), Level: l, FailProb: f,
+	}
+}
+
+// canonCorpus is a 6-task dual-criticality multiset with a duplicated
+// analysis tuple (τ2/τ2b), so the multiset-match path is exercised.
+func canonCorpus() []Task {
+	return []Task{
+		canonTask("τ1", 60, 60, 5, criticality.LevelB, 1e-5),
+		canonTask("τ2", 25, 25, 4, criticality.LevelB, 1e-5),
+		canonTask("τ2b", 25, 25, 4, criticality.LevelB, 1e-5),
+		canonTask("τ3", 40, 40, 7, criticality.LevelD, 1e-5),
+		canonTask("τ4", 90, 80, 6, criticality.LevelD, 1e-4),
+		canonTask("τ5", 70, 70, 8, criticality.LevelD, 1e-5),
+	}
+}
+
+func TestCanonicalHashPermutationInvariant(t *testing.T) {
+	base := canonCorpus()
+	want := HashTasksCanonical(base)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		perm := append([]Task(nil), base...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if got := HashTasksCanonical(perm); got != want {
+			t.Fatalf("trial %d: permuted hash %#x != %#x", trial, got, want)
+		}
+		if !SameTasksCanonical(base, perm) {
+			t.Fatalf("trial %d: permutation not recognized as the same multiset", trial)
+		}
+	}
+}
+
+func TestCanonicalHashIgnoresNames(t *testing.T) {
+	a := canonCorpus()
+	b := append([]Task(nil), a...)
+	for i := range b {
+		b[i].Name = "renamed"
+	}
+	if HashTasksCanonical(a) != HashTasksCanonical(b) {
+		t.Fatal("renaming changed the canonical hash")
+	}
+	if !SameTasksCanonical(a, b) || !SameTasksOrdered(a, b) {
+		t.Fatal("renaming changed task equality")
+	}
+}
+
+func TestCanonicalHashSensitiveToEveryField(t *testing.T) {
+	base := canonCorpus()
+	h0 := HashTasksCanonical(base)
+	mutate := []func(*Task){
+		func(t *Task) { t.Period += timeunit.Microsecond },
+		func(t *Task) { t.Deadline += timeunit.Microsecond },
+		func(t *Task) { t.WCET += timeunit.Microsecond },
+		func(t *Task) { t.Level = criticality.LevelA },
+		func(t *Task) { t.FailProb *= 2 },
+	}
+	for k, m := range mutate {
+		mod := append([]Task(nil), base...)
+		m(&mod[3])
+		if HashTasksCanonical(mod) == h0 {
+			t.Errorf("mutation %d did not change the canonical hash", k)
+		}
+		if SameTasksCanonical(base, mod) {
+			t.Errorf("mutation %d still compares equal", k)
+		}
+	}
+	// A multiset with one element swapped for a near-duplicate must not
+	// match even though most pairwise matches succeed.
+	mod := append([]Task(nil), base...)
+	mod[1].WCET += timeunit.Microsecond
+	if SameTasksCanonical(base, mod) {
+		t.Error("near-duplicate multiset compared equal")
+	}
+}
+
+func TestOrderedHashOrderSensitive(t *testing.T) {
+	base := canonCorpus()
+	perm := append([]Task(nil), base...)
+	perm[0], perm[3] = perm[3], perm[0]
+	if HashTasksOrdered(1, base) == HashTasksOrdered(1, perm) {
+		t.Error("ordered hash collided across a permutation")
+	}
+	if SameTasksOrdered(base, perm) {
+		t.Error("ordered compare matched a permutation")
+	}
+	if !SameTasksCanonical(base, perm) {
+		t.Error("canonical compare rejected a permutation")
+	}
+}
+
+// TestSortCanonicalDeterministic: every permutation of one multiset must
+// sort to the same analysis-tuple sequence, because the sorted order is
+// the execution order cached verdicts are computed under.
+func TestSortCanonicalDeterministic(t *testing.T) {
+	base := canonCorpus()
+	ref := append([]Task(nil), base...)
+	SortCanonical(ref)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		perm := append([]Task(nil), base...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		SortCanonical(perm)
+		if !SameTasksOrdered(ref, perm) {
+			t.Fatalf("trial %d: canonical sort produced a different tuple order", trial)
+		}
+	}
+}
+
+func TestSetCanonicalHashMatchesSlice(t *testing.T) {
+	s := MustNewSet(canonCorpus())
+	if s.CanonicalHash() != HashTasksCanonical(s.Tasks()) {
+		t.Fatal("Set.CanonicalHash disagrees with HashTasksCanonical over its tasks")
+	}
+}
+
+func TestSameTasksSortedFallback(t *testing.T) {
+	// Beyond the 64-entry bitset the multiset compare switches to the
+	// sorted fallback; build 70 tasks with duplicates and permute.
+	var a []Task
+	for i := 0; i < 70; i++ {
+		a = append(a, canonTask("t", int64(10+i%7), int64(10+i%7), 1+int64(i%3), criticality.LevelB, 1e-5))
+	}
+	b := append([]Task(nil), a...)
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+	if !SameTasksCanonical(a, b) {
+		t.Fatal("sorted fallback rejected a permutation")
+	}
+	b[17].WCET += timeunit.Microsecond
+	if SameTasksCanonical(a, b) {
+		t.Fatal("sorted fallback matched a mutated multiset")
+	}
+}
