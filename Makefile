@@ -3,8 +3,8 @@ DATE := $(shell date +%F)
 FUZZTIME ?= 30s
 
 .PHONY: all check ci vet build test race race-pool benchcheck bench \
-	bench-compare bench-smoke serve-smoke staticcheck govulncheck \
-	fuzz-smoke profile pgo clean
+	bench-compare bench-smoke serve-smoke dist-smoke staticcheck \
+	govulncheck fuzz-smoke profile pgo clean
 
 all: check
 
@@ -18,7 +18,7 @@ check: vet build race benchcheck
 # lint pair, the fuzz smoke, the focused pool/shard race pass and the
 # bench smoke with its exit-code convention (regression tolerated,
 # harness error fatal).
-ci: check staticcheck govulncheck fuzz-smoke race-pool bench-smoke serve-smoke
+ci: check staticcheck govulncheck fuzz-smoke race-pool bench-smoke serve-smoke dist-smoke
 
 vet:
 	$(GO) vet ./...
@@ -42,7 +42,7 @@ race-pool:
 		./internal/expt/ ./internal/safety/
 
 benchcheck:
-	$(GO) test -run '^$$' -bench='SafetyKillingPFH|KillingBatch' -benchtime=1x ./...
+	$(GO) test -run '^$$' -bench='SafetyKillingPFH|KillingBatch|DistCampaign' -benchtime=1x ./...
 
 # bench first runs the pooled-engine micro-benchmarks with allocation
 # counts (Fig. 3 point, FT-S with/without scratch, one simulator
@@ -71,6 +71,16 @@ bench-smoke:
 	/tmp/ftmc-bench-smoke-bin -benchtime 5ms -metrics -out /tmp/ftmc-bench-smoke.json
 	/tmp/ftmc-bench-smoke-bin -benchtime 1ms -out /tmp/ftmc-bench-smoke2.json \
 		-compare /tmp/ftmc-bench-smoke.json || test $$? -eq 2
+
+# dist-smoke drives the distributed campaign runner end to end as CI
+# does: build ftmc-report and ftmc-worker as real binaries, shard a
+# small Fig. 3 campaign across two worker subprocesses over the
+# stdin/stdout lease protocol, and byte-diff the report against the
+# single-process run. The scenario lives in TestCLIDistCampaign so
+# local and CI runs are identical; the in-process protocol and
+# worker-loss/timeout paths are covered by `make race` (dist_test.go).
+dist-smoke:
+	$(GO) test -race -count 1 -v -run '^TestCLIDistCampaign$$' .
 
 # serve-smoke drives the serving stack end to end as CI does: build
 # ftmc-serve and ftmc-load as real binaries, boot the server on an

@@ -203,10 +203,63 @@ func TestCLIServeAndLoad(t *testing.T) {
 		t.Errorf("no requests counted in /metrics: %v", vars.FTMC.Counters)
 	}
 
+	// The same counters in Prometheus text form on /metrics/prom.
+	presp, err := http.Get(base + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prom strings.Builder
+	psc := bufio.NewScanner(presp.Body)
+	for psc.Scan() {
+		prom.WriteString(psc.Text())
+		prom.WriteByte('\n')
+	}
+	presp.Body.Close()
+	if !strings.Contains(prom.String(), "# TYPE ftmc_serve_cache_hits counter") {
+		t.Errorf("/metrics/prom missing serve counters:\n%s", prom.String())
+	}
+
 	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.Wait(); err != nil {
 		t.Fatalf("server did not exit cleanly on SIGTERM: %v", err)
+	}
+}
+
+// TestCLIDistCampaign is the scale-out smoke: ftmc-report sharded over
+// two real ftmc-worker subprocesses must emit a report whose stdout is
+// byte-identical to the single-process run — lease accounting lives on
+// stderr precisely so this diff can be exact.
+func TestCLIDistCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI runs skipped in -short mode")
+	}
+	dir := t.TempDir()
+	reportBin := filepath.Join(dir, "ftmc-report")
+	workerBin := filepath.Join(dir, "ftmc-worker")
+	for bin, pkg := range map[string]string{reportBin: "./cmd/ftmc-report", workerBin: "./cmd/ftmc-worker"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, out)
+		}
+	}
+	args := []string{"-sets", "12", "-instances", "2", "-seed", "5"}
+	single, err := exec.Command(reportBin, args...).Output()
+	if err != nil {
+		t.Fatalf("single-process report: %v", err)
+	}
+	cmd := exec.Command(reportBin, append(args,
+		"-distributed", "2", "-worker-bin", workerBin, "-lease-sets", "7")...)
+	var distErr strings.Builder
+	cmd.Stderr = &distErr
+	dist, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("distributed report: %v\n%s", err, distErr.String())
+	}
+	if string(dist) != string(single) {
+		t.Fatalf("distributed stdout diverged from single-process bytes\n--- single ---\n%s\n--- distributed ---\n%s", single, dist)
+	}
+	if !strings.Contains(distErr.String(), "distributed campaign: 2 workers (0 lost)") {
+		t.Errorf("stderr missing lease accounting:\n%s", distErr.String())
 	}
 }

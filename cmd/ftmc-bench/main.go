@@ -34,8 +34,11 @@
 // FTMC_WORKERS=1, with their wall-clock ratio (fig3_pool_speedup) and
 // allocations per evaluated task set; a simulator hyperperiod throughput
 // point; end-to-end analysis benchmarks (FMS sweeps, design-space
-// exploration); and the adaptation cache hit rate observed during the
-// run. FTMC_WORKERS caps the sweep fan-out as in the other CLIs.
+// exploration); the adaptation cache hit rate observed during the
+// run; and the distributed campaign runner at 1, 2 and 4 protocol
+// workers (sets/sec, protocol overhead and scale-out factors — the
+// distributed_campaign section). FTMC_WORKERS caps the sweep fan-out
+// as in the other CLIs.
 //
 // -cpuprofile / -memprofile write pprof profiles covering the whole
 // benchmark run (the heap profile is taken after a final GC).
@@ -126,6 +129,10 @@ type Report struct {
 	// across the cold-cache, warm-cache and batched/unbatched-miss
 	// regimes at FTMC_WORKERS=1 (see serve_bench.go).
 	ServeThroughput *ServeThroughputSection `json:"serve_throughput,omitempty"`
+	// DistributedCampaign reports the lease-sharded campaign runner
+	// against the single-process engine: sets/sec at 1, 2 and 4
+	// single-threaded protocol workers (see dist_bench.go).
+	DistributedCampaign *DistributedCampaignSection `json:"distributed_campaign,omitempty"`
 	// BeforeAfter compares this run against the -before baseline, keyed
 	// by benchmark name; absent without -before.
 	BeforeAfter map[string]BeforeAfter `json:"before_after,omitempty"`
@@ -277,6 +284,7 @@ func main() {
 	var campaign, perCurve BenchResult
 	var batchKernel, batchScalar BenchResult
 	var poolSteal, poolFixed, shardGet BenchResult
+	var dist1, dist2, dist4 BenchResult
 	for _, bench := range benches() {
 		r := testing.Benchmark(bench.fn)
 		br := BenchResult{
@@ -310,6 +318,12 @@ func main() {
 			poolFixed = br
 		case "ShardedCacheConcurrent8":
 			shardGet = br
+		case "DistCampaign1Worker":
+			dist1 = br
+		case "DistCampaign2Workers":
+			dist2 = br
+		case "DistCampaign4Workers":
+			dist4 = br
 		}
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "%-28s %12d iter %14.0f ns/op %10d allocs/op\n", bench.name, br.Iterations, br.NsPerOp, br.AllocsPerOp)
@@ -351,6 +365,7 @@ func main() {
 			Contexts:    shardBenchContexts,
 		}
 	}
+	rep.DistributedCampaign = distCampaignSection(campaign, dist1, dist2, dist4)
 	if st, err := serveThroughputSection(); err != nil {
 		fmt.Fprintf(os.Stderr, "ftmc-bench: serve_throughput: %v\n", err)
 		os.Exit(1)
@@ -416,6 +431,10 @@ func main() {
 		if rep.ShardedCache != nil {
 			fmt.Printf("ftmc-bench: sharded cache %.0fns/get at %d contexts, memo hit rate %.0f%%\n",
 				rep.ShardedCache.NsPerGet, rep.ShardedCache.Contexts, 100*rep.ShardedCache.MemoHitRate)
+		}
+		if dc := rep.DistributedCampaign; dc != nil {
+			fmt.Printf("ftmc-bench: distributed campaign %.0f sets/s at 1 worker (%.2fx protocol overhead), %.2fx at 2, %.2fx at 4\n",
+				dc.Dist1SetsPerSec, dc.ProtocolOverhead, dc.Speedup2, dc.Speedup4)
 		}
 		if st := rep.ServeThroughput; st != nil {
 			fmt.Printf("ftmc-bench: serve pipeline cold %.0fns warm %.0fns per verdict (%.0fx), miss batching %.0fns -> %.0fns (%.2fx) at concurrency %d, workers %d\n",
@@ -516,6 +535,9 @@ func benches() []namedBench {
 			poolBench(b, expt.ForEachWorkerFixed)
 		}},
 		{"ShardedCacheConcurrent8", benchShardedCache},
+		{"DistCampaign1Worker", distCampaignBench(1)},
+		{"DistCampaign2Workers", distCampaignBench(2)},
+		{"DistCampaign4Workers", distCampaignBench(4)},
 		{"Fig1FMSKilling", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := expt.Fig1(); err != nil {

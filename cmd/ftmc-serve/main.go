@@ -12,10 +12,11 @@
 //
 // Endpoints:
 //
-//	POST /v1/verdict  — analyze one task set (see internal/serve)
-//	GET  /healthz     — liveness
-//	GET  /metrics     — expvar snapshot, registry published as "ftmc"
-//	GET  /debug/vars  — alias of /metrics
+//	POST /v1/verdict    — analyze one task set (see internal/serve)
+//	GET  /healthz       — liveness
+//	GET  /metrics       — expvar snapshot, registry published as "ftmc"
+//	GET  /debug/vars    — alias of /metrics
+//	GET  /metrics/prom  — Prometheus text exposition of the same registry
 //
 // The process runs a metrics registry unconditionally (serving is the
 // one workload where observability outweighs the nanoseconds) and

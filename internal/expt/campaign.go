@@ -50,8 +50,9 @@ type CampaignConfig struct {
 	// the paper); each is shared by every (panel, f) configuration.
 	SetsPerPoint int
 	// Seed makes the campaign reproducible. Set i at utilization index ui
-	// draws from setSeed(pointSeed(Seed, 0, ui), i) — the same stream a
-	// single-f Fig3Config{FailProbs: {f}, Seed: Seed} walks, which is what
+	// draws from the workload stream of gen.SimulationKey{Seed, 0, ui, i}
+	// — the same stream a single-f Fig3Config{FailProbs: {f}, Seed: Seed}
+	// walks (single-f configs put f at panel index 0), which is what
 	// makes the campaign differentially testable against Fig3Ref.
 	Seed int64
 	// Generator selects the workload generator (Appendix C by default).
@@ -153,6 +154,26 @@ func Campaign(cfg CampaignConfig) (CampaignResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return CampaignResult{}, err
 	}
+	res := newEmptyResult(cfg)
+	r := newCampaignRunner(&cfg)
+	verdicts := make([]verdict, cfg.SetsPerPoint*r.nCfg)
+	for ui := range cfg.Utils {
+		m := exptView.Get()
+		sp := m.campaignPointNs.Start()
+		if err := r.evalRange(ui, 0, cfg.SetsPerPoint, verdicts); err != nil {
+			return CampaignResult{}, err
+		}
+		reduceCampaignPoint(&res, ui, verdicts)
+		sp.End()
+		m.campaignPoints.Inc()
+	}
+	return res, nil
+}
+
+// newEmptyResult allocates the zeroed result shape of a campaign: one
+// Fig3Result per panel with one curve per failure probability over the
+// utilization axis.
+func newEmptyResult(cfg CampaignConfig) CampaignResult {
 	res := CampaignResult{Config: cfg, Panels: make([]Fig3Result, len(cfg.Panels))}
 	for pi, p := range cfg.Panels {
 		pr := Fig3Result{Config: cfg.panelConfig(p)}
@@ -165,56 +186,87 @@ func Campaign(cfg CampaignConfig) (CampaignResult, error) {
 		}
 		res.Panels[pi] = pr
 	}
+	return res
+}
+
+// reduceCampaignPoint folds one utilization point's full verdict vector
+// (SetsPerPoint × nCfg, laid out set-major) into the result's curves.
+// Acceptance counts are exact integers, so the reduction is independent
+// of the order verdicts were produced in — the final ratios depend only
+// on the verdict values themselves.
+func reduceCampaignPoint(res *CampaignResult, ui int, verdicts []verdict) {
+	cfg := &res.Config
 	nCfg := len(cfg.Panels) * len(cfg.FailProbs)
-	evals := make([]*campaignEval, Workers())
-	verdicts := make([]verdict, cfg.SetsPerPoint*nCfg)
-	for ui, u := range cfg.Utils {
-		m := exptView.Get()
-		sp := m.campaignPointNs.Start()
-		// Canonical failure-prob index 0: single-f per-curve configs derive
-		// the same point seed, pairing their draws with the campaign's.
-		point := pointSeed(cfg.Seed, 0, ui)
-		err := ForEachWorkerChunked(cfg.SetsPerPoint, fig3Chunk, func(w, start, end int) error {
-			ev := evals[w]
-			if ev == nil {
-				ev = &campaignEval{}
-				evals[w] = ev
-			}
-			var first error
-			for i := start; i < end; i++ {
-				err := ev.evalSet(&cfg, u, setSeed(point, i), verdicts[i*nCfg:(i+1)*nCfg])
-				if err != nil && first == nil {
-					first = err
+	for pi := range cfg.Panels {
+		for fi := range cfg.FailProbs {
+			ci := pi*len(cfg.FailProbs) + fi
+			var nb, na int
+			for i := 0; i < cfg.SetsPerPoint; i++ {
+				v := verdicts[i*nCfg+ci]
+				if v.base {
+					nb++
+				}
+				if v.adapt {
+					na++
 				}
 			}
-			ev.flushKills()
-			return first
-		})
-		if err != nil {
-			return CampaignResult{}, err
+			n := float64(cfg.SetsPerPoint)
+			res.Panels[pi].Curves[fi].Baseline[ui] = float64(nb) / n
+			res.Panels[pi].Curves[fi].Adapted[ui] = float64(na) / n
 		}
-		for pi := range cfg.Panels {
-			for fi := range cfg.FailProbs {
-				ci := pi*len(cfg.FailProbs) + fi
-				var nb, na int
-				for i := 0; i < cfg.SetsPerPoint; i++ {
-					v := verdicts[i*nCfg+ci]
-					if v.base {
-						nb++
-					}
-					if v.adapt {
-						na++
-					}
-				}
-				n := float64(cfg.SetsPerPoint)
-				res.Panels[pi].Curves[fi].Baseline[ui] = float64(nb) / n
-				res.Panels[pi].Curves[fi].Adapted[ui] = float64(na) / n
-			}
-		}
-		sp.End()
-		m.campaignPoints.Inc()
 	}
-	return res, nil
+}
+
+// campaignRunner is the evaluation engine shared by the single-process
+// Campaign and the distributed worker (ServeWorker): per-pool-worker
+// campaignEval state reused across every range it evaluates, plus the
+// configuration-derived constants. One runner serves any sequence of
+// evalRange calls over the campaign grid.
+type campaignRunner struct {
+	cfg   *CampaignConfig
+	nCfg  int
+	evals []*campaignEval
+}
+
+func newCampaignRunner(cfg *CampaignConfig) *campaignRunner {
+	return &campaignRunner{
+		cfg:   cfg,
+		nCfg:  len(cfg.Panels) * len(cfg.FailProbs),
+		evals: make([]*campaignEval, Workers()),
+	}
+}
+
+// evalRange evaluates sets [lo, hi) of utilization point ui, filling
+// out[(i-lo)*nCfg : (i-lo+1)*nCfg] with set i's verdicts across the
+// panel × failure-probability cross-product. out must hold
+// (hi-lo)*nCfg verdicts. Every set draws from the workload stream of
+// gen.SimulationKey{Seed, 0, ui, i}, so the verdicts are a pure
+// function of the set's grid coordinates: identical no matter how the
+// range is chunked, which pool worker claims a chunk, what was
+// evaluated before, or which process (lease holder) runs the range —
+// the invariant the distributed merge's byte-identity proof rests on.
+func (r *campaignRunner) evalRange(ui, lo, hi int, out []verdict) error {
+	u := r.cfg.Utils[ui]
+	return ForEachWorkerChunked(hi-lo, fig3Chunk, func(w, start, end int) error {
+		if w >= len(r.evals) { // FTMC_WORKERS grew between calls
+			return fmt.Errorf("expt: pool width changed under a campaign runner (worker %d of %d)", w, len(r.evals))
+		}
+		ev := r.evals[w]
+		if ev == nil {
+			ev = &campaignEval{}
+			r.evals[w] = ev
+		}
+		var first error
+		for j := start; j < end; j++ {
+			key := gen.SimulationKey{Seed: r.cfg.Seed, Panel: 0, Point: ui, Set: lo + j}
+			err := ev.evalSet(r.cfg, u, key, out[j*r.nCfg:(j+1)*r.nCfg])
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		ev.flushKills()
+		return first
+	})
 }
 
 // schedKey identifies one line-8 schedulability search: the converted set
@@ -270,10 +322,11 @@ type campaignEval struct {
 	batch     *safety.BatchLO
 }
 
-// evalSet draws set `seed` at utilization u and fills out[pi*len(FailProbs)+fi]
-// with the verdict of panel pi at failure probability fi, replicating the
-// per-curve judge() semantics configuration by configuration.
-func (ev *campaignEval) evalSet(cfg *CampaignConfig, u float64, seed int64, out []verdict) error {
+// evalSet draws the set addressed by key at utilization u and fills
+// out[pi*len(FailProbs)+fi] with the verdict of panel pi at failure
+// probability fi, replicating the per-curve judge() semantics
+// configuration by configuration.
+func (ev *campaignEval) evalSet(cfg *CampaignConfig, u float64, key gen.SimulationKey, out []verdict) error {
 	for i := range out {
 		out[i] = verdict{}
 	}
@@ -299,7 +352,7 @@ func (ev *campaignEval) evalSet(cfg *CampaignConfig, u float64, seed int64, out 
 	} else if err := ev.drawer.Retarget(u); err != nil {
 		return err
 	}
-	s, err := ev.drawer.Draw(seed)
+	s, err := ev.drawer.DrawKeyed(key)
 	if err != nil {
 		return nil // degenerate draw: every configuration rejects, as per-curve
 	}

@@ -1,0 +1,389 @@
+package expt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// This file is the coordinator side of the distributed campaign runner:
+// DistCampaign shards one expt.Campaign across worker processes (or any
+// set of byte-stream connections) and merges their partial verdicts
+// into a CampaignResult that is byte-identical to the single-process
+// Campaign on the same CampaignConfig.
+//
+// Why byte-identity holds: every (utilization point ui, set i) draws
+// its workload from the keyed stream gen.SimulationKey{Seed, 0, ui, i}
+// — a pure function of the grid coordinates — and its verdicts under
+// every (panel, f) configuration are a pure function of that draw and
+// the configuration. The coordinator merges each result into the
+// verdict vector at the set's absolute index, and the final reduction
+// counts exact integer acceptances per configuration. No step depends
+// on which worker evaluated a set, how the grid was cut into leases,
+// when results arrived, or how many times a lease was reassigned — so
+// the merged CampaignResult (and hence any serialization of it) equals
+// the single-process run bit for bit.
+
+// Wire protocol: one JSON object per line in each direction
+// (json.Encoder / json.Decoder framing), strict request-response per
+// connection. Coordinator sends hello{config}, worker answers
+// ready{manifest}; then the coordinator sends lease{id, ui, lo, hi}
+// and the worker answers result{id, v} (or error{err}) until the
+// coordinator sends done. The stdio transport of cmd/ftmc-worker and
+// the TCP transport of AcceptWorkers/DialWorkers carry the same bytes.
+
+// distMsg is the single wire message shape of the lease protocol; T
+// selects which fields are meaningful.
+type distMsg struct {
+	// T is "hello", "ready", "lease", "result", "error" or "done".
+	T string `json:"t"`
+	// Config rides on hello.
+	Config *CampaignConfig `json:"config,omitempty"`
+	// Manifest rides on ready.
+	Manifest *obsv.Manifest `json:"manifest,omitempty"`
+	// Lease identifies the lease on lease/result/error; UI, Lo, Hi are
+	// its half-open set range [Lo, Hi) at utilization index UI. Not
+	// omitempty: zero is a valid lease id, index and bound.
+	Lease int `json:"lease"`
+	UI    int `json:"ui"`
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
+	// V rides on result: one packed word per set in [Lo, Hi), bit 2c
+	// the baseline verdict and bit 2c+1 the adapted verdict of
+	// configuration c (panel-major, as in campaignRunner.evalRange).
+	V []uint64 `json:"v,omitempty"`
+	// Err rides on error.
+	Err string `json:"err,omitempty"`
+}
+
+// maxDistConfigs bounds the panel × failure-probability cross-product a
+// result word can carry: 2 bits per configuration in a uint64, with the
+// top two bits left unused so the packed value stays in int64 range for
+// any JSON consumer. The paper's figure needs 8.
+const maxDistConfigs = 31
+
+// DistOptions tunes the lease protocol.
+type DistOptions struct {
+	// LeaseSets is the number of sets per lease (default 64). Smaller
+	// leases rebalance and reassign at finer grain; larger leases
+	// amortize the round-trip. The merged result is identical for any
+	// value — lease shape is a scheduling knob, like the pool's chunk
+	// size.
+	LeaseSets int
+	// LeaseTimeout, when positive, is the deadline for one lease's
+	// round-trip (and for the hello/ready handshake). A worker that
+	// blows the deadline is abandoned — its connection closed so a late
+	// result can never merge — and its lease is reassigned.
+	LeaseTimeout time.Duration
+}
+
+// DistReport is the coordinator's account of one distributed run.
+type DistReport struct {
+	// Workers is the number of connections the run started with;
+	// WorkerFailures how many were lost (handshake failure, transport
+	// error, worker-reported error or lease deadline).
+	Workers        int `json:"workers"`
+	WorkerFailures int `json:"worker_failures"`
+	// Leases is the number of lease grants including regrants;
+	// Reassigned counts requeues after a worker loss.
+	Leases     int `json:"leases"`
+	Reassigned int `json:"reassigned"`
+	// Manifest records the provenance of every participating process;
+	// its Mismatches field surfaces workers built from a different
+	// toolchain or revision than the coordinator.
+	Manifest obsv.MergedManifest `json:"manifest"`
+}
+
+// lease is one unit of assignable work: sets [lo, hi) of utilization
+// point ui.
+type lease struct {
+	id, ui, lo, hi int
+}
+
+// leaseTable is the coordinator's scheduler state: a queue of pending
+// leases, the count of leases currently held by workers, and the count
+// of workers still alive. Drivers block in next until a lease is
+// available, everything is merged, or the run is lost.
+type leaseTable struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []lease
+	out     int // leases granted and not yet completed or requeued
+	alive   int // drivers that have not failed or finished
+	grants  int
+	requeue int
+	err     error
+}
+
+func newLeaseTable(leases []lease, workers int) *leaseTable {
+	t := &leaseTable{pending: leases, alive: workers}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// next blocks until a lease is grantable. ok is false when every lease
+// has completed; err is non-nil when the run is lost (every worker
+// failed with leases outstanding).
+func (t *leaseTable) next() (l lease, ok bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if t.err != nil {
+			return lease{}, false, t.err
+		}
+		if len(t.pending) > 0 {
+			l = t.pending[0]
+			t.pending = t.pending[1:]
+			t.out++
+			t.grants++
+			return l, true, nil
+		}
+		if t.out == 0 {
+			return lease{}, false, nil
+		}
+		// Leases are out on other workers; wait in case one requeues.
+		t.cond.Wait()
+	}
+}
+
+// complete marks a granted lease merged.
+func (t *leaseTable) complete() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.out--
+	if t.out == 0 && len(t.pending) == 0 {
+		t.cond.Broadcast()
+	}
+}
+
+// abandon returns a granted lease to the queue (worker lost) and wakes
+// idle drivers to pick it up.
+func (t *leaseTable) abandon(l lease) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.out--
+	t.pending = append(t.pending, l)
+	t.requeue++
+	t.cond.Broadcast()
+}
+
+// driverExit records a driver leaving; failed drivers that leave work
+// behind with no one alive to take it poison the table.
+func (t *leaseTable) driverExit() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.alive--
+	if t.alive == 0 && (len(t.pending) > 0 || t.out > 0) && t.err == nil {
+		t.err = errors.New("expt: every distributed worker failed with leases outstanding")
+	}
+	t.cond.Broadcast()
+}
+
+// distDriver is the per-connection coordinator state: one driver
+// goroutine owns one worker connection end to end.
+type distDriver struct {
+	table    *leaseTable
+	cfg      *CampaignConfig
+	nCfg     int
+	verdicts []verdict
+	opt      DistOptions
+
+	mu        sync.Mutex // guards manifests and failures across drivers
+	manifests []obsv.Manifest
+	failures  int
+}
+
+// DistCampaign runs cfg sharded across the given worker connections —
+// each speaking the ServeWorker protocol, typically the stdio of a
+// cmd/ftmc-worker subprocess (StartWorkerProcs) or a TCP connection
+// (AcceptWorkers) — and merges the partial results. The returned
+// CampaignResult is byte-identical to Campaign(cfg) for any number of
+// connections, any lease size, any worker loss short of all of them,
+// and any FTMC_WORKERS setting inside the workers (see the file
+// comment for why). Connections are closed before returning.
+func DistCampaign(cfg CampaignConfig, conns []io.ReadWriteCloser, opt DistOptions) (CampaignResult, DistReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return CampaignResult{}, DistReport{}, err
+	}
+	if len(conns) == 0 {
+		return CampaignResult{}, DistReport{}, errors.New("expt: distributed campaign needs at least one worker connection")
+	}
+	nCfg := len(cfg.Panels) * len(cfg.FailProbs)
+	if nCfg > maxDistConfigs {
+		return CampaignResult{}, DistReport{}, fmt.Errorf(
+			"expt: %d panel × failure-probability configurations exceed the wire format's %d", nCfg, maxDistConfigs)
+	}
+	if opt.LeaseSets <= 0 {
+		opt.LeaseSets = 64
+	}
+
+	var leases []lease
+	for ui := range cfg.Utils {
+		for lo := 0; lo < cfg.SetsPerPoint; lo += opt.LeaseSets {
+			hi := lo + opt.LeaseSets
+			if hi > cfg.SetsPerPoint {
+				hi = cfg.SetsPerPoint
+			}
+			leases = append(leases, lease{id: len(leases), ui: ui, lo: lo, hi: hi})
+		}
+	}
+
+	d := &distDriver{
+		table:    newLeaseTable(leases, len(conns)),
+		cfg:      &cfg,
+		nCfg:     nCfg,
+		verdicts: make([]verdict, len(cfg.Utils)*cfg.SetsPerPoint*nCfg),
+		opt:      opt,
+	}
+	var wg sync.WaitGroup
+	for _, conn := range conns {
+		wg.Add(1)
+		go func(conn io.ReadWriteCloser) {
+			defer wg.Done()
+			d.runWorker(conn)
+		}(conn)
+	}
+	wg.Wait()
+
+	rep := DistReport{
+		Workers:        len(conns),
+		WorkerFailures: d.failures,
+		Leases:         d.table.grants,
+		Reassigned:     d.table.requeue,
+		Manifest:       obsv.MergeManifests(obsv.NewManifest(), d.manifests),
+	}
+	m := exptView.Get()
+	m.distLeases.Add(uint64(rep.Leases))
+	m.distReassigned.Add(uint64(rep.Reassigned))
+	m.distWorkerFailures.Add(uint64(rep.WorkerFailures))
+	if err := d.table.err; err != nil {
+		return CampaignResult{}, rep, err
+	}
+
+	res := newEmptyResult(cfg)
+	stride := cfg.SetsPerPoint * nCfg
+	for ui := range cfg.Utils {
+		reduceCampaignPoint(&res, ui, d.verdicts[ui*stride:(ui+1)*stride])
+	}
+	return res, rep, nil
+}
+
+// runWorker drives one connection: handshake, then grant leases and
+// merge results until the table drains or the worker is lost. On any
+// failure the connection is closed BEFORE the lease is requeued, so a
+// result that arrives after abandonment has nowhere to land —
+// duplicate merges are impossible by construction.
+func (d *distDriver) runWorker(conn io.ReadWriteCloser) {
+	defer d.table.driverExit()
+	defer conn.Close()
+
+	enc := json.NewEncoder(conn)
+	msgs := make(chan distMsg)
+	rerr := make(chan error, 1)
+	quit := make(chan struct{})
+	defer close(quit)
+	go func() {
+		dec := json.NewDecoder(conn)
+		for {
+			var m distMsg
+			if err := dec.Decode(&m); err != nil {
+				rerr <- err
+				return
+			}
+			select {
+			case msgs <- m:
+			case <-quit:
+				return
+			}
+		}
+	}()
+	recv := func() (distMsg, error) {
+		var deadline <-chan time.Time
+		if d.opt.LeaseTimeout > 0 {
+			t := time.NewTimer(d.opt.LeaseTimeout)
+			defer t.Stop()
+			deadline = t.C
+		}
+		select {
+		case m := <-msgs:
+			return m, nil
+		case err := <-rerr:
+			return distMsg{}, err
+		case <-deadline:
+			return distMsg{}, fmt.Errorf("expt: lease deadline (%v) exceeded", d.opt.LeaseTimeout)
+		}
+	}
+	fail := func() {
+		d.mu.Lock()
+		d.failures++
+		d.mu.Unlock()
+		exptView.Get().distWorkerFailures.Inc()
+	}
+
+	if err := enc.Encode(distMsg{T: "hello", Config: d.cfg}); err != nil {
+		fail()
+		return
+	}
+	ready, err := recv()
+	if err != nil || ready.T != "ready" || ready.Manifest == nil {
+		fail()
+		return
+	}
+	d.mu.Lock()
+	d.manifests = append(d.manifests, *ready.Manifest)
+	d.mu.Unlock()
+
+	for {
+		l, ok, err := d.table.next()
+		if err != nil || !ok {
+			enc.Encode(distMsg{T: "done"}) // best effort; the worker may be gone
+			return
+		}
+		if err := d.serveLease(enc, recv, l); err != nil {
+			conn.Close() // close first: a late result must never merge
+			d.table.abandon(l)
+			fail()
+			return
+		}
+		d.table.complete()
+	}
+}
+
+// serveLease grants one lease and merges its result into the verdict
+// vector at the sets' absolute indexes.
+func (d *distDriver) serveLease(enc *json.Encoder, recv func() (distMsg, error), l lease) error {
+	sp := exptView.Get().distLeaseNs.Start()
+	if err := enc.Encode(distMsg{T: "lease", Lease: l.id, UI: l.ui, Lo: l.lo, Hi: l.hi}); err != nil {
+		return err
+	}
+	m, err := recv()
+	if err != nil {
+		return err
+	}
+	if m.T == "error" {
+		return fmt.Errorf("expt: worker failed lease %d: %s", l.id, m.Err)
+	}
+	if m.T != "result" || m.Lease != l.id {
+		return fmt.Errorf("expt: protocol violation: got %q (lease %d) awaiting result of lease %d", m.T, m.Lease, l.id)
+	}
+	if len(m.V) != l.hi-l.lo {
+		return fmt.Errorf("expt: lease %d: got %d result words, want %d", l.id, len(m.V), l.hi-l.lo)
+	}
+	for j, w := range m.V {
+		set := l.lo + j
+		base := (l.ui*d.cfg.SetsPerPoint + set) * d.nCfg
+		for c := 0; c < d.nCfg; c++ {
+			d.verdicts[base+c] = verdict{
+				base:  w>>(2*uint(c))&1 == 1,
+				adapt: w>>(2*uint(c)+1)&1 == 1,
+			}
+		}
+	}
+	sp.End()
+	return nil
+}

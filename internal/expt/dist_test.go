@@ -1,0 +1,239 @@
+package expt
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// resultBytes serializes a CampaignResult for byte-level comparison —
+// the form the merge proof is stated in: distributed and single-process
+// runs must serialize identically.
+func resultBytes(t testing.TB, res CampaignResult) []byte {
+	t.Helper()
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDistributedCampaignMatchesSingleProcess is the merge proof's
+// executable form: the campaign sharded across 2 and 3 protocol
+// workers serializes byte-identically to the single-process Campaign,
+// and the report accounts for every lease with no losses.
+func TestDistributedCampaignMatchesSingleProcess(t *testing.T) {
+	cfg := smallCampaign()
+	want, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := resultBytes(t, want)
+	for _, procs := range []int{2, 3} {
+		got, rep, err := DistCampaign(cfg, PipeWorkers(procs), DistOptions{LeaseSets: 5})
+		if err != nil {
+			t.Fatalf("%d workers: %v", procs, err)
+		}
+		if gotB := resultBytes(t, got); string(gotB) != string(wantB) {
+			t.Fatalf("%d workers: distributed result diverged from single-process bytes\n got %s\nwant %s", procs, gotB, wantB)
+		}
+		if rep.Workers != procs || rep.WorkerFailures != 0 || rep.Reassigned != 0 {
+			t.Fatalf("%d workers: unexpected report %+v", procs, rep)
+		}
+		wantLeases := len(cfg.Utils) * ((cfg.SetsPerPoint + 4) / 5)
+		if rep.Leases != wantLeases {
+			t.Fatalf("%d workers: %d leases granted, want %d", procs, rep.Leases, wantLeases)
+		}
+		if len(rep.Manifest.Workers) != procs || rep.Manifest.Digest == "" {
+			t.Fatalf("%d workers: merged manifest incomplete: %+v", procs, rep.Manifest)
+		}
+		if len(rep.Manifest.Mismatches) != 0 {
+			t.Fatalf("in-process workers cannot mismatch the coordinator: %v", rep.Manifest.Mismatches)
+		}
+	}
+}
+
+// killAfter fails a worker's transport after a fixed number of writes.
+// json.Encoder issues exactly one Write per Encode, so the budget is a
+// message count: 1 covers the ready handshake, each further write one
+// lease result.
+type killAfter struct {
+	net.Conn
+	writes atomic.Int32
+}
+
+func (k *killAfter) Write(b []byte) (int, error) {
+	if k.writes.Add(-1) < 0 {
+		k.Conn.Close()
+		return 0, errors.New("worker killed")
+	}
+	return k.Conn.Write(b)
+}
+
+// TestDistributedCampaignWorkerLoss kills one of two workers after it
+// has returned two lease results: the coordinator must reassign its
+// outstanding lease to the survivor and still merge to the exact
+// single-process bytes.
+func TestDistributedCampaignWorkerLoss(t *testing.T) {
+	cfg := smallCampaign()
+	want, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := PipeWorkers(1)
+	c, w := net.Pipe()
+	doomed := &killAfter{Conn: w}
+	doomed.writes.Store(3) // ready + two results, then dead
+	go func() {
+		defer w.Close()
+		ServeWorker(doomed)
+	}()
+	conns = append(conns, c)
+
+	got, rep, err := DistCampaign(cfg, conns, DistOptions{LeaseSets: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotB, wantB := resultBytes(t, got), resultBytes(t, want); string(gotB) != string(wantB) {
+		t.Fatalf("result after worker loss diverged from single-process bytes\n got %s\nwant %s", gotB, wantB)
+	}
+	if rep.WorkerFailures != 1 {
+		t.Fatalf("WorkerFailures = %d, want 1 (%+v)", rep.WorkerFailures, rep)
+	}
+	if rep.Reassigned < 1 {
+		t.Fatalf("Reassigned = %d, want >= 1 (%+v)", rep.Reassigned, rep)
+	}
+}
+
+// hangingWorker handshakes, accepts one lease and then never answers —
+// the failure mode the lease deadline exists for.
+func hangingWorker() io.ReadWriteCloser {
+	c, w := net.Pipe()
+	go func() {
+		defer w.Close()
+		dec, enc := json.NewDecoder(w), json.NewEncoder(w)
+		var m distMsg
+		if dec.Decode(&m) != nil {
+			return
+		}
+		mf := obsv.NewManifest()
+		if enc.Encode(distMsg{T: "ready", Manifest: &mf}) != nil {
+			return
+		}
+		var l distMsg
+		dec.Decode(&l)         // take the lease...
+		io.Copy(io.Discard, w) // ...and sit on it until closed
+	}()
+	return c
+}
+
+// TestDistributedCampaignLeaseTimeout pairs a hanging worker with a
+// healthy one under a short lease deadline: the stuck lease must be
+// reassigned and the merged bytes stay identical.
+func TestDistributedCampaignLeaseTimeout(t *testing.T) {
+	cfg := smallCampaign()
+	want, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := append(PipeWorkers(1), hangingWorker())
+	got, rep, err := DistCampaign(cfg, conns, DistOptions{LeaseSets: 5, LeaseTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotB, wantB := resultBytes(t, got), resultBytes(t, want); string(gotB) != string(wantB) {
+		t.Fatalf("result after lease timeout diverged from single-process bytes")
+	}
+	if rep.WorkerFailures != 1 || rep.Reassigned < 1 {
+		t.Fatalf("report %+v: want 1 worker failure and >= 1 reassignment", rep)
+	}
+}
+
+// TestDistributedCampaignAllWorkersFail pins the run-lost error: when
+// every connection is dead on arrival the coordinator reports failure
+// instead of returning a silent zero result.
+func TestDistributedCampaignAllWorkersFail(t *testing.T) {
+	cfg := smallCampaign()
+	var conns []io.ReadWriteCloser
+	for i := 0; i < 2; i++ {
+		c, w := net.Pipe()
+		w.Close()
+		conns = append(conns, c)
+	}
+	_, rep, err := DistCampaign(cfg, conns, DistOptions{})
+	if err == nil {
+		t.Fatal("DistCampaign succeeded with every worker dead")
+	}
+	if rep.WorkerFailures != 2 {
+		t.Fatalf("WorkerFailures = %d, want 2", rep.WorkerFailures)
+	}
+}
+
+// TestDistCampaignInvariance sweeps the scheduling knobs that must all
+// be invisible in the output: worker-process count, lease size and the
+// in-worker pool width FTMC_WORKERS. Every combination must serialize
+// to the same bytes as the plain single-process campaign.
+func TestDistCampaignInvariance(t *testing.T) {
+	cfg := smallCampaign()
+	want, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := resultBytes(t, want)
+	for _, env := range []string{"1", "2"} {
+		t.Setenv("FTMC_WORKERS", env)
+		for _, procs := range []int{1, 2, 3} {
+			for _, leaseSets := range []int{1, 5, 1 << 20} {
+				got, _, err := DistCampaign(cfg, PipeWorkers(procs), DistOptions{LeaseSets: leaseSets})
+				if err != nil {
+					t.Fatalf("FTMC_WORKERS=%s procs=%d leaseSets=%d: %v", env, procs, leaseSets, err)
+				}
+				if gotB := resultBytes(t, got); string(gotB) != string(wantB) {
+					t.Fatalf("FTMC_WORKERS=%s procs=%d leaseSets=%d changed the bytes", env, procs, leaseSets)
+				}
+			}
+		}
+	}
+}
+
+// TestDistCampaignRejectsWideConfig pins the wire-format guard: a
+// cross-product beyond 31 configurations cannot pack into the per-set
+// result word and must be rejected up front, not truncated.
+func TestDistCampaignRejectsWideConfig(t *testing.T) {
+	cfg := smallCampaign()
+	for len(cfg.Panels)*len(cfg.FailProbs) <= maxDistConfigs {
+		cfg.Panels = append(cfg.Panels, cfg.Panels[0])
+	}
+	_, _, err := DistCampaign(cfg, PipeWorkers(1), DistOptions{})
+	if err == nil {
+		t.Fatal("DistCampaign accepted a cross-product too wide for the wire format")
+	}
+}
+
+// benchDistCampaign measures campaign throughput through n protocol
+// workers. FTMC_WORKERS=1 makes each in-process worker single-threaded,
+// so the 1 → 2 → 4 scaling isolates the protocol's contribution the
+// way separate single-threaded processes would.
+func benchDistCampaign(b *testing.B, procs int) {
+	b.Setenv("FTMC_WORKERS", "1")
+	cfg := PaperCampaign(8, 1)
+	sets := int64(len(cfg.Utils) * cfg.SetsPerPoint)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DistCampaign(cfg, PipeWorkers(procs), DistOptions{LeaseSets: 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(sets*int64(b.N))/b.Elapsed().Seconds(), "sets/s")
+}
+
+func BenchmarkDistCampaign1(b *testing.B) { benchDistCampaign(b, 1) }
+func BenchmarkDistCampaign2(b *testing.B) { benchDistCampaign(b, 2) }
+func BenchmarkDistCampaign4(b *testing.B) { benchDistCampaign(b, 4) }

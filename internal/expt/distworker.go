@@ -1,0 +1,192 @@
+package expt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+
+	"repro/internal/obsv"
+)
+
+// ServeWorker is the worker side of the distributed campaign protocol:
+// it reads the coordinator's hello, answers ready with this process's
+// manifest, and then evaluates leases until done (or EOF, which a
+// coordinator that lost interest presents). The evaluation engine is
+// the same campaignRunner the single-process Campaign uses — one
+// evalRange call per lease over the in-process stealing pool — so a
+// worker's verdicts for a set are bit-identical to what Campaign would
+// have computed for it, at any FTMC_WORKERS setting.
+//
+// rw is typically the process's stdin/stdout (cmd/ftmc-worker) or a TCP
+// connection. ServeWorker returns nil after done and the transport or
+// protocol error otherwise; an evaluation error is reported to the
+// coordinator as an error message before returning.
+func ServeWorker(rw io.ReadWriter) error {
+	dec := json.NewDecoder(rw)
+	enc := json.NewEncoder(rw)
+
+	var hello distMsg
+	if err := dec.Decode(&hello); err != nil {
+		return fmt.Errorf("expt: worker handshake: %w", err)
+	}
+	if hello.T != "hello" || hello.Config == nil {
+		return fmt.Errorf("expt: worker handshake: got %q, want hello with a config", hello.T)
+	}
+	cfg := *hello.Config
+	if err := cfg.Validate(); err != nil {
+		enc.Encode(distMsg{T: "error", Err: err.Error()})
+		return err
+	}
+	nCfg := len(cfg.Panels) * len(cfg.FailProbs)
+	if nCfg > maxDistConfigs {
+		err := fmt.Errorf("expt: %d configurations exceed the wire format's %d", nCfg, maxDistConfigs)
+		enc.Encode(distMsg{T: "error", Err: err.Error()})
+		return err
+	}
+	manifest := obsv.NewManifest()
+	manifest.Seed = cfg.Seed
+	if err := enc.Encode(distMsg{T: "ready", Manifest: &manifest}); err != nil {
+		return err
+	}
+
+	r := newCampaignRunner(&cfg)
+	var out []verdict
+	var packed []uint64
+	for {
+		var m distMsg
+		if err := dec.Decode(&m); err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("expt: coordinator hung up without done")
+			}
+			return err
+		}
+		switch m.T {
+		case "done":
+			return nil
+		case "lease":
+			n := m.Hi - m.Lo
+			if n <= 0 || m.Lo < 0 || m.Hi > cfg.SetsPerPoint || m.UI < 0 || m.UI >= len(cfg.Utils) {
+				err := fmt.Errorf("expt: lease %d out of range: ui=%d sets [%d, %d)", m.Lease, m.UI, m.Lo, m.Hi)
+				enc.Encode(distMsg{T: "error", Lease: m.Lease, Err: err.Error()})
+				return err
+			}
+			if cap(out) < n*nCfg {
+				out = make([]verdict, n*nCfg)
+				packed = make([]uint64, n)
+			}
+			out = out[:n*nCfg]
+			packed = packed[:n]
+			if err := r.evalRange(m.UI, m.Lo, m.Hi, out); err != nil {
+				enc.Encode(distMsg{T: "error", Lease: m.Lease, Err: err.Error()})
+				return err
+			}
+			for j := range packed {
+				var w uint64
+				for c := 0; c < nCfg; c++ {
+					v := out[j*nCfg+c]
+					if v.base {
+						w |= 1 << (2 * uint(c))
+					}
+					if v.adapt {
+						w |= 1 << (2*uint(c) + 1)
+					}
+				}
+				packed[j] = w
+			}
+			if err := enc.Encode(distMsg{T: "result", Lease: m.Lease, UI: m.UI, Lo: m.Lo, Hi: m.Hi, V: packed}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("expt: worker got unexpected message %q", m.T)
+		}
+	}
+}
+
+// PipeWorkers starts n in-process protocol workers over net.Pipe and
+// returns the coordinator ends, ready to pass to DistCampaign. Each
+// worker runs ServeWorker on its own goroutine and closes its end on
+// return. In-process workers exercise the full wire protocol (framing,
+// packing, merge) without subprocess or socket plumbing — the hermetic
+// form the tests and benchmarks use; production scale-out uses
+// StartWorkerProcs or AcceptWorkers instead.
+func PipeWorkers(n int) []io.ReadWriteCloser {
+	conns := make([]io.ReadWriteCloser, n)
+	for i := range conns {
+		c, w := net.Pipe()
+		conns[i] = c
+		go func(w net.Conn) {
+			defer w.Close()
+			ServeWorker(w) // errors surface coordinator-side as worker loss
+		}(w)
+	}
+	return conns
+}
+
+// procConn adapts a subprocess's stdin/stdout pipes to the
+// io.ReadWriteCloser DistCampaign drives; Close closes stdin (the
+// worker's EOF), then reaps the process.
+type procConn struct {
+	io.Reader // the worker's stdout
+	in        io.WriteCloser
+	cmd       *exec.Cmd
+}
+
+func (p *procConn) Write(b []byte) (int, error) { return p.in.Write(b) }
+
+func (p *procConn) Close() error {
+	p.in.Close()
+	return p.cmd.Wait()
+}
+
+// StartWorkerProcs launches n copies of the worker binary (built from
+// cmd/ftmc-worker) speaking the protocol on their stdin/stdout, with
+// stderr passed through to this process's stderr. The returned
+// connections go straight to DistCampaign, which closes them —
+// reaping the subprocesses — before returning.
+func StartWorkerProcs(bin string, n int, args ...string) ([]io.ReadWriteCloser, error) {
+	conns := make([]io.ReadWriteCloser, 0, n)
+	fail := func(err error) ([]io.ReadWriteCloser, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = os.Stderr
+		in, err := cmd.StdinPipe()
+		if err != nil {
+			return fail(err)
+		}
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			return fail(err)
+		}
+		if err := cmd.Start(); err != nil {
+			return fail(fmt.Errorf("expt: starting worker %d: %w", i, err))
+		}
+		conns = append(conns, &procConn{Reader: out, in: in, cmd: cmd})
+	}
+	return conns, nil
+}
+
+// AcceptWorkers accepts n worker connections (cmd/ftmc-worker -connect)
+// on the listener and returns them for DistCampaign. The caller keeps
+// ownership of the listener.
+func AcceptWorkers(ln net.Listener, n int) ([]io.ReadWriteCloser, error) {
+	conns := make([]io.ReadWriteCloser, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := ln.Accept()
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, err
+		}
+		conns = append(conns, c)
+	}
+	return conns, nil
+}

@@ -103,22 +103,26 @@ type Fig3Result struct {
 // generator and reports the fraction accepted with and without
 // adaptation. Sets are processed in parallel through the pooled
 // zero-allocation engine (one gen.Drawer and one core.Scratch per
-// worker); every set's verdict depends only on its splitmix64-derived
-// seed, so results are deterministic in Seed and byte-identical across
-// every FTMC_WORKERS value.
+// worker); every set's verdict depends only on its keyed RNG stream —
+// gen.SimulationKey{Seed, pi, ui, i} — so results are deterministic in
+// Seed and byte-identical across every FTMC_WORKERS value, any claim
+// schedule, and any partition of the set axis into lease ranges.
 func Fig3(cfg Fig3Config) (Fig3Result, error) {
 	return fig3(cfg, fig3Point)
 }
 
 // Fig3Ref is Fig3 through the original allocating per-set path (a fresh
-// generator run and transient FTS state per set). It exists as the
-// reference for differential tests and before/after benchmarks of the
-// pooled engine; both paths draw identical sets from identical seeds.
+// generator run and transient FTS state per set), still seeded by the
+// frozen legacy pointSeed/setSeed chain. It is the reference for
+// differential tests and before/after benchmarks of the pooled engine:
+// the keyed engines reproduce its draws bit for bit because the
+// workload stream of gen.SimulationKey is the same chain (see
+// TestSimulationKeyMatchesLegacySeeding).
 func Fig3Ref(cfg Fig3Config) (Fig3Result, error) {
 	return fig3(cfg, fig3PointRef)
 }
 
-func fig3(cfg Fig3Config, point func(Fig3Config, float64, float64, int64) (float64, float64)) (Fig3Result, error) {
+func fig3(cfg Fig3Config, point func(Fig3Config, int, int) (float64, float64)) (Fig3Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Fig3Result{}, err
 	}
@@ -129,10 +133,10 @@ func fig3(cfg Fig3Config, point func(Fig3Config, float64, float64, int64) (float
 			Baseline: make([]float64, len(cfg.Utils)),
 			Adapted:  make([]float64, len(cfg.Utils)),
 		}
-		for ui, u := range cfg.Utils {
+		for ui := range cfg.Utils {
 			m := exptView.Get()
 			sp := m.fig3PointNs.Start()
-			base, adapted := point(cfg, f, u, pointSeed(cfg.Seed, pi, ui))
+			base, adapted := point(cfg, pi, ui)
 			sp.End()
 			m.fig3Points.Inc()
 			curve.Baseline[ui] = base
@@ -143,31 +147,31 @@ func fig3(cfg Fig3Config, point func(Fig3Config, float64, float64, int64) (float
 	return res, nil
 }
 
-// mix64 is the splitmix64 finalizer: a bijective avalanche mix whose
-// outputs are pairwise-decorrelated even for adjacent inputs.
-func mix64(x uint64) uint64 {
+// pointSeed and setSeed are the frozen legacy seed derivation — the
+// splitmix64 chain the engines used before gen.SimulationKey existed.
+// They are kept as the reference path (Fig3Ref still seeds from them)
+// and locked against the keyed derivation by
+// TestSimulationKeyMatchesLegacySeeding; new code should address draws
+// with gen.SimulationKey instead.
+func pointSeed(seed int64, pi, ui int) int64 {
+	x := legacyMix64(uint64(seed))
+	x = legacyMix64(x + 0x9E3779B97F4A7C15*uint64(pi+1))
+	x = legacyMix64(x + 0x9E3779B97F4A7C15*uint64(ui+1))
+	return int64(x)
+}
+
+// setSeed derives the legacy RNG seed of set i at a data point.
+func setSeed(point int64, i int) int64 {
+	return int64(legacyMix64(uint64(point) + 0x9E3779B97F4A7C15*uint64(i+1)))
+}
+
+// legacyMix64 is the splitmix64 finalizer, spelled out locally so the
+// legacy reference derivation stays independent of gen.Mix64.
+func legacyMix64(x uint64) uint64 {
 	x += 0x9E3779B97F4A7C15
 	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
 	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
 	return x ^ (x >> 31)
-}
-
-// pointSeed derives a deterministic sub-seed per data point. The old
-// affine derivation (seed·1_000_003 + pi·10_007 + ui·101) spaced adjacent
-// utilization points only 101 apart while per-set seeds advanced by 1, so
-// any SetsPerPoint > 101 re-evaluated overlapping RNG streams across
-// points; chaining splitmix64 mixes makes collisions across (seed, pi,
-// ui, i) astronomically unlikely instead of systematic.
-func pointSeed(seed int64, pi, ui int) int64 {
-	x := mix64(uint64(seed))
-	x = mix64(x + 0x9E3779B97F4A7C15*uint64(pi+1))
-	x = mix64(x + 0x9E3779B97F4A7C15*uint64(ui+1))
-	return int64(x)
-}
-
-// setSeed derives the RNG seed of set i at a data point.
-func setSeed(point int64, i int) int64 {
-	return int64(mix64(uint64(point) + 0x9E3779B97F4A7C15*uint64(i+1)))
 }
 
 // verdict is one task set's acceptance with and without adaptation.
@@ -188,10 +192,11 @@ type setEval struct {
 
 // fig3Point evaluates one data point through the pooled engine, fanning
 // the task sets across Workers() goroutines in chunks. Per-worker state
-// is created lazily on first claim; verdicts are filled by set index and
-// reduced serially, so the ratios do not depend on the worker count.
-func fig3Point(cfg Fig3Config, f, u float64, seed int64) (baseline, adapted float64) {
-	params := gen.PaperParams(cfg.HI, cfg.LO, u, f)
+// is created lazily on first claim; every set draws from its own keyed
+// stream and verdicts are filled by set index and reduced serially, so
+// the ratios do not depend on the worker count or claim schedule.
+func fig3Point(cfg Fig3Config, pi, ui int) (baseline, adapted float64) {
+	params := gen.PaperParams(cfg.HI, cfg.LO, cfg.Utils[ui], cfg.FailProbs[pi])
 	tasksPerSet := 0
 	if cfg.Generator == GenUUnifast {
 		tasksPerSet = cfg.TasksPerSet
@@ -211,7 +216,7 @@ func fig3Point(cfg Fig3Config, f, u float64, seed int64) (baseline, adapted floa
 			ev = &setEval{drawer: d, scratch: core.NewScratch()}
 			evals[w] = ev
 		}
-		s, err := ev.drawer.Draw(setSeed(seed, i))
+		s, err := ev.drawer.DrawKeyed(gen.SimulationKey{Seed: cfg.Seed, Panel: pi, Point: ui, Set: i})
 		if err != nil {
 			return nil // degenerate draw: reject both ways
 		}
@@ -222,12 +227,14 @@ func fig3Point(cfg Fig3Config, f, u float64, seed int64) (baseline, adapted floa
 }
 
 // fig3PointRef evaluates one data point through the original allocating
-// path: one fresh RNG and generator run per set, transient FTS state.
-func fig3PointRef(cfg Fig3Config, f, u float64, seed int64) (baseline, adapted float64) {
-	params := gen.PaperParams(cfg.HI, cfg.LO, u, f)
+// path: one fresh RNG and generator run per set, transient FTS state,
+// seeded by the frozen legacy chain.
+func fig3PointRef(cfg Fig3Config, pi, ui int) (baseline, adapted float64) {
+	params := gen.PaperParams(cfg.HI, cfg.LO, cfg.Utils[ui], cfg.FailProbs[pi])
+	point := pointSeed(cfg.Seed, pi, ui)
 	verdicts := make([]verdict, cfg.SetsPerPoint)
 	ForEach(cfg.SetsPerPoint, func(i int) error {
-		rng := rand.New(rand.NewSource(setSeed(seed, i)))
+		rng := rand.New(rand.NewSource(setSeed(point, i)))
 		verdicts[i] = evalOneRef(cfg, params, rng)
 		return nil
 	})

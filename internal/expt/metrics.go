@@ -37,6 +37,14 @@ type exptMetrics struct {
 	// were deferred into per-chunk KillingBatch calls instead of running
 	// through the scalar cache path.
 	campaignBatchedProbes *obsv.Counter
+	// Distributed-campaign telemetry, recorded at the coordinator:
+	// leases granted (including regrants), leases requeued after a
+	// worker failure or deadline, workers lost, and per-lease
+	// round-trip latency (grant to merged result).
+	distLeases         *obsv.Counter
+	distReassigned     *obsv.Counter
+	distWorkerFailures *obsv.Counter
+	distLeaseNs        *obsv.Histogram
 }
 
 var exptView = obsv.NewView(func(r *obsv.Registry) *exptMetrics {
@@ -58,5 +66,9 @@ var exptView = obsv.NewView(func(r *obsv.Registry) *exptMetrics {
 		campaignSchedMemoHits: r.Counter("expt.campaign.sched_memo_hits"),
 		campaignSchedSearches: r.Counter("expt.campaign.sched_searches"),
 		campaignBatchedProbes: r.Counter("expt.campaign.batched_probes"),
+		distLeases:            r.Counter("expt.dist.leases"),
+		distReassigned:        r.Counter("expt.dist.reassigned"),
+		distWorkerFailures:    r.Counter("expt.dist.worker_failures"),
+		distLeaseNs:           r.Histogram("expt.dist.lease_ns"),
 	}
 })

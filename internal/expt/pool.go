@@ -109,7 +109,11 @@ func unpackSpan(v uint64) (int, int) {
 //
 // The error of the lowest failing index is returned; all ranges run
 // regardless. Results must not depend on the claim schedule (see
-// ForEachWorker); steals are counted on expt.pool.steals.
+// ForEachWorker) — the experiment engines uphold that by deriving each
+// index's RNG streams from its grid coordinates (gen.SimulationKey),
+// never from the chunk shape, the worker id or any pool-level seeding,
+// so chunk size and steal interleaving are pure scheduling knobs.
+// Steals are counted on expt.pool.steals.
 func ForEachWorkerChunked(n, chunk int, fn func(worker, start, end int) error) error {
 	if n <= 0 {
 		return nil

@@ -40,8 +40,8 @@ func TestFig3PooledMatchesRef(t *testing.T) {
 
 // TestFig3WorkerInvariance checks the determinism contract: the panel is
 // byte-identical under FTMC_WORKERS = 1, 4 and 16, because every set's
-// verdict depends only on its splitmix64-derived seed, never on which
-// worker evaluates it.
+// verdict depends only on its keyed RNG stream (gen.SimulationKey),
+// never on which worker evaluates it.
 func TestFig3WorkerInvariance(t *testing.T) {
 	cfg := smallPanel(t, "3a")
 	var base Fig3Result
@@ -86,17 +86,17 @@ func TestForEachWorkerCoversAllIndices(t *testing.T) {
 	}
 }
 
-func benchFig3Point(b *testing.B, point func(Fig3Config, float64, float64, int64) (float64, float64)) {
+func benchFig3Point(b *testing.B, point func(Fig3Config, int, int) (float64, float64)) {
 	b.Setenv("FTMC_WORKERS", "1")
 	cfg, err := PanelConfig("3a", 50, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
-	seed := pointSeed(cfg.Seed, 0, 10)
+	cfg.Utils = []float64{0.8}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		base, adapted := point(cfg, cfg.FailProbs[0], 0.8, seed)
+		base, adapted := point(cfg, 0, 0)
 		if base < 0 || adapted < base {
 			b.Fatal("bad ratios")
 		}

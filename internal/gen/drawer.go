@@ -99,6 +99,14 @@ func (d *Drawer) Draw(seed int64) (*task.Set, error) {
 	return nil, fmt.Errorf("gen: could not draw a dual-criticality set with U=%g after 1000 attempts", d.p.TargetU)
 }
 
+// DrawKeyed draws the task set addressed by k: the workload stream of
+// the (seed, panel, point, set) coordinates, via Draw. Keyed callers
+// (the campaign engines, distributed workers) and legacy seed-passing
+// callers produce bit-identical sets for matching coordinates.
+func (d *Drawer) DrawKeyed(k SimulationKey) (*task.Set, error) {
+	return d.Draw(k.Stream(SubsystemWorkload))
+}
+
 // drawAppendixC fills the arena with one Appendix C candidate, consuming
 // the RNG exactly as draw() does. Reports whether the draw is usable.
 func (d *Drawer) drawAppendixC() bool {

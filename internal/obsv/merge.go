@@ -1,0 +1,62 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+)
+
+// MergedManifest is the provenance record of a multi-process run: the
+// coordinator's manifest, one manifest per worker process in worker
+// order, a digest binding them together, and any environment mismatches
+// between the coordinator and a worker. It is what a distributed
+// campaign stamps its output with in place of a single Manifest.
+type MergedManifest struct {
+	Coordinator Manifest   `json:"coordinator"`
+	Workers     []Manifest `json:"workers"`
+	// Digest is the FNV-1a 64 hash (hex) of the canonical JSON of the
+	// coordinator and worker manifests, in order. Two runs with the
+	// same digest ran the same toolchains, revisions and fan-outs, so a
+	// byte-level diff of their outputs is meaningful.
+	Digest string `json:"digest"`
+	// Mismatches lists, per differing worker, the identity fields
+	// (toolchain, target, VCS revision and dirtiness) that disagree
+	// with the coordinator. A mismatched worker still merges — the
+	// verdicts are deterministic in the coordinates, not the build —
+	// but the run is no longer a single-binary artifact, which callers
+	// should surface as a warning.
+	Mismatches []string `json:"mismatches,omitempty"`
+}
+
+// MergeManifests combines the coordinator's manifest with the workers'
+// into one provenance record, computing the digest and collecting
+// build-identity mismatches.
+func MergeManifests(coord Manifest, workers []Manifest) MergedManifest {
+	m := MergedManifest{Coordinator: coord, Workers: workers}
+	h := fnv.New64a()
+	enc := json.NewEncoder(h)
+	enc.Encode(coord) // Manifest marshaling cannot fail: plain fields only
+	for _, w := range workers {
+		enc.Encode(w)
+	}
+	m.Digest = fmt.Sprintf("%016x", h.Sum64())
+	for i, w := range workers {
+		for _, d := range []struct {
+			field      string
+			got, want  string
+			mismatched bool
+		}{
+			{"go_version", w.GoVersion, coord.GoVersion, w.GoVersion != coord.GoVersion},
+			{"goos", w.GOOS, coord.GOOS, w.GOOS != coord.GOOS},
+			{"goarch", w.GOARCH, coord.GOARCH, w.GOARCH != coord.GOARCH},
+			{"git_rev", w.GitRev, coord.GitRev, w.GitRev != coord.GitRev},
+			{"git_dirty", fmt.Sprint(w.GitDirty), fmt.Sprint(coord.GitDirty), w.GitDirty != coord.GitDirty},
+		} {
+			if d.mismatched {
+				m.Mismatches = append(m.Mismatches,
+					fmt.Sprintf("worker %d: %s %q != coordinator %q", i, d.field, d.got, d.want))
+			}
+		}
+	}
+	return m
+}

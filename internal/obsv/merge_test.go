@@ -1,0 +1,51 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMergeManifestsDigestAndOrder pins the digest contract: the digest
+// is deterministic in the (coordinator, workers) manifests and
+// sensitive to worker order and content.
+func TestMergeManifestsDigestAndOrder(t *testing.T) {
+	coord := NewManifest()
+	w1, w2 := NewManifest(), NewManifest()
+	w2.FTMCWorkers, w2.Workers = "2", 2
+
+	a := MergeManifests(coord, []Manifest{w1, w2})
+	b := MergeManifests(coord, []Manifest{w1, w2})
+	if a.Digest != b.Digest || a.Digest == "" {
+		t.Fatalf("digest not deterministic: %q vs %q", a.Digest, b.Digest)
+	}
+	if c := MergeManifests(coord, []Manifest{w2, w1}); c.Digest == a.Digest {
+		t.Fatal("digest insensitive to worker order")
+	}
+	if len(a.Mismatches) != 0 {
+		t.Fatalf("same-build workers reported mismatches: %v", a.Mismatches)
+	}
+	if len(a.Workers) != 2 {
+		t.Fatalf("merged %d workers, want 2", len(a.Workers))
+	}
+}
+
+// TestMergeManifestsFlagsBuildMismatch checks that a worker from a
+// different toolchain or revision is surfaced per differing field.
+func TestMergeManifestsFlagsBuildMismatch(t *testing.T) {
+	coord := NewManifest()
+	odd := NewManifest()
+	odd.GoVersion = "go0.0"
+	odd.GitRev = "deadbeef"
+	m := MergeManifests(coord, []Manifest{NewManifest(), odd})
+	if len(m.Mismatches) != 2 {
+		t.Fatalf("got %d mismatches, want 2: %v", len(m.Mismatches), m.Mismatches)
+	}
+	for _, s := range m.Mismatches {
+		if !strings.HasPrefix(s, "worker 1:") {
+			t.Fatalf("mismatch %q not attributed to worker 1", s)
+		}
+	}
+	if !strings.Contains(m.Mismatches[0], "go_version") || !strings.Contains(m.Mismatches[1], "git_rev") {
+		t.Fatalf("mismatches missing fields: %v", m.Mismatches)
+	}
+}

@@ -1,0 +1,127 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4), alongside the JSON Snapshot:
+// counters as `counter`, gauges as `gauge`, and the log2-bucketed
+// histograms as cumulative `histogram` series whose bucket bounds are
+// the buckets' upper values (le = 2^b − 1, matching the snapshot
+// quantiles' resolution). Instrument names are prefixed and sanitized
+// (dots to underscores), and emitted in sorted order so the output is
+// deterministic for a given instrument population. Nil-safe: a nil
+// registry writes nothing.
+//
+// The JSON snapshot remains the primary schema-versioned artifact; this
+// rendering exists so a scrape target (ftmc-serve) works with stock
+// Prometheus without any sidecar translation.
+func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]uint64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	type histCopy struct {
+		count, sum uint64
+		buckets    [histBuckets]uint64
+	}
+	hists := make(map[string]histCopy, len(r.hists))
+	for name, h := range r.hists {
+		hc := histCopy{count: h.count.Load(), sum: h.sum.Load()}
+		for b := range hc.buckets {
+			hc.buckets[b] = h.buckets[b].Load()
+		}
+		hists[name] = hc
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		pn := promName(prefix, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		pn := promName(prefix, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(hists) {
+		h := hists[name]
+		pn := promName(prefix, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		// Cumulative buckets; trailing empty buckets collapse into +Inf
+		// so an idle histogram is three lines, not 67.
+		top := len(h.buckets)
+		for top > 0 && h.buckets[top-1] == 0 {
+			top--
+		}
+		var cum uint64
+		for b := 0; b < top; b++ {
+			cum += h.buckets[b]
+			le := uint64(0)
+			if b > 0 {
+				le = 1<<uint(b) - 1
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, h.count, pn, h.sum, pn, h.count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promName joins the prefix and the registry name into a valid
+// Prometheus metric name: dots become underscores and any other
+// character outside [a-zA-Z0-9_:] is dropped to an underscore.
+func promName(prefix, name string) string {
+	joined := name
+	if prefix != "" {
+		joined = prefix + "." + name
+	}
+	var b strings.Builder
+	b.Grow(len(joined))
+	for i, r := range joined {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

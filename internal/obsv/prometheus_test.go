@@ -1,0 +1,78 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusRendersAllKinds pins the exposition shape: typed
+// counter, gauge and histogram families with sanitized prefixed names,
+// cumulative buckets whose bounds are the log2 buckets' upper values,
+// and sorted, deterministic output.
+func TestWritePrometheusRendersAllKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("expt.pool.chunks").Add(3)
+	r.Gauge("expt.pool.active_workers").Set(-2)
+	h := r.Histogram("expt.fig3.point_ns")
+	h.Observe(0) // bucket 0, le="0"
+	h.Observe(1) // bucket 1, le="1"
+	h.Observe(5) // bucket 3, le="7"
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb, "ftmc"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE ftmc_expt_pool_chunks counter\nftmc_expt_pool_chunks 3\n",
+		"# TYPE ftmc_expt_pool_active_workers gauge\nftmc_expt_pool_active_workers -2\n",
+		"# TYPE ftmc_expt_fig3_point_ns histogram\n",
+		"ftmc_expt_fig3_point_ns_bucket{le=\"0\"} 1\n",
+		"ftmc_expt_fig3_point_ns_bucket{le=\"1\"} 2\n",
+		"ftmc_expt_fig3_point_ns_bucket{le=\"3\"} 2\n", // empty bucket still cumulative
+		"ftmc_expt_fig3_point_ns_bucket{le=\"7\"} 3\n",
+		"ftmc_expt_fig3_point_ns_bucket{le=\"+Inf\"} 3\n",
+		"ftmc_expt_fig3_point_ns_sum 6\n",
+		"ftmc_expt_fig3_point_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "le=\"15\"") {
+		t.Fatalf("trailing empty buckets not collapsed into +Inf:\n%s", out)
+	}
+
+	var sb2 strings.Builder
+	if err := r.WritePrometheus(&sb2, "ftmc"); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Fatal("exposition is not deterministic across renders")
+	}
+}
+
+// TestWritePrometheusNilRegistry pins the nil-safe no-op.
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb, "ftmc"); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", sb.String(), err)
+	}
+}
+
+// TestPromName pins the sanitizer: dots to underscores, leading digits
+// guarded, everything else preserved.
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"expt.pool.chunks": "ftmc_expt_pool_chunks",
+		"a-b/c":            "ftmc_a_b_c",
+	} {
+		if got := promName("ftmc", in); got != want {
+			t.Fatalf("promName(ftmc, %q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promName("", "9lives"); got != "_9lives" {
+		t.Fatalf("promName(\"\", 9lives) = %q, want _9lives", got)
+	}
+}

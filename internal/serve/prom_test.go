@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+// TestServerPrometheusEndpoint checks /metrics/prom: with a default
+// registry installed the scrape is typed Prometheus text carrying the
+// ftmc-prefixed serve instruments; with metrics disabled the scrape
+// still succeeds with an empty body.
+func TestServerPrometheusEndpoint(t *testing.T) {
+	p := NewPipeline(Options{})
+	srv := httptest.NewServer(NewServer(p, ServerOptions{}))
+	defer srv.Close()
+	defer p.Close()
+
+	reg := obsv.NewRegistry()
+	reg.Counter("serve.cache.hits").Add(7)
+	obsv.SetDefault(reg)
+	defer obsv.SetDefault(nil)
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	out := string(body)
+	if !strings.Contains(out, "# TYPE ftmc_serve_cache_hits counter\nftmc_serve_cache_hits 7\n") {
+		t.Fatalf("scrape missing serve counter:\n%s", out)
+	}
+
+	obsv.SetDefault(nil)
+	resp, err = srv.Client().Get(srv.URL + "/metrics/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Fatalf("disabled metrics: status %d, body %q (want 200, empty)", resp.StatusCode, body)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/safety"
 	"repro/internal/task"
 )
@@ -30,10 +31,12 @@ type ServerOptions struct {
 
 // Server is the HTTP/JSON front of a verdict Pipeline:
 //
-//	POST /v1/verdict  — analyze one task set, JSON in/out
-//	GET  /healthz     — liveness
-//	GET  /metrics     — expvar snapshot (obsv registries publish here)
-//	GET  /debug/vars  — alias of /metrics
+//	POST /v1/verdict    — analyze one task set, JSON in/out
+//	GET  /healthz       — liveness
+//	GET  /metrics       — expvar snapshot (obsv registries publish here)
+//	GET  /debug/vars    — alias of /metrics
+//	GET  /metrics/prom  — the default obsv registry in Prometheus text
+//	                      exposition format, for stock scrapers
 //
 // Overload surfaces as fast failure, never as queueing: a tenant over
 // its quota gets 429, a full admission queue gets 503, both with a
@@ -61,7 +64,17 @@ func NewServer(p *Pipeline, o ServerOptions) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/metrics", expvar.Handler())
 	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/metrics/prom", handleProm)
 	return s
+}
+
+// handleProm renders the default obsv registry in the Prometheus text
+// exposition format under the "ftmc" prefix. With metrics disabled
+// (nil default registry) the body is empty but the scrape still
+// succeeds — absence of series, not scrape failure, signals "off".
+func handleProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obsv.Default().WritePrometheus(w, "ftmc")
 }
 
 // ServeHTTP implements http.Handler.
