@@ -1,10 +1,15 @@
 GO ?= go
 DATE := $(shell date +%F)
 FUZZTIME ?= 30s
+# SOAK_RUNS is the single run-budget knob of both soak tiers: empty
+# selects the tier defaults (two cross-product passes for `soak`,
+# 100000 runs for `soak-deep`). The CI jobs set it explicitly so the
+# workflow files and this Makefile always agree.
+SOAK_RUNS ?=
 
 .PHONY: all check ci vet build test race race-pool benchcheck bench \
-	bench-compare bench-smoke serve-smoke dist-smoke staticcheck \
-	govulncheck fuzz-smoke profile pgo clean
+	bench-compare bench-smoke serve-smoke dist-smoke soak soak-deep \
+	staticcheck govulncheck fuzz-smoke profile pgo clean
 
 all: check
 
@@ -90,6 +95,25 @@ dist-smoke:
 # TestCLIServeAndLoad so local and CI runs are identical.
 serve-smoke:
 	$(GO) test -race -count 1 -v -run '^TestCLIServeAndLoad$$' .
+
+# soak is the PR-tier invariant soak exactly as the CI soak-smoke job
+# runs it: the full backend × mode × fault × workload cross-product
+# under the race detector, with triage records for any violation left
+# in soak-triage/. Seconds-scale; SOAK_RUNS overrides the default
+# two-pass budget.
+soak:
+	FTMC_SOAK_RUNS=$(SOAK_RUNS) FTMC_SOAK_TRIAGE=$(CURDIR)/soak-triage \
+		$(GO) test -race -count 1 -v -run '^TestSoakSmoke$$' ./internal/harness/
+
+# soak-deep is the nightly tier: the same sweep through the built
+# ftmc-bench binary at a 10^5-run budget (override with SOAK_RUNS).
+# Minimized repro records for any violation land in soak-triage/; the
+# JSON sweep summary goes to stdout. Built binary, not `go run`, so the
+# exit status reaches make unmangled.
+soak-deep:
+	$(GO) build -o /tmp/ftmc-bench-soak-bin ./cmd/ftmc-bench
+	/tmp/ftmc-bench-soak-bin -soak $(if $(SOAK_RUNS),-soak-runs $(SOAK_RUNS)) \
+		-soak-triage soak-triage
 
 # staticcheck / govulncheck run the deeper analyzers when installed
 # (CI installs them; locally `go install honnef.co/go/tools/cmd/staticcheck@latest`

@@ -232,9 +232,25 @@ func main() {
 	compare := flag.String("compare", "", "prior BENCH json to diff against; exit 2 on >20% ns/op or allocs/op regression")
 	before := flag.String("before", "", "prior BENCH json whose numbers populate the report's before_after section")
 	metrics := flag.Bool("metrics", false, "enable the internal metrics registry and append a metrics section to the report")
+	soak := flag.Bool("soak", false, "run the invariant soak deep tier (internal/harness) instead of benchmarks; exit 1 on violations")
+	soakRuns := flag.Int("soak-runs", 100_000, "soak runs to execute (with -soak)")
+	soakSeed := flag.Int64("soak-seed", 1, "soak sweep seed (with -soak)")
+	soakTriage := flag.String("soak-triage", "soak-triage", "directory receiving minimized triage repro records (with -soak)")
+	soakWorkers := flag.Int("soak-workers", 0, "soak pool width; 0 honors FTMC_WORKERS/NumCPU (with -soak)")
+	soakChunk := flag.Int("soak-chunk", 0, "soak pool lease width; 0 selects the harness default (with -soak)")
 	flag.Parse()
 	if *metrics {
 		obsv.SetDefault(obsv.NewRegistry())
+	}
+	if *soak {
+		os.Exit(runSoak(soakConfig{
+			runs:      *soakRuns,
+			seed:      *soakSeed,
+			triageDir: *soakTriage,
+			workers:   *soakWorkers,
+			chunk:     *soakChunk,
+			verbose:   *verbose,
+		}))
 	}
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fmt.Fprintf(os.Stderr, "ftmc-bench: %v\n", err)

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+// soakConfig carries the -soak* flags into the deep tier.
+type soakConfig struct {
+	runs      int
+	seed      int64
+	triageDir string
+	workers   int
+	chunk     int
+	verbose   bool
+}
+
+// runSoak executes the invariant soak deep tier (`make soak-deep`): the
+// same engine as the PR-tier TestSoakSmoke, at a run budget the test
+// binary should not carry. The JSON sweep summary goes to stdout;
+// progress and failure details go to stderr. Exit status: 0 all
+// invariants held, 1 violations (or harness error) — exit 2 stays
+// reserved for the benchmark-regression convention.
+func runSoak(c soakConfig) int {
+	var progress func(done, total int)
+	if c.verbose {
+		progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "ftmc-bench: soak %d/%d runs\n", done, total)
+		}
+	}
+	res, err := harness.Soak(harness.Options{
+		Seed:      c.seed,
+		Runs:      c.runs,
+		Workers:   c.workers,
+		Chunk:     c.chunk,
+		TriageDir: c.triageDir,
+		Progress:  progress,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftmc-bench: soak: %v\n", err)
+		return 1
+	}
+
+	data, jerr := json.MarshalIndent(res, "", "  ")
+	if jerr != nil {
+		fmt.Fprintf(os.Stderr, "ftmc-bench: soak: %v\n", jerr)
+		return 1
+	}
+	os.Stdout.Write(append(data, '\n'))
+	fmt.Fprintf(os.Stderr, "ftmc-bench: %s\n", res.String())
+
+	if res.Failed() {
+		for _, f := range res.Failures {
+			fmt.Fprintf(os.Stderr, "ftmc-bench: soak run %d (%s/%s/%s/%s) violated:\n",
+				f.Spec.Index, f.Spec.Workload, f.Spec.Backend, f.Spec.Mode, f.Spec.Fault)
+			for _, v := range f.Violations {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			if f.Path != "" {
+				fmt.Fprintf(os.Stderr, "  minimized repro: %s\n", f.Path)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "ftmc-bench: soak FAILED: %d/%d runs violated invariants (%d panics)\n",
+			res.ViolationRuns, res.Runs, res.PanicRuns)
+		return 1
+	}
+	return 0
+}

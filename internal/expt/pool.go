@@ -115,6 +115,16 @@ func unpackSpan(v uint64) (int, int) {
 // so chunk size and steal interleaving are pure scheduling knobs.
 // Steals are counted on expt.pool.steals.
 func ForEachWorkerChunked(n, chunk int, fn func(worker, start, end int) error) error {
+	return ForEachWorkerChunkedN(0, n, chunk, fn)
+}
+
+// ForEachWorkerChunkedN is ForEachWorkerChunked with an explicit worker
+// count: workers <= 0 selects Workers() (the FTMC_WORKERS / NumCPU
+// default). It exists for callers that sweep the pool width themselves —
+// the soak harness (internal/harness) pins the width per sweep to prove
+// schedule invariance in-process, without mutating FTMC_WORKERS (a
+// process-global environment write would race with concurrent sweeps).
+func ForEachWorkerChunkedN(workers, n, chunk int, fn func(worker, start, end int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -124,7 +134,9 @@ func ForEachWorkerChunked(n, chunk int, fn func(worker, start, end int) error) e
 	if chunk < 1 {
 		chunk = 1
 	}
-	workers := Workers()
+	if workers <= 0 {
+		workers = Workers()
+	}
 	if max := (n + chunk - 1) / chunk; workers > max {
 		workers = max
 	}

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"math/rand"
+
+	"repro/internal/gen"
+)
+
+// ModeCell is one point on the adaptation-mode axis: a mode plus the
+// degradation factor Degrade reads. The default space includes extreme
+// but legal factors (df barely above 1, df huge) — the *illegal* ones
+// (df = 0, df = 1) are covered by the hostile-rejection tests, since
+// every layer must refuse them at validation rather than soak on them.
+type ModeCell struct {
+	Mode string  `json:"mode"`
+	DF   float64 `json:"df,omitempty"`
+}
+
+// Space is the cross-product the soak sweeps: every combination of
+// workload kind, scheduler backend, adaptation mode and fault regime is
+// one cell, and run index i lands on cell i mod |cells| — so any
+// contiguous run range covers the whole product before repeating, and
+// the cell of a run is independent of every other run (the property the
+// determinism digest rests on).
+type Space struct {
+	Workloads []string   `json:"workloads"`
+	Backends  []string   `json:"backends"`
+	Modes     []ModeCell `json:"modes"`
+	Faults    []string   `json:"faults"`
+}
+
+// DefaultSpace is the full sweep of ISSUE 9: 4 workloads × 4 backends ×
+// 4 mode cells × 4 fault regimes = 256 cells.
+func DefaultSpace() *Space {
+	return &Space{
+		Workloads: []string{
+			WorkloadPaper, WorkloadNearOverload,
+			WorkloadDegeneratePeriods, WorkloadSingleTask,
+		},
+		Backends: []string{
+			BackendDefault, BackendSMC, BackendAMCrtb, BackendDBFTune,
+		},
+		Modes: []ModeCell{
+			{Mode: ModeKill},
+			{Mode: ModeDegrade, DF: 2.5},
+			{Mode: ModeDegrade, DF: 1 + 1e-9}, // barely-legal df: degraded periods ≈ original
+			{Mode: ModeDegrade, DF: 1e6},      // extreme df: degraded periods beyond any horizon
+		},
+		Faults: []string{FaultNone, FaultIID, FaultBurst, FaultCkpt},
+	}
+}
+
+// Cells returns the size of the cross-product.
+func (sp *Space) Cells() int {
+	return len(sp.Workloads) * len(sp.Backends) * len(sp.Modes) * len(sp.Faults)
+}
+
+// SpecAt maps sweep coordinates (seed, run index) to the run's full
+// spec: the cell is the index taken radix-wise through the axes, and
+// the continuous parameters (failure probability, horizon, burst and
+// checkpoint shapes, …) are drawn from the run's scenario stream — so a
+// spec depends only on its coordinates, never on sweep order, worker
+// count or chunking.
+func (sp *Space) SpecAt(seed int64, index int) RunSpec {
+	i := index % sp.Cells()
+	if i < 0 {
+		i += sp.Cells()
+	}
+	workload := sp.Workloads[i%len(sp.Workloads)]
+	i /= len(sp.Workloads)
+	backend := sp.Backends[i%len(sp.Backends)]
+	i /= len(sp.Backends)
+	mode := sp.Modes[i%len(sp.Modes)]
+	i /= len(sp.Modes)
+	fault := sp.Faults[i%len(sp.Faults)]
+
+	spec := RunSpec{
+		Seed:     seed,
+		Index:    index,
+		Workload: workload,
+		Backend:  backend,
+		Mode:     mode.Mode,
+		Fault:    fault,
+		DF:       mode.DF,
+	}
+	rng := rand.New(rand.NewSource(spec.Key().Stream(gen.SubsystemScenario)))
+
+	// Failure probabilities from the paper's regime (1e-5) up to
+	// hostile ones where re-execution searches saturate.
+	spec.FailProb = []float64{1e-5, 1e-3, 0.05, 0.3}[rng.Intn(4)]
+	spec.OperationHours = 1 + rng.Intn(10)
+	spec.FullWCET = rng.Intn(2) == 0
+	// Horizons of 1–4 s keep a single run cheap enough for the 10^5-run
+	// deep tier while covering thousands of jobs at paper periods.
+	spec.HorizonUs = int64(1+rng.Intn(4)) * 1_000_000
+
+	switch fault {
+	case FaultBurst:
+		// Mean gaps from "rare" to "nearly back-to-back" relative to the
+		// horizon; burst lengths up to tens of job executions.
+		spec.BurstGapUs = []int64{20_000, 200_000, 1_000_000}[rng.Intn(3)]
+		spec.BurstLenUs = []int64{1_000, 10_000, 50_000}[rng.Intn(3)]
+	case FaultCkpt:
+		spec.CkptSegments = 1 + rng.Intn(4)
+		spec.CkptRetries = 1 + rng.Intn(3)
+		spec.CkptOverheadUs = int64(rng.Intn(3)) * 50
+		// λ spans negligible to near-certain per-attempt failure at
+		// paper WCETs (C ~ 1 ms ⇒ f ≈ λ·C/1h ≈ 2.8e-7·λ).
+		spec.RatePerHour = []float64{1e3, 1e5, 1e7}[rng.Intn(3)]
+	}
+
+	// A quarter of runs exercise sporadic releases and preemption
+	// overhead — the simulator paths the analytical figures never take.
+	if rng.Intn(4) == 0 {
+		spec.SporadicMaxDelayUs = int64(1+rng.Intn(5)) * 1_000
+	}
+	if rng.Intn(4) == 0 {
+		spec.PreemptOverheadUs = int64(1+rng.Intn(5)) * 10
+	}
+	return spec
+}

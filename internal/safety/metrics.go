@@ -21,9 +21,9 @@ type safetyMetrics struct {
 	// histogram collapsing toward 1 means a batched engine degenerated
 	// to scalar dispatch. Sharded-cache effectiveness mirrors the
 	// per-CacheShards counters into the exported snapshot.
-	batchCalls  *obsv.Counter
-	batchJobs   *obsv.Counter
-	batchWidth  *obsv.Histogram
+	batchCalls     *obsv.Counter
+	batchJobs      *obsv.Counter
+	batchWidth     *obsv.Histogram
 	shardHits      *obsv.Counter
 	shardMisses    *obsv.Counter
 	shardEvictions *obsv.Counter

@@ -7,13 +7,67 @@ import (
 	"repro/internal/criticality"
 	"repro/internal/gen"
 	"repro/internal/safety"
+	"repro/internal/task"
 	"repro/internal/timeunit"
 )
 
-// Accounting conservation laws over random workloads, fault rates, modes
-// and policies: every released job is exactly one of completed, late,
-// round-failed, killed, or still pending at the horizon; processor time
+// checkConservation asserts the accounting identities on one finished
+// run: every released job is exactly one of completed, late,
+// round-failed, killed, or pending at the horizon (the exported Pending
+// counter, cross-checked against the live ready queue); processor time
 // is conserved; attempts dominate outcomes.
+func checkConservation(t *testing.T, label string, sm *Simulator, st Stats) {
+	t.Helper()
+	var pendingInHeap = int64(len(sm.ready))
+	var released, resolved, pending, unfinished int64
+	for _, ts := range st.PerTask {
+		released += ts.Released
+		resolved += ts.Completed + ts.LateCompletions + ts.RoundFailures + ts.KilledJobs
+		pending += ts.Pending
+		unfinished += ts.UnfinishedMisses
+		if ts.Completed+ts.LateCompletions+ts.RoundFailures+ts.KilledJobs+ts.Pending != ts.Released {
+			t.Fatalf("%s task %s: released %d != outcomes+pending: %+v", label, ts.Name, ts.Released, ts)
+		}
+		if ts.UnfinishedMisses > ts.Pending {
+			t.Fatalf("%s task %s: unfinished misses %d exceed pending %d",
+				label, ts.Name, ts.UnfinishedMisses, ts.Pending)
+		}
+		if ts.FaultyAttempts > ts.Attempts {
+			t.Fatalf("%s task %s: faulty > attempts", label, ts.Name)
+		}
+		if ts.Attempts < ts.Completed+ts.LateCompletions {
+			t.Fatalf("%s task %s: fewer attempts than completions", label, ts.Name)
+		}
+		if ts.Class == criticality.HI && (ts.KilledJobs != 0 || ts.SuppressedJobs != 0) {
+			t.Fatalf("%s task %s: adaptation touched a HI task: %+v", label, ts.Name, ts)
+		}
+	}
+	if pending != pendingInHeap {
+		t.Fatalf("%s: Pending total %d != ready-queue size %d", label, pending, pendingInHeap)
+	}
+	if released != resolved+pendingInHeap {
+		t.Fatalf("%s: released %d != resolved %d + pending %d", label, released, resolved, pendingInHeap)
+	}
+	if unfinished > pendingInHeap {
+		t.Fatalf("%s: unfinished misses %d exceed pending %d", label, unfinished, pendingInHeap)
+	}
+	if st.BusyTime > st.Horizon {
+		t.Fatalf("%s: busy %v exceeds horizon %v", label, st.BusyTime, st.Horizon)
+	}
+	if st.ModeSwitched && st.ModeSwitchAt >= st.Horizon {
+		t.Fatalf("%s: switch at %v past horizon", label, st.ModeSwitchAt)
+	}
+	if !st.ModeSwitched {
+		for _, ts := range st.PerTask {
+			if ts.KilledJobs != 0 || ts.SuppressedJobs != 0 {
+				t.Fatalf("%s task %s: killed/suppressed without a mode switch: %+v", label, ts.Name, ts)
+			}
+		}
+	}
+}
+
+// Accounting conservation laws over random workloads, fault rates, modes
+// and policies (the iid fault path).
 func TestSimulatorConservationLaws(t *testing.T) {
 	for seed := int64(0); seed < 40; seed++ {
 		rng := rand.New(rand.NewSource(seed))
@@ -42,38 +96,193 @@ func TestSimulatorConservationLaws(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		st := sm.Run()
-
-		var pendingInHeap int64 = int64(len(sm.ready))
-		var released, resolved, unfinished int64
-		for _, ts := range st.PerTask {
-			released += ts.Released
-			resolved += ts.Completed + ts.LateCompletions + ts.RoundFailures + ts.KilledJobs
-			unfinished += ts.UnfinishedMisses
-			if ts.Completed+ts.LateCompletions+ts.RoundFailures+ts.KilledJobs > ts.Released {
-				t.Fatalf("seed %d task %s: outcomes exceed releases: %+v", seed, ts.Name, ts)
-			}
-			if ts.FaultyAttempts > ts.Attempts {
-				t.Fatalf("seed %d task %s: faulty > attempts", seed, ts.Name)
-			}
-			if ts.Attempts < ts.Completed+ts.LateCompletions {
-				t.Fatalf("seed %d task %s: fewer attempts than completions", seed, ts.Name)
-			}
-		}
-		if released != resolved+pendingInHeap {
-			t.Fatalf("seed %d: released %d != resolved %d + pending %d",
-				seed, released, resolved, pendingInHeap)
-		}
-		if unfinished > pendingInHeap {
-			t.Fatalf("seed %d: unfinished misses %d exceed pending %d", seed, unfinished, pendingInHeap)
-		}
-		if st.BusyTime > st.Horizon {
-			t.Fatalf("seed %d: busy %v exceeds horizon %v", seed, st.BusyTime, st.Horizon)
-		}
-		if st.ModeSwitched && st.ModeSwitchAt >= st.Horizon {
-			t.Fatalf("seed %d: switch at %v past horizon", seed, st.ModeSwitchAt)
-		}
+		checkConservation(t, cfg.Mode.String(), sm, sm.Run())
 	}
+}
+
+// The same conservation laws under the correlated fault models: burst
+// faults (exponential gaps, fixed-length windows of guaranteed failure)
+// and scripted windows covering the extremes — a burst across the mode
+// switch and a burst covering the entire horizon. Correlated hits drive
+// whole cohorts of jobs into re-execution simultaneously, the regime
+// where double-counting bugs in the kill/degrade accounting would show.
+func TestSimulatorConservationCorrelatedBursts(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		s, err := gen.TaskSet(rng, gen.PaperParams(criticality.LevelB, criticality.LevelD,
+			0.3+rng.Float64()*0.6, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode := safety.Kill
+		df := 0.0
+		if rng.Intn(2) == 0 {
+			mode = safety.Degrade
+			df = 2 + rng.Float64()*8
+		}
+		horizon := timeunit.Seconds(int64(2 + rng.Intn(8)))
+		var faults FaultModel
+		switch seed % 3 {
+		case 0: // stochastic bursts, gaps comparable to the horizon
+			bf, err := NewBurstFaults(rng,
+				timeunit.Milliseconds(int64(50+rng.Intn(500))),
+				timeunit.Milliseconds(int64(1+rng.Intn(50))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			faults = bf
+		case 1: // one long scripted window in the middle of the run
+			wf, err := NewWindowFaults([]Window{{Start: horizon / 4, End: horizon / 2}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			faults = wf
+		default: // every attempt of the whole run faults
+			wf, err := NewWindowFaults([]Window{{Start: 0, End: horizon}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			faults = wf
+		}
+		cfg := Config{
+			Set: s, NHI: 1 + rng.Intn(3), NLO: 1, NPrime: 1 + rng.Intn(3),
+			Mode: mode, DF: df,
+			Policy:  []Policy{PolicyEDF, PolicyEDFVD, PolicyDM}[rng.Intn(3)],
+			Horizon: horizon, Faults: faults,
+		}
+		if cfg.Policy == PolicyEDFVD {
+			cfg.VDFactor = 1
+		}
+		sm, err := New(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkConservation(t, "burst", sm, sm.Run())
+	}
+}
+
+// boundarySet is a fixed two-task system with known periods, so the
+// mode-switch boundary tests can assert exact release and suppression
+// counts: one HI task (T = 10ms) and one LO task (T = 5ms).
+func boundarySet(t *testing.T) *task.Set {
+	t.Helper()
+	s, err := task.NewSet([]task.Task{
+		{Name: "hi", Period: timeunit.Milliseconds(10), Deadline: timeunit.Milliseconds(10),
+			WCET: timeunit.Milliseconds(2), Level: criticality.LevelB},
+		{Name: "lo", Period: timeunit.Milliseconds(5), Deadline: timeunit.Milliseconds(5),
+			WCET: timeunit.Milliseconds(1), Level: criticality.LevelD},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Mode-switch boundary cases around the trigger condition (a HI job
+// starting attempt n′+1):
+//
+//   - n′ ≥ n_HI can never fire — attempts cap at n_HI, so even a fault
+//     on every attempt reaches exactly n_HI, never n′+1;
+//   - n′ < n_HI with a guaranteed first-attempt fault fires on the very
+//     first HI job, and in Kill mode the LO task is then fully
+//     retired: zero pending LO jobs at the horizon and the released +
+//     suppressed counts together cover the undegraded timeline.
+func TestModeSwitchBoundaries(t *testing.T) {
+	horizon := timeunit.Seconds(1)
+
+	t.Run("nprime-at-nhi-never-fires", func(t *testing.T) {
+		for _, nprime := range []int{2, 3} { // == n_HI and > n_HI
+			cfg := Config{
+				Set: boundarySet(t), NHI: 2, NLO: 2, NPrime: nprime,
+				Mode: safety.Kill, Policy: PolicyEDFVD, VDFactor: 1,
+				Horizon: horizon,
+				Faults:  FirstAttemptsFail{K: []int{10, 10}}, // every allowed attempt faults
+			}
+			sm, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := sm.Run()
+			if st.ModeSwitched {
+				t.Fatalf("n'=%d >= n_HI=2 fired a mode switch at %v", nprime, st.ModeSwitchAt)
+			}
+			checkConservation(t, "no-switch", sm, st)
+			for _, ts := range st.PerTask {
+				if ts.KilledJobs != 0 || ts.SuppressedJobs != 0 {
+					t.Fatalf("task %s killed/suppressed without a switch: %+v", ts.Name, ts)
+				}
+			}
+		}
+	})
+
+	t.Run("kill-switch-retires-lo", func(t *testing.T) {
+		cfg := Config{
+			Set: boundarySet(t), NHI: 2, NLO: 2, NPrime: 1,
+			Mode: safety.Kill, Policy: PolicyEDFVD, VDFactor: 1,
+			Horizon: horizon,
+			Faults:  FirstAttemptsFail{K: []int{1, 1}}, // first attempt of every job faults
+		}
+		sm, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := sm.Run()
+		if !st.ModeSwitched {
+			t.Fatal("n'=1 < n_HI=2 with guaranteed first-attempt faults did not switch")
+		}
+		checkConservation(t, "kill-switch", sm, st)
+		for _, ts := range st.PerTask {
+			if ts.Class != criticality.LO {
+				continue
+			}
+			if ts.Pending != 0 {
+				t.Fatalf("LO task %s: %d jobs pending after a kill switch", ts.Name, ts.Pending)
+			}
+			if ts.SuppressedJobs == 0 {
+				t.Fatalf("LO task %s: no suppressed jobs despite an early kill (switch at %v, horizon %v)",
+					ts.Name, st.ModeSwitchAt, st.Horizon)
+			}
+			// Released + suppressed cover the undegraded timeline: the
+			// strictly periodic release count over the horizon,
+			// ceil(horizon / T) with T = 5ms.
+			want := int64((horizon + timeunit.Milliseconds(5) - 1) / timeunit.Milliseconds(5))
+			if got := ts.Released + ts.SuppressedJobs; got != want {
+				t.Fatalf("LO task %s: released %d + suppressed %d = %d, want the %d undegraded releases",
+					ts.Name, ts.Released, ts.SuppressedJobs, got, want)
+			}
+		}
+	})
+
+	t.Run("degrade-switch-before-first-lo-release", func(t *testing.T) {
+		// Sporadic releases can hold a LO task's first job back past the
+		// switch instant, exercising the degrade re-timing of tasks with
+		// no release history (the seq == 0 path).
+		cfg := Config{
+			Set: boundarySet(t), NHI: 2, NLO: 2, NPrime: 1,
+			Mode: safety.Degrade, DF: 3, Policy: PolicyEDFVD, VDFactor: 1,
+			Horizon: horizon,
+			Faults:  FirstAttemptsFail{K: []int{1, 1}},
+			Sporadic: &Sporadic{
+				MaxDelay: timeunit.Milliseconds(40),
+				Rng:      rand.New(rand.NewSource(7)),
+			},
+		}
+		sm, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := sm.Run()
+		if !st.ModeSwitched {
+			t.Fatal("degrade run did not switch")
+		}
+		checkConservation(t, "degrade-switch", sm, st)
+		for _, ts := range st.PerTask {
+			if ts.Class == criticality.LO && ts.SuppressedJobs != 0 {
+				t.Fatalf("LO task %s: suppression is a Kill-mode counter, got %d under Degrade",
+					ts.Name, ts.SuppressedJobs)
+			}
+		}
+	})
 }
 
 func uniformProbs(n int, f float64) []float64 {

@@ -703,6 +703,7 @@ func (s *Simulator) switchMode() {
 // releases suppressed by killing.
 func (s *Simulator) windDown() {
 	for _, j := range s.ready {
+		s.stats.PerTask[j.taskIdx].Pending++
 		if j.deadline < s.cfg.Horizon {
 			s.stats.PerTask[j.taskIdx].UnfinishedMisses++
 			s.emit(EvMiss, s.cfg.Horizon, j.taskIdx, j.seq, j.attempt)

@@ -33,6 +33,12 @@ type TaskStats struct {
 	// UnfinishedMisses counts jobs still incomplete at the horizon whose
 	// deadline had already passed.
 	UnfinishedMisses int64
+	// Pending counts jobs still live in the ready queue when the horizon
+	// was reached (UnfinishedMisses is the subset whose deadline had
+	// already expired). Every released job is exactly one of Completed,
+	// LateCompletions, RoundFailures, KilledJobs or Pending — the
+	// conservation law the invariant harness asserts on every run.
+	Pending int64
 	// Attempts counts execution attempts (including failed ones).
 	Attempts int64
 	// MaxResponse is the largest observed response time (completion −
