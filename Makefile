@@ -47,7 +47,7 @@ race-pool:
 		./internal/expt/ ./internal/safety/
 
 benchcheck:
-	$(GO) test -run '^$$' -bench='SafetyKillingPFH|KillingBatch|DistCampaign' -benchtime=1x ./...
+	$(GO) test -run '^$$' -bench='SafetyKillingPFH|KillingBatch|DistCampaign|PoolStealSkewed|PoolFixedSkewed' -benchtime=1x ./...
 
 # bench first runs the pooled-engine micro-benchmarks with allocation
 # counts (Fig. 3 point, FT-S with/without scratch, one simulator
@@ -78,14 +78,18 @@ bench-smoke:
 		-compare /tmp/ftmc-bench-smoke.json || test $$? -eq 2
 
 # dist-smoke drives the distributed campaign runner end to end as CI
-# does: build ftmc-report and ftmc-worker as real binaries, shard a
-# small Fig. 3 campaign across two worker subprocesses over the
-# stdin/stdout lease protocol, and byte-diff the report against the
-# single-process run. The scenario lives in TestCLIDistCampaign so
+# does: build ftmc-report and ftmc-worker as real binaries, then (a)
+# shard a small Fig. 3 campaign across two worker subprocesses over
+# the stdin/stdout lease protocol, (b) run the same campaign over real
+# TCP sockets with ftmc-worker -connect on the binary frame protocol,
+# and (c) crash the coordinator mid-journal (-dist-crash-after) and
+# restart it from its checkpoint — each byte-diffed against the
+# single-process run. The scenarios live in TestCLIDistCampaign,
+# TestCLIDistCampaignTCP and TestCLIDistCampaignCheckpointRestart so
 # local and CI runs are identical; the in-process protocol and
 # worker-loss/timeout paths are covered by `make race` (dist_test.go).
 dist-smoke:
-	$(GO) test -race -count 1 -v -run '^TestCLIDistCampaign$$' .
+	$(GO) test -race -count 1 -v -run '^TestCLIDistCampaign' .
 
 # serve-smoke drives the serving stack end to end as CI does: build
 # ftmc-serve and ftmc-load as real binaries, boot the server on an

@@ -218,6 +218,34 @@ func regressions(old, cur Report) []string {
 				b.Name, o.AllocsPerOp, b.AllocsPerOp, 100*(float64(b.AllocsPerOp)/float64(o.AllocsPerOp)-1)))
 		}
 	}
+	// Steal-pool parity gate: the stealing scheduler must stay within
+	// tolerance of the fixed cursor on the skewed workload. On hosts
+	// without real parallelism the steal machinery cannot win, but it
+	// must never collapse (the empty-steal spin once cost 100x here).
+	if sp := cur.StealPool; sp != nil && sp.FixedNsPerOp > 0 &&
+		sp.StealNsPerOp > sp.FixedNsPerOp*(1+regressionTolerance) {
+		msgs = append(msgs, fmt.Sprintf("steal_pool: steal %.0f ns/op vs fixed %.0f (%.2fx, tolerance %.2fx)",
+			sp.StealNsPerOp, sp.FixedNsPerOp, sp.StealNsPerOp/sp.FixedNsPerOp, 1+regressionTolerance))
+	}
+	if dc := cur.DistributedCampaign; dc != nil {
+		// Wire-byte gate (absolute, host-independent): a binary lease
+		// must stay ≥ 5x cheaper than a JSON lease in marginal bytes.
+		if w := dc.Wire; w != nil && w.Ratio < 5 {
+			msgs = append(msgs, fmt.Sprintf("distributed_campaign.wire: binary lease only %.1fx cheaper than json (%.0f vs %.0f B/lease, want >= 5x)",
+				w.Ratio, w.BinaryBytesPerLease, w.JSONBytesPerLease))
+		}
+		// Scale-out gate (relative, host-aware): 4-worker throughput
+		// over the 1-worker distributed baseline must not regress
+		// beyond tolerance against the same host's prior report. The
+		// ceiling itself is host-dependent — a single-CPU host tops out
+		// at parity (see DESIGN.md §12) — which is exactly why this
+		// gates the trend, not an absolute factor.
+		if oc := old.DistributedCampaign; oc != nil && oc.Speedup4 > 0 &&
+			dc.Speedup4 < oc.Speedup4*(1-regressionTolerance) {
+			msgs = append(msgs, fmt.Sprintf("distributed_campaign: speedup_4 %.2f -> %.2f (-%.0f%%)",
+				oc.Speedup4, dc.Speedup4, 100*(1-dc.Speedup4/oc.Speedup4)))
+		}
+	}
 	return msgs
 }
 
@@ -451,6 +479,10 @@ func main() {
 		if dc := rep.DistributedCampaign; dc != nil {
 			fmt.Printf("ftmc-bench: distributed campaign %.0f sets/s at 1 worker (%.2fx protocol overhead), %.2fx at 2, %.2fx at 4\n",
 				dc.Dist1SetsPerSec, dc.ProtocolOverhead, dc.Speedup2, dc.Speedup4)
+			if w := dc.Wire; w != nil {
+				fmt.Printf("ftmc-bench: wire marginal bytes/lease: binary %.0f vs json %.0f (%.1fx)\n",
+					w.BinaryBytesPerLease, w.JSONBytesPerLease, w.Ratio)
+			}
 		}
 		if st := rep.ServeThroughput; st != nil {
 			fmt.Printf("ftmc-bench: serve pipeline cold %.0fns warm %.0fns per verdict (%.0fx), miss batching %.0fns -> %.0fns (%.2fx) at concurrency %d, workers %d\n",
@@ -722,6 +754,11 @@ func batchBenchCorpus() []safety.KillJob {
 // cheap-test-first ordering produces, so scheduler quality shows as
 // wall clock and scheduler overhead shows on the cheap indices.
 func poolBench(b *testing.B, run func(n, chunk int, fn func(worker, i int) error) error) {
+	// Width pinned above the runner's CPU count so the steal machinery
+	// engages (victim scans, CAS claims, backoff) even on a single-CPU
+	// host; with the host default both schedulers collapse to their
+	// serial paths and the comparison measures nothing.
+	b.Setenv("FTMC_WORKERS", "4")
 	const n = 256
 	sink := make([]uint64, n)
 	b.ResetTimer()

@@ -1,9 +1,12 @@
 // ftmc-worker is the worker process of the distributed campaign
-// runner: it speaks the lease protocol of internal/expt (line-delimited
-// JSON — hello/ready handshake, then lease/result until done) and
-// evaluates each leased set range through the same pooled campaign
-// engine the single-process expt.Campaign uses, so its verdicts are
-// bit-identical to a local run. A coordinator (ftmc-report
+// runner: it speaks the lease protocol of internal/expt and evaluates
+// each leased set range through the same pooled campaign engine the
+// single-process expt.Campaign uses, so its verdicts are bit-identical
+// to a local run. The protocol is auto-detected from the stream's
+// first byte — binary frames (the default coordinator encoding: 0xF7
+// preamble, length-prefixed frames, varint-delta verdict bitmaps) or
+// the legacy line-delimited JSON — so one worker binary serves
+// coordinators of either era with no flag. A coordinator (ftmc-report
 // -distributed, or any expt.DistCampaign caller) owns the grid
 // partitioning and the merge; the worker is stateless across leases
 // beyond its per-pool-worker arenas.

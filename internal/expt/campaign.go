@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/criticality"
@@ -156,6 +157,7 @@ func Campaign(cfg CampaignConfig) (CampaignResult, error) {
 	}
 	res := newEmptyResult(cfg)
 	r := newCampaignRunner(&cfg)
+	defer r.release()
 	verdicts := make([]verdict, cfg.SetsPerPoint*r.nCfg)
 	for ui := range cfg.Utils {
 		m := exptView.Get()
@@ -225,14 +227,69 @@ func reduceCampaignPoint(res *CampaignResult, ui int, verdicts []verdict) {
 type campaignRunner struct {
 	cfg   *CampaignConfig
 	nCfg  int
+	key   evalKey
 	evals []*campaignEval
 }
 
+// evalKey is the drawer-shaping slice of a campaign configuration: two
+// campaignEvals with equal keys hold interchangeable drawer arenas,
+// scratches and caches (everything else they carry is reset per set or
+// per f group inside evalSet). The key is what makes pooling evals
+// across runs safe — and the seed is deliberately absent: it enters
+// through each set's SimulationKey, never the drawer.
+type evalKey struct {
+	hi, lo criticality.Level
+	f      float64
+	tasks  int
+	gen    Generator
+}
+
 func newCampaignRunner(cfg *CampaignConfig) *campaignRunner {
+	key := evalKey{hi: cfg.HI, lo: cfg.Panels[0].LO, f: cfg.FailProbs[0], gen: cfg.Generator}
+	if cfg.Generator == GenUUnifast {
+		key.tasks = cfg.TasksPerSet
+		if key.tasks == 0 {
+			key.tasks = 10
+		}
+	}
 	return &campaignRunner{
 		cfg:   cfg,
 		nCfg:  len(cfg.Panels) * len(cfg.FailProbs),
+		key:   key,
 		evals: make([]*campaignEval, Workers()),
+	}
+}
+
+// evalPool recycles campaignEval state — drawer arenas, conversion
+// scratch, adaptation caches, batch kernels — across runners. The win
+// is per-lease on the distributed worker: without the pool, every
+// DistCampaign (and every ServeWorker) rebuilds the arenas from
+// scratch; with it, steady-state runs reuse them like the single
+// -process Campaign reuses its evals across utilization points.
+var evalPool sync.Pool
+
+// acquireEval returns a pooled eval built for k, or a fresh one. A
+// pooled eval whose key differs (the pool served a different campaign
+// shape) is discarded: rebuilding is cheaper than hunting for a match.
+func acquireEval(k evalKey) *campaignEval {
+	if v := evalPool.Get(); v != nil {
+		ev := v.(*campaignEval)
+		if ev.key == k {
+			return ev
+		}
+	}
+	return &campaignEval{key: k}
+}
+
+// release returns the runner's evals to the pool. Callers must be done
+// evaluating; the evals may be handed to any later runner with the
+// same key.
+func (r *campaignRunner) release() {
+	for i, ev := range r.evals {
+		if ev != nil {
+			evalPool.Put(ev)
+			r.evals[i] = nil
+		}
 	}
 }
 
@@ -253,7 +310,7 @@ func (r *campaignRunner) evalRange(ui, lo, hi int, out []verdict) error {
 		}
 		ev := r.evals[w]
 		if ev == nil {
-			ev = &campaignEval{}
+			ev = acquireEval(r.key)
 			r.evals[w] = ev
 		}
 		var first error
@@ -309,6 +366,7 @@ type pendingKill struct {
 // is recycled per set and restamped per f, so deferred jobs copy their
 // tasks into killArena).
 type campaignEval struct {
+	key    evalKey
 	drawer *gen.Drawer
 	scr    *core.Scratch
 	cache  *safety.AdaptationCache

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obsv"
@@ -25,20 +26,24 @@ import (
 // verdict vector at the set's absolute index, and the final reduction
 // counts exact integer acceptances per configuration. No step depends
 // on which worker evaluated a set, how the grid was cut into leases,
-// when results arrived, or how many times a lease was reassigned — so
-// the merged CampaignResult (and hence any serialization of it) equals
-// the single-process run bit for bit.
+// when results arrived, how many times a lease was reassigned, how
+// many leases were in flight, how the adaptive sizer resized grants,
+// or which protocol carried the bytes — so the merged CampaignResult
+// (and hence any serialization of it) equals the single-process run
+// bit for bit. Checkpoint replay preserves the same argument: a
+// journaled lease holds the exact verdict words the worker computed,
+// merged at the same absolute indexes.
+//
+// Two wire protocols carry the lease traffic. The default is the
+// length-prefixed binary frame protocol of wire.go, driven with a
+// pipelined window of in-flight leases per worker (pipeline.go). The
+// legacy protocol — one JSON object per line, strict request-response
+// — is kept as the differential reference (WireJSON), exactly like
+// Fig3Ref and KillingPFHLONaive shadow their fast paths; the workers
+// auto-detect which one a coordinator speaks.
 
-// Wire protocol: one JSON object per line in each direction
-// (json.Encoder / json.Decoder framing), strict request-response per
-// connection. Coordinator sends hello{config}, worker answers
-// ready{manifest}; then the coordinator sends lease{id, ui, lo, hi}
-// and the worker answers result{id, v} (or error{err}) until the
-// coordinator sends done. The stdio transport of cmd/ftmc-worker and
-// the TCP transport of AcceptWorkers/DialWorkers carry the same bytes.
-
-// distMsg is the single wire message shape of the lease protocol; T
-// selects which fields are meaningful.
+// distMsg is the single wire message shape of the legacy JSON lease
+// protocol; T selects which fields are meaningful.
 type distMsg struct {
 	// T is "hello", "ready", "lease", "result", "error" or "done".
 	T string `json:"t"`
@@ -67,6 +72,26 @@ type distMsg struct {
 // any JSON consumer. The paper's figure needs 8.
 const maxDistConfigs = 31
 
+// WireProto selects the lease protocol's encoding.
+type WireProto int
+
+const (
+	// WireBinary is the default: length-prefixed frames, varint-delta
+	// verdict bitmaps, pipelined grants (see wire.go / pipeline.go).
+	WireBinary WireProto = iota
+	// WireJSON is the legacy line-delimited JSON protocol with strict
+	// request-response, kept as the differential reference and as the
+	// negotiate-down path for workers that predate frames.
+	WireJSON
+)
+
+func (p WireProto) String() string {
+	if p == WireJSON {
+		return "json"
+	}
+	return "binary"
+}
+
 // DistOptions tunes the lease protocol.
 type DistOptions struct {
 	// LeaseSets is the number of sets per lease (default 64). Smaller
@@ -75,11 +100,69 @@ type DistOptions struct {
 	// value — lease shape is a scheduling knob, like the pool's chunk
 	// size.
 	LeaseSets int
-	// LeaseTimeout, when positive, is the deadline for one lease's
-	// round-trip (and for the hello/ready handshake). A worker that
-	// blows the deadline is abandoned — its connection closed so a late
-	// result can never merge — and its lease is reassigned.
+	// LeaseTimeout, when positive, is the deadline for the handshake
+	// and for result progress: a worker holding leases that produces
+	// no result for this long is abandoned — its connection closed so
+	// a late result can never merge — and its leases are reassigned.
 	LeaseTimeout time.Duration
+	// Window is the number of leases the coordinator keeps in flight
+	// per worker on the binary protocol (default 2, double-buffered:
+	// the worker always has the next lease queued while evaluating the
+	// current one, so it never idles on a round-trip). WireJSON is
+	// strict request-response and ignores Window.
+	Window int
+	// Proto selects the wire protocol; the zero value is WireBinary.
+	Proto WireProto
+	// TargetLeaseLatency, when positive, enables adaptive lease sizing:
+	// the coordinator tracks each worker's observed per-set service
+	// time and resizes that worker's next grant toward this duration,
+	// clamped to [MinLeaseSets, MaxLeaseSets]. Slow or distant (WAN)
+	// workers then hold small leases that reassign cheaply, while fast
+	// local workers amortize the round-trip over large ones. Sizing is
+	// a pure scheduling knob: the merged bytes are identical under any
+	// trajectory.
+	TargetLeaseLatency time.Duration
+	// MinLeaseSets / MaxLeaseSets clamp adaptive sizing (defaults:
+	// max(1, LeaseSets/4) and 8×LeaseSets).
+	MinLeaseSets int
+	MaxLeaseSets int
+	// Checkpoint, when non-empty, is the path of the campaign's
+	// checkpoint journal: the coordinator appends one record per
+	// completed lease (schema ftmc/dist-ckpt/v1, see distckpt.go) and
+	// on restart replays the journal, re-queuing only unfinished work.
+	Checkpoint string
+	// CrashAfterLeases is fault injection for the restart path: when
+	// positive (and Checkpoint is set), the coordinator process exits
+	// with status 3 after journaling that many leases — the
+	// kill-the-coordinator half of the checkpoint/restart smoke test.
+	// Never set it outside tests.
+	CrashAfterLeases int
+}
+
+// withDefaults resolves the option defaults in one place.
+func (o DistOptions) withDefaults() DistOptions {
+	if o.LeaseSets <= 0 {
+		o.LeaseSets = 64
+	}
+	if o.Window <= 0 {
+		o.Window = 2
+	}
+	if o.Proto == WireJSON {
+		o.Window = 1 // strict request-response
+	}
+	if o.MinLeaseSets <= 0 {
+		o.MinLeaseSets = o.LeaseSets / 4
+		if o.MinLeaseSets < 1 {
+			o.MinLeaseSets = 1
+		}
+	}
+	if o.MaxLeaseSets <= 0 {
+		o.MaxLeaseSets = 8 * o.LeaseSets
+	}
+	if o.MaxLeaseSets < o.MinLeaseSets {
+		o.MaxLeaseSets = o.MinLeaseSets
+	}
+	return o
 }
 
 // DistReport is the coordinator's account of one distributed run.
@@ -93,58 +176,132 @@ type DistReport struct {
 	// Reassigned counts requeues after a worker loss.
 	Leases     int `json:"leases"`
 	Reassigned int `json:"reassigned"`
+	// Proto names the wire protocol the run used.
+	Proto string `json:"proto"`
+	// BytesOut / BytesIn / FramesOut / FramesIn count the coordinator's
+	// lease-protocol traffic across all workers (handshake included).
+	// BytesIn/Leases is the wire cost of one result — the number the
+	// bench's wire section tracks.
+	BytesOut  uint64 `json:"bytes_out"`
+	BytesIn   uint64 `json:"bytes_in"`
+	FramesOut uint64 `json:"frames_out"`
+	FramesIn  uint64 `json:"frames_in"`
+	// ReplayedSets counts sets restored from the checkpoint journal
+	// instead of granted to workers.
+	ReplayedSets int `json:"replayed_sets"`
 	// Manifest records the provenance of every participating process;
 	// its Mismatches field surfaces workers built from a different
 	// toolchain or revision than the coordinator.
 	Manifest obsv.MergedManifest `json:"manifest"`
 }
 
-// lease is one unit of assignable work: sets [lo, hi) of utilization
-// point ui.
+// lease is one unit of assigned work: sets [lo, hi) of utilization
+// point ui. The id is unique per grant (regrants get fresh ids), so a
+// pipelined driver can match results to grants unambiguously.
 type lease struct {
 	id, ui, lo, hi int
 }
 
-// leaseTable is the coordinator's scheduler state: a queue of pending
-// leases, the count of leases currently held by workers, and the count
-// of workers still alive. Drivers block in next until a lease is
-// available, everything is merged, or the run is lost.
-type leaseTable struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []lease
-	out     int // leases granted and not yet completed or requeued
-	alive   int // drivers that have not failed or finished
-	grants  int
-	requeue int
-	err     error
+// spanWork is an uncarved interval of the campaign grid awaiting
+// grant: sets [lo, hi) of point ui. Checkpoint replay can fragment a
+// point into several intervals.
+type spanWork struct {
+	ui, lo, hi int
 }
 
-func newLeaseTable(leases []lease, workers int) *leaseTable {
-	t := &leaseTable{pending: leases, alive: workers}
+// leaseTable is the coordinator's scheduler state: uncarved grid
+// intervals, a queue of abandoned leases awaiting regrant, the count
+// of leases currently held by workers, and the count of workers still
+// alive. Fresh leases are carved on demand at the size the driver
+// requests — that is what lets adaptive sizing resize grants without
+// precommitting a partition — while abandoned leases are regranted
+// verbatim (their exact range is what the failed worker owed).
+type leaseTable struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	fresh    []spanWork
+	freshAt  int
+	requeued []lease
+	out      int // leases granted and not yet completed or requeued
+	alive    int // drivers that have not failed or finished
+	grants   int
+	requeue  int
+	err      error
+}
+
+func newLeaseTable(fresh []spanWork, workers int) *leaseTable {
+	t := &leaseTable{fresh: fresh, alive: workers}
 	t.cond = sync.NewCond(&t.mu)
 	return t
 }
 
-// next blocks until a lease is grantable. ok is false when every lease
-// has completed; err is non-nil when the run is lost (every worker
-// failed with leases outstanding).
-func (t *leaseTable) next() (l lease, ok bool, err error) {
+// grantLocked carves or regrants up to max sets; callers hold mu.
+func (t *leaseTable) grantLocked(max int) (lease, bool) {
+	if max < 1 {
+		max = 1
+	}
+	if len(t.requeued) > 0 {
+		l := t.requeued[0]
+		t.requeued = t.requeued[1:]
+		l.id = t.grants
+		t.grants++
+		t.out++
+		return l, true
+	}
+	for t.freshAt < len(t.fresh) {
+		s := &t.fresh[t.freshAt]
+		if s.lo >= s.hi {
+			t.freshAt++
+			continue
+		}
+		hi := s.lo + max
+		if hi > s.hi {
+			hi = s.hi
+		}
+		l := lease{id: t.grants, ui: s.ui, lo: s.lo, hi: hi}
+		s.lo = hi
+		t.grants++
+		t.out++
+		return l, true
+	}
+	return lease{}, false
+}
+
+// remainingLocked reports whether any work is ungranted or in flight.
+func (t *leaseTable) remainingLocked() bool {
+	if len(t.requeued) > 0 || t.out > 0 {
+		return true
+	}
+	for i := t.freshAt; i < len(t.fresh); i++ {
+		if t.fresh[i].lo < t.fresh[i].hi {
+			return true
+		}
+	}
+	return false
+}
+
+// next grants a lease of up to max sets. ok is false when nothing is
+// grantable: then done reports whether every lease has completed (the
+// run is over) and err is non-nil when the run is lost (every worker
+// failed with leases outstanding). With block set, next waits for a
+// grantable lease instead of returning ok=false while other workers
+// still hold leases — the mode a driver with no leases of its own in
+// flight uses.
+func (t *leaseTable) next(max int, block bool) (l lease, ok, done bool, err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for {
 		if t.err != nil {
-			return lease{}, false, t.err
+			return lease{}, false, false, t.err
 		}
-		if len(t.pending) > 0 {
-			l = t.pending[0]
-			t.pending = t.pending[1:]
-			t.out++
-			t.grants++
-			return l, true, nil
+		if l, ok := t.grantLocked(max); ok {
+			return l, true, false, nil
 		}
 		if t.out == 0 {
-			return lease{}, false, nil
+			return lease{}, false, true, nil
+		}
+		if !block {
+			return lease{}, false, false, nil
 		}
 		// Leases are out on other workers; wait in case one requeues.
 		t.cond.Wait()
@@ -156,7 +313,7 @@ func (t *leaseTable) complete() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.out--
-	if t.out == 0 && len(t.pending) == 0 {
+	if t.out == 0 && !t.remainingLocked() {
 		t.cond.Broadcast()
 	}
 }
@@ -167,8 +324,20 @@ func (t *leaseTable) abandon(l lease) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.out--
-	t.pending = append(t.pending, l)
+	t.requeued = append(t.requeued, l)
 	t.requeue++
+	t.cond.Broadcast()
+}
+
+// poison fails the whole run: every driver sees err from its next
+// call. Used for coordinator-side losses (checkpoint write failure)
+// that no amount of lease reassignment can route around.
+func (t *leaseTable) poison(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err == nil {
+		t.err = err
+	}
 	t.cond.Broadcast()
 }
 
@@ -178,24 +347,78 @@ func (t *leaseTable) driverExit() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.alive--
-	if t.alive == 0 && (len(t.pending) > 0 || t.out > 0) && t.err == nil {
+	if t.alive == 0 && t.remainingLocked() && t.err == nil {
 		t.err = errors.New("expt: every distributed worker failed with leases outstanding")
 	}
 	t.cond.Broadcast()
 }
 
-// distDriver is the per-connection coordinator state: one driver
-// goroutine owns one worker connection end to end.
+// distDriver is the shared coordinator state: one driver goroutine
+// owns one worker connection end to end; the verdict vector, lease
+// table and journal are shared across drivers.
 type distDriver struct {
-	table    *leaseTable
-	cfg      *CampaignConfig
-	nCfg     int
-	verdicts []verdict
-	opt      DistOptions
+	table     *leaseTable
+	cfg       *CampaignConfig
+	nCfg      int
+	verdicts  []verdict
+	opt       DistOptions
+	helloJSON []byte // the campaign config, marshaled once for every hello
+	journal   *distJournal
 
-	mu        sync.Mutex // guards manifests and failures across drivers
+	mu        sync.Mutex // guards the fields below across drivers
 	manifests []obsv.Manifest
 	failures  int
+	bytesOut  uint64
+	bytesIn   uint64
+	framesOut uint64
+	framesIn  uint64
+}
+
+// mergeLease unpacks one lease's verdict words at their absolute
+// indexes. Safe to call concurrently for distinct leases: ranges of
+// live grants never overlap.
+func (d *distDriver) mergeLease(l lease, words []uint64) {
+	for j, w := range words {
+		set := l.lo + j
+		base := (l.ui*d.cfg.SetsPerPoint + set) * d.nCfg
+		for c := 0; c < d.nCfg; c++ {
+			d.verdicts[base+c] = verdict{
+				base:  w>>(2*uint(c))&1 == 1,
+				adapt: w>>(2*uint(c)+1)&1 == 1,
+			}
+		}
+	}
+}
+
+// fail counts a lost worker.
+func (d *distDriver) fail() {
+	d.mu.Lock()
+	d.failures++
+	d.mu.Unlock()
+	exptView.Get().distWorkerFailures.Inc()
+}
+
+// addManifest records one worker's ready manifest.
+func (d *distDriver) addManifest(m obsv.Manifest) {
+	d.mu.Lock()
+	d.manifests = append(d.manifests, m)
+	d.mu.Unlock()
+}
+
+// addTraffic folds one connection's byte/frame accounting into the
+// run totals (and the expt.dist.* counters).
+func (d *distDriver) addTraffic(out, in uint64, fout, fin uint64) {
+	d.mu.Lock()
+	d.bytesOut += out
+	d.bytesIn += in
+	d.framesOut += fout
+	d.framesIn += fin
+	d.mu.Unlock()
+	m := exptView.Get()
+	m.distBytesOut.Add(out)
+	m.distBytesIn.Add(in)
+	m.distFramesOut.Add(fout)
+	m.distFramesIn.Add(fin)
 }
 
 // DistCampaign runs cfg sharded across the given worker connections —
@@ -203,9 +426,11 @@ type distDriver struct {
 // cmd/ftmc-worker subprocess (StartWorkerProcs) or a TCP connection
 // (AcceptWorkers) — and merges the partial results. The returned
 // CampaignResult is byte-identical to Campaign(cfg) for any number of
-// connections, any lease size, any worker loss short of all of them,
-// and any FTMC_WORKERS setting inside the workers (see the file
-// comment for why). Connections are closed before returning.
+// connections, any lease sizing (fixed or adaptive), any pipelining
+// window, either wire protocol, any worker loss short of all of them,
+// any FTMC_WORKERS setting inside the workers, and any
+// checkpoint/restart cut (see the file comment for why). Connections
+// are closed before returning.
 func DistCampaign(cfg CampaignConfig, conns []io.ReadWriteCloser, opt DistOptions) (CampaignResult, DistReport, error) {
 	if err := cfg.Validate(); err != nil {
 		return CampaignResult{}, DistReport{}, err
@@ -218,34 +443,54 @@ func DistCampaign(cfg CampaignConfig, conns []io.ReadWriteCloser, opt DistOption
 		return CampaignResult{}, DistReport{}, fmt.Errorf(
 			"expt: %d panel × failure-probability configurations exceed the wire format's %d", nCfg, maxDistConfigs)
 	}
-	if opt.LeaseSets <= 0 {
-		opt.LeaseSets = 64
+	opt = opt.withDefaults()
+
+	helloJSON, err := json.Marshal(&cfg)
+	if err != nil {
+		return CampaignResult{}, DistReport{}, err
+	}
+	d := &distDriver{
+		cfg:       &cfg,
+		nCfg:      nCfg,
+		verdicts:  make([]verdict, len(cfg.Utils)*cfg.SetsPerPoint*nCfg),
+		opt:       opt,
+		helloJSON: helloJSON,
 	}
 
-	var leases []lease
-	for ui := range cfg.Utils {
-		for lo := 0; lo < cfg.SetsPerPoint; lo += opt.LeaseSets {
-			hi := lo + opt.LeaseSets
-			if hi > cfg.SetsPerPoint {
-				hi = cfg.SetsPerPoint
-			}
-			leases = append(leases, lease{id: len(leases), ui: ui, lo: lo, hi: hi})
+	// Restore journaled work first: replayed leases merge straight into
+	// the verdict vector and only the gaps go back on the table.
+	replayedSets := 0
+	var fresh []spanWork
+	if opt.Checkpoint != "" {
+		journal, records, err := openDistJournal(opt.Checkpoint, helloJSON, &cfg, nCfg)
+		if err != nil {
+			return CampaignResult{}, DistReport{}, err
+		}
+		journal.crashAfter = opt.CrashAfterLeases
+		d.journal = journal
+		defer journal.Close()
+		for _, r := range records {
+			d.mergeLease(lease{ui: r.UI, lo: r.Lo, hi: r.Hi}, r.V)
+		}
+		fresh, replayedSets = remainingWork(&cfg, records)
+		exptView.Get().distReplayedSets.Add(uint64(replayedSets))
+	} else {
+		for ui := range cfg.Utils {
+			fresh = append(fresh, spanWork{ui: ui, lo: 0, hi: cfg.SetsPerPoint})
 		}
 	}
+	d.table = newLeaseTable(fresh, len(conns))
 
-	d := &distDriver{
-		table:    newLeaseTable(leases, len(conns)),
-		cfg:      &cfg,
-		nCfg:     nCfg,
-		verdicts: make([]verdict, len(cfg.Utils)*cfg.SetsPerPoint*nCfg),
-		opt:      opt,
-	}
 	var wg sync.WaitGroup
 	for _, conn := range conns {
 		wg.Add(1)
 		go func(conn io.ReadWriteCloser) {
 			defer wg.Done()
-			d.runWorker(conn)
+			if opt.Proto == WireJSON {
+				d.runWorkerJSON(conn)
+			} else {
+				d.runWorkerWire(conn)
+			}
 		}(conn)
 	}
 	wg.Wait()
@@ -255,6 +500,12 @@ func DistCampaign(cfg CampaignConfig, conns []io.ReadWriteCloser, opt DistOption
 		WorkerFailures: d.failures,
 		Leases:         d.table.grants,
 		Reassigned:     d.table.requeue,
+		Proto:          opt.Proto.String(),
+		BytesOut:       d.bytesOut,
+		BytesIn:        d.bytesIn,
+		FramesOut:      d.framesOut,
+		FramesIn:       d.framesIn,
+		ReplayedSets:   replayedSets,
 		Manifest:       obsv.MergeManifests(obsv.NewManifest(), d.manifests),
 	}
 	m := exptView.Get()
@@ -273,30 +524,70 @@ func DistCampaign(cfg CampaignConfig, conns []io.ReadWriteCloser, opt DistOption
 	return res, rep, nil
 }
 
-// runWorker drives one connection: handshake, then grant leases and
-// merge results until the table drains or the worker is lost. On any
-// failure the connection is closed BEFORE the lease is requeued, so a
-// result that arrives after abandonment has nowhere to land —
-// duplicate merges are impossible by construction.
-func (d *distDriver) runWorker(conn io.ReadWriteCloser) {
+// countingConn wraps a legacy-protocol connection with the byte
+// accounting the frame codec provides natively. The counters are
+// atomic: the decoder goroutine may still be inside a Read when the
+// driver's deferred accounting reads them.
+type countingConn struct {
+	io.ReadWriteCloser
+	in, out atomic.Uint64
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.ReadWriteCloser.Read(p)
+	c.in.Add(uint64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.ReadWriteCloser.Write(p)
+	c.out.Add(uint64(n))
+	return n, err
+}
+
+// runWorkerJSON drives one connection over the legacy JSON protocol:
+// handshake, then strict request-response lease grants until the table
+// drains or the worker is lost. On any failure the connection is
+// closed BEFORE the lease is requeued, so a result that arrives after
+// abandonment has nowhere to land — duplicate merges are impossible by
+// construction. Kept verbatim in spirit as the differential reference
+// for the pipelined binary driver.
+func (d *distDriver) runWorkerJSON(rwc io.ReadWriteCloser) {
 	defer d.table.driverExit()
+	conn := &countingConn{ReadWriteCloser: rwc}
+	defer func() {
+		// JSON "frames" are Encode calls / decoded objects; messages in
+		// equals messages out on this strict protocol, one per Encode.
+		d.addTraffic(conn.out.Load(), conn.in.Load(), 0, 0)
+	}()
 	defer conn.Close()
 
 	enc := json.NewEncoder(conn)
 	msgs := make(chan distMsg)
+	ack := make(chan struct{})
 	rerr := make(chan error, 1)
 	quit := make(chan struct{})
 	defer close(quit)
 	go func() {
 		dec := json.NewDecoder(conn)
+		var m distMsg
 		for {
-			var m distMsg
+			// Reuse the verdict slice across leases: the strict
+			// request-response protocol guarantees at most one undecoded
+			// message per round-trip, and the ack below keeps the decoder
+			// from overwriting V while the driver is still merging it.
+			m = distMsg{V: m.V[:0]}
 			if err := dec.Decode(&m); err != nil {
 				rerr <- err
 				return
 			}
 			select {
 			case msgs <- m:
+			case <-quit:
+				return
+			}
+			select {
+			case <-ack:
 			case <-quit:
 				return
 			}
@@ -318,36 +609,35 @@ func (d *distDriver) runWorker(conn io.ReadWriteCloser) {
 			return distMsg{}, fmt.Errorf("expt: lease deadline (%v) exceeded", d.opt.LeaseTimeout)
 		}
 	}
-	fail := func() {
-		d.mu.Lock()
-		d.failures++
-		d.mu.Unlock()
-		exptView.Get().distWorkerFailures.Inc()
+	release := func() {
+		select {
+		case ack <- struct{}{}:
+		case <-quit:
+		}
 	}
 
 	if err := enc.Encode(distMsg{T: "hello", Config: d.cfg}); err != nil {
-		fail()
+		d.fail()
 		return
 	}
 	ready, err := recv()
 	if err != nil || ready.T != "ready" || ready.Manifest == nil {
-		fail()
+		d.fail()
 		return
 	}
-	d.mu.Lock()
-	d.manifests = append(d.manifests, *ready.Manifest)
-	d.mu.Unlock()
+	d.addManifest(*ready.Manifest)
+	release()
 
 	for {
-		l, ok, err := d.table.next()
+		l, ok, _, err := d.table.next(d.opt.LeaseSets, true)
 		if err != nil || !ok {
 			enc.Encode(distMsg{T: "done"}) // best effort; the worker may be gone
 			return
 		}
-		if err := d.serveLease(enc, recv, l); err != nil {
+		if err := d.serveLease(enc, recv, release, l); err != nil {
 			conn.Close() // close first: a late result must never merge
 			d.table.abandon(l)
-			fail()
+			d.fail()
 			return
 		}
 		d.table.complete()
@@ -356,8 +646,9 @@ func (d *distDriver) runWorker(conn io.ReadWriteCloser) {
 
 // serveLease grants one lease and merges its result into the verdict
 // vector at the sets' absolute indexes.
-func (d *distDriver) serveLease(enc *json.Encoder, recv func() (distMsg, error), l lease) error {
+func (d *distDriver) serveLease(enc *json.Encoder, recv func() (distMsg, error), release func(), l lease) error {
 	sp := exptView.Get().distLeaseNs.Start()
+	exptView.Get().distLeaseSets.Observe(int64(l.hi - l.lo))
 	if err := enc.Encode(distMsg{T: "lease", Lease: l.id, UI: l.ui, Lo: l.lo, Hi: l.hi}); err != nil {
 		return err
 	}
@@ -365,6 +656,7 @@ func (d *distDriver) serveLease(enc *json.Encoder, recv func() (distMsg, error),
 	if err != nil {
 		return err
 	}
+	defer release()
 	if m.T == "error" {
 		return fmt.Errorf("expt: worker failed lease %d: %s", l.id, m.Err)
 	}
@@ -374,15 +666,10 @@ func (d *distDriver) serveLease(enc *json.Encoder, recv func() (distMsg, error),
 	if len(m.V) != l.hi-l.lo {
 		return fmt.Errorf("expt: lease %d: got %d result words, want %d", l.id, len(m.V), l.hi-l.lo)
 	}
-	for j, w := range m.V {
-		set := l.lo + j
-		base := (l.ui*d.cfg.SetsPerPoint + set) * d.nCfg
-		for c := 0; c < d.nCfg; c++ {
-			d.verdicts[base+c] = verdict{
-				base:  w>>(2*uint(c))&1 == 1,
-				adapt: w>>(2*uint(c)+1)&1 == 1,
-			}
-		}
+	d.mergeLease(l, m.V)
+	if err := d.journal.append(l, m.V); err != nil {
+		d.table.poison(err) // coordinator-side loss, not this worker's fault
+		return err
 	}
 	sp.End()
 	return nil

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"io"
@@ -60,9 +61,10 @@ func TestDistributedCampaignMatchesSingleProcess(t *testing.T) {
 }
 
 // killAfter fails a worker's transport after a fixed number of writes.
-// json.Encoder issues exactly one Write per Encode, so the budget is a
-// message count: 1 covers the ready handshake, each further write one
-// lease result.
+// Both protocols issue exactly one Write per message on small leases —
+// json.Encoder per Encode, the frame worker per buffered-writer flush —
+// so the budget is a message count: 1 covers the ready handshake, each
+// further write one lease result.
 type killAfter struct {
 	net.Conn
 	writes atomic.Int32
@@ -111,13 +113,41 @@ func TestDistributedCampaignWorkerLoss(t *testing.T) {
 	}
 }
 
-// hangingWorker handshakes, accepts one lease and then never answers —
-// the failure mode the lease deadline exists for.
+// hangingWorker handshakes on whichever protocol the coordinator
+// speaks (the same sniff ServeWorker performs), accepts leases and
+// then never answers — the failure mode the lease deadline exists for.
 func hangingWorker() io.ReadWriteCloser {
 	c, w := net.Pipe()
 	go func() {
 		defer w.Close()
-		dec, enc := json.NewDecoder(w), json.NewEncoder(w)
+		br := bufio.NewReader(w)
+		first, err := br.Peek(1)
+		if err != nil {
+			return
+		}
+		if first[0] == wireMagic {
+			var pre [2]byte
+			if _, err := io.ReadFull(br, pre[:]); err != nil {
+				return
+			}
+			dec := newFrameDec(br)
+			if t, _, err := dec.next(); err != nil || t != frameHello {
+				return
+			}
+			mf := obsv.NewManifest()
+			mb, _ := json.Marshal(&mf)
+			enc := newFrameEnc(w)
+			enc.begin(frameReady)
+			enc.uvarint(wireV1)
+			enc.lenBytes(mb)
+			if enc.flush() != nil {
+				return
+			}
+			dec.next()             // take a lease...
+			io.Copy(io.Discard, w) // ...and sit on it until closed
+			return
+		}
+		dec, enc := json.NewDecoder(br), json.NewEncoder(w)
 		var m distMsg
 		if dec.Decode(&m) != nil {
 			return
@@ -134,24 +164,41 @@ func hangingWorker() io.ReadWriteCloser {
 }
 
 // TestDistributedCampaignLeaseTimeout pairs a hanging worker with a
-// healthy one under a short lease deadline: the stuck lease must be
-// reassigned and the merged bytes stay identical.
+// healthy one under a short lease deadline, on both protocols: the
+// stuck leases must be reassigned (the binary worker's whole window)
+// and the merged bytes stay identical.
 func TestDistributedCampaignLeaseTimeout(t *testing.T) {
 	cfg := smallCampaign()
 	want, err := Campaign(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	conns := append(PipeWorkers(1), hangingWorker())
-	got, rep, err := DistCampaign(cfg, conns, DistOptions{LeaseSets: 5, LeaseTimeout: 200 * time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if gotB, wantB := resultBytes(t, got), resultBytes(t, want); string(gotB) != string(wantB) {
-		t.Fatalf("result after lease timeout diverged from single-process bytes")
-	}
-	if rep.WorkerFailures != 1 || rep.Reassigned < 1 {
-		t.Fatalf("report %+v: want 1 worker failure and >= 1 reassignment", rep)
+	for _, proto := range []WireProto{WireBinary, WireJSON} {
+		t.Run(proto.String(), func(t *testing.T) {
+			// The healthy worker starts serving 50ms late, so the hanging
+			// worker is guaranteed to be holding leases when the deadline
+			// fires — without the delay a fast survivor can drain the
+			// whole table before the hanging driver wins a single grant.
+			c, w := net.Pipe()
+			go func() {
+				defer w.Close()
+				time.Sleep(50 * time.Millisecond)
+				ServeWorker(w)
+			}()
+			conns := []io.ReadWriteCloser{hangingWorker(), c}
+			got, rep, err := DistCampaign(cfg, conns, DistOptions{
+				Proto: proto, LeaseSets: 5, LeaseTimeout: 200 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotB, wantB := resultBytes(t, got), resultBytes(t, want); string(gotB) != string(wantB) {
+				t.Fatalf("result after lease timeout diverged from single-process bytes")
+			}
+			if rep.WorkerFailures != 1 || rep.Reassigned < 1 {
+				t.Fatalf("report %+v: want 1 worker failure and >= 1 reassignment", rep)
+			}
+		})
 	}
 }
 
@@ -176,9 +223,10 @@ func TestDistributedCampaignAllWorkersFail(t *testing.T) {
 }
 
 // TestDistCampaignInvariance sweeps the scheduling knobs that must all
-// be invisible in the output: worker-process count, lease size and the
-// in-worker pool width FTMC_WORKERS. Every combination must serialize
-// to the same bytes as the plain single-process campaign.
+// be invisible in the output: worker-process count, lease size, wire
+// protocol, pipelining window, adaptive lease sizing and the in-worker
+// pool width FTMC_WORKERS. Every combination must serialize to the
+// same bytes as the plain single-process campaign.
 func TestDistCampaignInvariance(t *testing.T) {
 	cfg := smallCampaign()
 	want, err := Campaign(cfg)
@@ -186,16 +234,25 @@ func TestDistCampaignInvariance(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantB := resultBytes(t, want)
+	opts := []DistOptions{
+		{LeaseSets: 1},
+		{LeaseSets: 5},
+		{LeaseSets: 1 << 20},
+		{LeaseSets: 5, Proto: WireJSON},
+		{LeaseSets: 2, Window: 4},
+		{LeaseSets: 4, TargetLeaseLatency: 200 * time.Microsecond, MinLeaseSets: 1, MaxLeaseSets: 64},
+		{LeaseSets: 3, Window: 3, TargetLeaseLatency: 2 * time.Millisecond},
+	}
 	for _, env := range []string{"1", "2"} {
 		t.Setenv("FTMC_WORKERS", env)
 		for _, procs := range []int{1, 2, 3} {
-			for _, leaseSets := range []int{1, 5, 1 << 20} {
-				got, _, err := DistCampaign(cfg, PipeWorkers(procs), DistOptions{LeaseSets: leaseSets})
+			for oi, opt := range opts {
+				got, _, err := DistCampaign(cfg, PipeWorkers(procs), opt)
 				if err != nil {
-					t.Fatalf("FTMC_WORKERS=%s procs=%d leaseSets=%d: %v", env, procs, leaseSets, err)
+					t.Fatalf("FTMC_WORKERS=%s procs=%d opts[%d]=%+v: %v", env, procs, oi, opt, err)
 				}
 				if gotB := resultBytes(t, got); string(gotB) != string(wantB) {
-					t.Fatalf("FTMC_WORKERS=%s procs=%d leaseSets=%d changed the bytes", env, procs, leaseSets)
+					t.Fatalf("FTMC_WORKERS=%s procs=%d opts[%d]=%+v changed the bytes", env, procs, oi, opt)
 				}
 			}
 		}

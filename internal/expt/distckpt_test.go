@@ -1,0 +1,165 @@
+package expt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// journalLines splits a journal file into its newline-terminated lines
+// (header first).
+func journalLines(t *testing.T, path string) [][]byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(b, []byte("\n"))
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// TestDistCampaignCheckpointResume is the restart contract end to end:
+// a completed journal replays the whole campaign without granting a
+// single lease; a journal cut mid-run (as a dead coordinator leaves
+// it, torn tail included) replays its prefix and re-runs only the
+// rest; the merged bytes are identical in every case.
+func TestDistCampaignCheckpointResume(t *testing.T) {
+	cfg := smallCampaign()
+	want, err := Campaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := resultBytes(t, want)
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.ckpt")
+
+	got, rep, err := DistCampaign(cfg, PipeWorkers(2), DistOptions{LeaseSets: 5, Checkpoint: full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotB := resultBytes(t, got); string(gotB) != string(wantB) {
+		t.Fatal("checkpointed run diverged from single-process bytes")
+	}
+	if rep.ReplayedSets != 0 {
+		t.Fatalf("fresh run replayed %d sets", rep.ReplayedSets)
+	}
+
+	// Restart over the complete journal: everything replays, nothing runs.
+	total := len(cfg.Utils) * cfg.SetsPerPoint
+	got, rep, err = DistCampaign(cfg, PipeWorkers(2), DistOptions{LeaseSets: 5, Checkpoint: full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotB := resultBytes(t, got); string(gotB) != string(wantB) {
+		t.Fatal("full replay diverged from single-process bytes")
+	}
+	if rep.ReplayedSets != total || rep.Leases != 0 {
+		t.Fatalf("full replay: %d sets replayed, %d leases granted; want %d and 0", rep.ReplayedSets, rep.Leases, total)
+	}
+
+	// Restart over a prefix — what a coordinator killed mid-run leaves
+	// behind — plus a torn final line, the signature of dying inside an
+	// append. The torn tail must be dropped and its lease re-run.
+	lines := journalLines(t, full)
+	partial := filepath.Join(dir, "partial.ckpt")
+	cut := 1 + (len(lines)-1)/2
+	var pb []byte
+	for _, l := range lines[:cut] {
+		pb = append(pb, l...)
+	}
+	pb = append(pb, []byte(`{"ui":0,"lo":`)...) // torn tail, no newline
+	if err := os.WriteFile(partial, pb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err = DistCampaign(cfg, PipeWorkers(2), DistOptions{LeaseSets: 5, Checkpoint: partial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotB := resultBytes(t, got); string(gotB) != string(wantB) {
+		t.Fatal("partial replay diverged from single-process bytes")
+	}
+	if rep.ReplayedSets == 0 || rep.ReplayedSets >= total || rep.Leases == 0 {
+		t.Fatalf("partial replay: %d sets replayed, %d leases granted; want both in between", rep.ReplayedSets, rep.Leases)
+	}
+	// And the journal the resumed run left behind must itself replay
+	// the whole campaign: the torn tail was truncated, the gaps filled.
+	_, rep, err = DistCampaign(cfg, PipeWorkers(1), DistOptions{LeaseSets: 5, Checkpoint: partial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReplayedSets != total || rep.Leases != 0 {
+		t.Fatalf("healed journal: %d sets replayed, %d leases granted; want %d and 0", rep.ReplayedSets, rep.Leases, total)
+	}
+}
+
+// TestDistCampaignCheckpointRejects pins the journal's guard rails: a
+// journal from a different campaign configuration and corruption
+// anywhere but the final line are hard errors, not silent re-runs.
+func TestDistCampaignCheckpointRejects(t *testing.T) {
+	cfg := smallCampaign()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	if _, _, err := DistCampaign(cfg, PipeWorkers(1), DistOptions{LeaseSets: 5, Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+
+	other := cfg
+	other.Seed++
+	if _, _, err := DistCampaign(other, PipeWorkers(1), DistOptions{LeaseSets: 5, Checkpoint: path}); err == nil {
+		t.Fatal("journal of a different campaign was accepted")
+	}
+
+	lines := journalLines(t, path)
+	corrupt := filepath.Join(dir, "corrupt.ckpt")
+	var cb []byte
+	for i, l := range lines {
+		if i == 2 {
+			cb = append(cb, []byte("not json\n")...)
+		}
+		cb = append(cb, l...)
+	}
+	if err := os.WriteFile(corrupt, cb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DistCampaign(cfg, PipeWorkers(1), DistOptions{LeaseSets: 5, Checkpoint: corrupt}); err == nil {
+		t.Fatal("mid-file corruption was accepted")
+	}
+
+	outside := filepath.Join(dir, "outside.ckpt")
+	ob := append([]byte{}, lines[0]...)
+	ob = append(ob, []byte(`{"ui":999,"lo":0,"hi":1,"v":[0]}`+"\n")...)
+	if err := os.WriteFile(outside, ob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DistCampaign(cfg, PipeWorkers(1), DistOptions{LeaseSets: 5, Checkpoint: outside}); err == nil {
+		t.Fatal("record outside the campaign grid was accepted")
+	}
+}
+
+// TestRemainingWork pins the replay set-arithmetic, overlaps included
+// (two coordinator generations can journal the same lease).
+func TestRemainingWork(t *testing.T) {
+	cfg := CampaignConfig{Utils: []float64{0.5, 0.6}, SetsPerPoint: 10}
+	records := []ckptRecord{
+		{UI: 0, Lo: 2, Hi: 5},
+		{UI: 0, Lo: 4, Hi: 7}, // overlaps the previous record
+		{UI: 1, Lo: 0, Hi: 10},
+	}
+	fresh, replayed := remainingWork(&cfg, records)
+	if replayed != 5+10 {
+		t.Fatalf("replayed %d sets, want 15", replayed)
+	}
+	want := []spanWork{{ui: 0, lo: 0, hi: 2}, {ui: 0, lo: 7, hi: 10}}
+	if len(fresh) != len(want) {
+		t.Fatalf("fresh spans %+v, want %+v", fresh, want)
+	}
+	for i := range want {
+		if fresh[i] != want[i] {
+			t.Fatalf("fresh[%d] = %+v, want %+v", i, fresh[i], want[i])
+		}
+	}
+}

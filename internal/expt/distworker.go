@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -20,12 +21,74 @@ import (
 // worker's verdicts for a set are bit-identical to what Campaign would
 // have computed for it, at any FTMC_WORKERS setting.
 //
+// The worker auto-detects the coordinator's protocol from the first
+// byte of the stream: 0xF7 opens the binary frame protocol (wire.go),
+// '{' the legacy line-delimited JSON protocol — one worker binary
+// serves coordinators of either era, and WireJSON coordinators need no
+// worker-side flag.
+//
 // rw is typically the process's stdin/stdout (cmd/ftmc-worker) or a TCP
 // connection. ServeWorker returns nil after done and the transport or
 // protocol error otherwise; an evaluation error is reported to the
 // coordinator as an error message before returning.
 func ServeWorker(rw io.ReadWriter) error {
-	dec := json.NewDecoder(rw)
+	br := getBufReader(rw)
+	first, err := br.Peek(1)
+	if err != nil {
+		putBufReader(br)
+		return fmt.Errorf("expt: worker handshake: %w", err)
+	}
+	if first[0] == wireMagic {
+		return serveWorkerWire(br, rw) // owns br's release (reader goroutine)
+	}
+	defer putBufReader(br)
+	return serveWorkerJSON(br, rw)
+}
+
+// workerConfig validates the campaign a hello carries and returns the
+// configuration count, shared by both protocol loops.
+func workerConfig(cfg *CampaignConfig) (int, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	nCfg := len(cfg.Panels) * len(cfg.FailProbs)
+	if nCfg > maxDistConfigs {
+		return 0, fmt.Errorf("expt: %d configurations exceed the wire format's %d", nCfg, maxDistConfigs)
+	}
+	return nCfg, nil
+}
+
+// checkLease bounds a granted lease against the campaign grid.
+func checkLease(cfg *CampaignConfig, l lease) error {
+	if l.hi-l.lo <= 0 || l.lo < 0 || l.hi > cfg.SetsPerPoint || l.ui < 0 || l.ui >= len(cfg.Utils) {
+		return fmt.Errorf("expt: lease %d out of range: ui=%d sets [%d, %d)", l.id, l.ui, l.lo, l.hi)
+	}
+	return nil
+}
+
+// packVerdicts packs one lease's verdicts into wire words: bit 2c the
+// baseline verdict and bit 2c+1 the adapted verdict of configuration c.
+func packVerdicts(out []verdict, packed []uint64, nCfg int) {
+	for j := range packed {
+		var w uint64
+		for c := 0; c < nCfg; c++ {
+			v := out[j*nCfg+c]
+			if v.base {
+				w |= 1 << (2 * uint(c))
+			}
+			if v.adapt {
+				w |= 1 << (2*uint(c) + 1)
+			}
+		}
+		packed[j] = w
+	}
+}
+
+// serveWorkerJSON is the legacy-protocol worker loop: line-delimited
+// JSON, strict request-response. Kept as the differential reference
+// for the frame protocol.
+func serveWorkerJSON(br *bufio.Reader, rw io.ReadWriter) error {
+	dec := json.NewDecoder(br)
 	enc := json.NewEncoder(rw)
 
 	var hello distMsg
@@ -36,13 +99,8 @@ func ServeWorker(rw io.ReadWriter) error {
 		return fmt.Errorf("expt: worker handshake: got %q, want hello with a config", hello.T)
 	}
 	cfg := *hello.Config
-	if err := cfg.Validate(); err != nil {
-		enc.Encode(distMsg{T: "error", Err: err.Error()})
-		return err
-	}
-	nCfg := len(cfg.Panels) * len(cfg.FailProbs)
-	if nCfg > maxDistConfigs {
-		err := fmt.Errorf("expt: %d configurations exceed the wire format's %d", nCfg, maxDistConfigs)
+	nCfg, err := workerConfig(&cfg)
+	if err != nil {
 		enc.Encode(distMsg{T: "error", Err: err.Error()})
 		return err
 	}
@@ -53,10 +111,12 @@ func ServeWorker(rw io.ReadWriter) error {
 	}
 
 	r := newCampaignRunner(&cfg)
+	defer r.release()
+	var m distMsg
 	var out []verdict
 	var packed []uint64
 	for {
-		var m distMsg
+		m = distMsg{}
 		if err := dec.Decode(&m); err != nil {
 			if err == io.EOF {
 				return fmt.Errorf("expt: coordinator hung up without done")
@@ -67,42 +127,219 @@ func ServeWorker(rw io.ReadWriter) error {
 		case "done":
 			return nil
 		case "lease":
-			n := m.Hi - m.Lo
-			if n <= 0 || m.Lo < 0 || m.Hi > cfg.SetsPerPoint || m.UI < 0 || m.UI >= len(cfg.Utils) {
-				err := fmt.Errorf("expt: lease %d out of range: ui=%d sets [%d, %d)", m.Lease, m.UI, m.Lo, m.Hi)
-				enc.Encode(distMsg{T: "error", Lease: m.Lease, Err: err.Error()})
+			l := lease{id: m.Lease, ui: m.UI, lo: m.Lo, hi: m.Hi}
+			if err := checkLease(&cfg, l); err != nil {
+				enc.Encode(distMsg{T: "error", Lease: l.id, Err: err.Error()})
 				return err
 			}
+			n := l.hi - l.lo
 			if cap(out) < n*nCfg {
 				out = make([]verdict, n*nCfg)
+			}
+			if cap(packed) < n {
 				packed = make([]uint64, n)
 			}
 			out = out[:n*nCfg]
 			packed = packed[:n]
-			if err := r.evalRange(m.UI, m.Lo, m.Hi, out); err != nil {
-				enc.Encode(distMsg{T: "error", Lease: m.Lease, Err: err.Error()})
+			if err := r.evalRange(l.ui, l.lo, l.hi, out); err != nil {
+				enc.Encode(distMsg{T: "error", Lease: l.id, Err: err.Error()})
 				return err
 			}
-			for j := range packed {
-				var w uint64
-				for c := 0; c < nCfg; c++ {
-					v := out[j*nCfg+c]
-					if v.base {
-						w |= 1 << (2 * uint(c))
-					}
-					if v.adapt {
-						w |= 1 << (2*uint(c) + 1)
-					}
-				}
-				packed[j] = w
-			}
-			if err := enc.Encode(distMsg{T: "result", Lease: m.Lease, UI: m.UI, Lo: m.Lo, Hi: m.Hi, V: packed}); err != nil {
+			packVerdicts(out, packed, nCfg)
+			if err := enc.Encode(distMsg{T: "result", Lease: l.id, UI: l.ui, Lo: l.lo, Hi: l.hi, V: packed}); err != nil {
 				return err
 			}
 		default:
 			return fmt.Errorf("expt: worker got unexpected message %q", m.T)
 		}
 	}
+}
+
+// serveWorkerWire is the binary-protocol worker loop. A dedicated
+// reader goroutine decodes incoming frames into a lease queue, so with
+// a pipelining coordinator the decode of lease k+1 overlaps the
+// evaluation of lease k and the worker never idles on a round-trip —
+// the worker half of the pipeline pipeline.go drives.
+func serveWorkerWire(br *bufio.Reader, rw io.ReadWriter) error {
+	// br goes back to the pool only once no goroutine can touch it:
+	// immediately on the pre-reader-goroutine error paths, and at return
+	// if the reader goroutine has already exited (the done path). On
+	// abandon paths the reader may still be blocked in a read, so br is
+	// left to be collected with it.
+	readerDone := make(chan struct{})
+	readerLive := false
+	defer func() {
+		if !readerLive {
+			putBufReader(br)
+			return
+		}
+		select {
+		case <-readerDone:
+			putBufReader(br)
+		default:
+		}
+	}()
+
+	var pre [2]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil {
+		return fmt.Errorf("expt: worker handshake: %w", err)
+	}
+	offered := int(pre[1])
+	if pre[0] != wireMagic || offered < 1 {
+		return fmt.Errorf("expt: worker handshake: bad preamble %#x version %d", pre[0], offered)
+	}
+	// Negotiate down to the newest version both sides speak; v1 is all
+	// this worker knows, and v1 frames stay valid in every later
+	// version (the coordinator reads our answer from ready).
+	version := wireV1
+	if offered < version {
+		version = offered
+	}
+
+	dec := newFrameDec(br)
+	t, body, err := dec.next()
+	if err != nil {
+		return fmt.Errorf("expt: worker handshake: %w", err)
+	}
+	if t != frameHello {
+		return fmt.Errorf("expt: worker handshake: got frame %#x, want hello", t)
+	}
+	hb := wireBuf{b: body}
+	cfgJSON, err := hb.lenBytes()
+	if err != nil {
+		return fmt.Errorf("expt: worker handshake: %w", err)
+	}
+	var cfg CampaignConfig
+	if err := json.Unmarshal(cfgJSON, &cfg); err != nil {
+		return fmt.Errorf("expt: worker handshake: %w", err)
+	}
+
+	bw := getBufWriter(rw)
+	defer putBufWriter(bw) // only this goroutine writes
+	enc := newFrameEnc(bw)
+	sendErr := func(id int, err error) {
+		enc.begin(frameError)
+		enc.uvarint(uint64(id))
+		enc.lenBytes([]byte(err.Error()))
+		if enc.flush() == nil {
+			bw.Flush()
+		}
+	}
+
+	nCfg, err := workerConfig(&cfg)
+	if err != nil {
+		sendErr(0, err)
+		return err
+	}
+	manifest := obsv.NewManifest()
+	manifest.Seed = cfg.Seed
+	mb, err := json.Marshal(&manifest)
+	if err != nil {
+		return err
+	}
+	enc.begin(frameReady)
+	enc.uvarint(uint64(version))
+	enc.lenBytes(mb)
+	if err := enc.flush(); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	// Reader goroutine: frames off the transport into the lease queue.
+	// The queue depth caps read-ahead at the coordinator's window.
+	type item struct {
+		l    lease
+		done bool
+		err  error
+	}
+	items := make(chan item, 16)
+	readerLive = true
+	go func() {
+		defer close(readerDone)
+		defer close(items)
+		for {
+			t, body, err := dec.next()
+			if err != nil {
+				if err == io.EOF {
+					err = fmt.Errorf("expt: coordinator hung up without done")
+				}
+				items <- item{err: err}
+				return
+			}
+			switch t {
+			case frameDone:
+				items <- item{done: true}
+				return
+			case frameLease:
+				r := wireBuf{b: body}
+				id, ui, lo, hi, err := r.leaseHeader()
+				if err == nil && len(r.b) != 0 {
+					err = fmt.Errorf("expt: %d trailing bytes after lease header", len(r.b))
+				}
+				if err != nil {
+					items <- item{err: err}
+					return
+				}
+				items <- item{l: lease{id: id, ui: ui, lo: lo, hi: hi}}
+			default:
+				items <- item{err: fmt.Errorf("expt: worker got unexpected frame %#x", t)}
+				return
+			}
+		}
+	}()
+
+	r := newCampaignRunner(&cfg)
+	defer r.release()
+	// If the loop below returns early (eval error, bad lease), keep the
+	// reader goroutine from blocking on a full queue until the
+	// coordinator hangs up: drain whatever it still sends.
+	defer func() {
+		go func() {
+			for range items {
+			}
+		}()
+	}()
+	var out []verdict
+	var packed []uint64
+	for it := range items {
+		if it.err != nil {
+			return it.err
+		}
+		if it.done {
+			return nil
+		}
+		l := it.l
+		if err := checkLease(&cfg, l); err != nil {
+			sendErr(l.id, err)
+			return err
+		}
+		n := l.hi - l.lo
+		if cap(out) < n*nCfg {
+			out = make([]verdict, n*nCfg)
+		}
+		if cap(packed) < n {
+			packed = make([]uint64, n)
+		}
+		out = out[:n*nCfg]
+		packed = packed[:n]
+		if err := r.evalRange(l.ui, l.lo, l.hi, out); err != nil {
+			sendErr(l.id, err)
+			return err
+		}
+		packVerdicts(out, packed, nCfg)
+		enc.begin(frameResult)
+		enc.uvarint(uint64(l.id))
+		enc.appendResultWords(packed)
+		if err := enc.flush(); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // PipeWorkers starts n in-process protocol workers over net.Pipe and

@@ -45,6 +45,18 @@ type exptMetrics struct {
 	distReassigned     *obsv.Counter
 	distWorkerFailures *obsv.Counter
 	distLeaseNs        *obsv.Histogram
+	// Wire-level telemetry of the lease data plane: bytes and frames in
+	// each direction (both protocols; JSON counts messages as 0 frames),
+	// the in-flight lease gauge across all workers (window utilization),
+	// the granted lease sizes (the adaptive sizer's trajectory), and
+	// sets restored from a checkpoint journal instead of re-evaluated.
+	distBytesOut     *obsv.Counter
+	distBytesIn      *obsv.Counter
+	distFramesOut    *obsv.Counter
+	distFramesIn     *obsv.Counter
+	distInflight     *obsv.Gauge
+	distLeaseSets    *obsv.Histogram
+	distReplayedSets *obsv.Counter
 }
 
 var exptView = obsv.NewView(func(r *obsv.Registry) *exptMetrics {
@@ -70,5 +82,12 @@ var exptView = obsv.NewView(func(r *obsv.Registry) *exptMetrics {
 		distReassigned:        r.Counter("expt.dist.reassigned"),
 		distWorkerFailures:    r.Counter("expt.dist.worker_failures"),
 		distLeaseNs:           r.Histogram("expt.dist.lease_ns"),
+		distBytesOut:          r.Counter("expt.dist.bytes_out"),
+		distBytesIn:           r.Counter("expt.dist.bytes_in"),
+		distFramesOut:         r.Counter("expt.dist.frames_out"),
+		distFramesIn:          r.Counter("expt.dist.frames_in"),
+		distInflight:          r.Gauge("expt.dist.inflight_leases"),
+		distLeaseSets:         r.Histogram("expt.dist.lease_sets"),
+		distReplayedSets:      r.Counter("expt.dist.replayed_sets"),
 	}
 })

@@ -195,25 +195,39 @@ func ForEachWorkerChunkedN(workers, n, chunk int, fn func(worker, start, end int
 					if done.Load() >= int64(n) {
 						return
 					}
-					// Steal the upper half of a random victim's span.
-					stole := false
+					// Steal the upper half of the largest remaining span
+					// (randomized tie-break via the scan origin): each steal
+					// moves the most work available, minimizing steal count.
+					// A span needs at least 2 pending indexes to be worth
+					// taking — for a 1-wide span the "upper half" rounds to
+					// empty, and treating that as a successful steal would
+					// spin a thief without ever yielding the processor, which
+					// on a single-CPU host starves the owner of the last item
+					// for entire preemption slices (a ~100x collapse before
+					// this guard existed). Sub-2 stragglers are left to their
+					// owner and the thief backs off through Gosched.
+					victim, best := -1, 1
+					var bv uint64
 					off := rng.Intn(workers)
 					for i := 0; i < workers; i++ {
-						victim := (off + i) % workers
-						if victim == w {
+						cand := (off + i) % workers
+						if cand == w {
 							continue
 						}
-						v := spans[victim].v.Load()
+						v := spans[cand].v.Load()
 						lo, hi := unpackSpan(v)
-						if hi-lo <= 0 {
-							continue
+						if hi-lo > best {
+							victim, best, bv = cand, hi-lo, v
 						}
-						mid := lo + (hi-lo+1)/2
-						if spans[victim].v.CompareAndSwap(v, packSpan(lo, mid)) {
+					}
+					stole := false
+					if victim >= 0 {
+						lo, hi := unpackSpan(bv)
+						mid := lo + (hi-lo+1)/2 // < hi: the transfer is never empty
+						if spans[victim].v.CompareAndSwap(bv, packSpan(lo, mid)) {
 							spans[w].v.Store(packSpan(mid, hi))
 							m.poolSteals.Inc()
 							stole = true
-							break
 						}
 					}
 					if !stole {

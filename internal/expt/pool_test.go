@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/criticality"
+	"repro/internal/obsv"
 )
 
 // workerWidths is the invariance matrix of the stealing pool: serial,
@@ -106,6 +107,33 @@ func TestStealPoolSkewedLoad(t *testing.T) {
 		if v != 1 {
 			t.Fatalf("index %d visited %d times", i, v)
 		}
+	}
+}
+
+// TestStealPoolBoundedSteals pins the no-empty-steal guarantee: every
+// successful steal transfers at least one pending index, so the total
+// steal count over a run is strictly below n (each steal splits one
+// span into two non-empty parts). Before the guard, a thief could
+// "steal" the empty upper half of a 1-wide span in a spin loop that
+// never yielded the processor — millions of counted steals and a
+// ~100x slowdown on a single-CPU host.
+func TestStealPoolBoundedSteals(t *testing.T) {
+	t.Setenv("FTMC_WORKERS", "4")
+	reg := obsv.NewRegistry()
+	obsv.SetDefault(reg)
+	defer obsv.SetDefault(nil)
+	const n, chunk = 256, 2
+	before := exptView.Get().poolSteals.Value()
+	if err := ForEachWorker(n, chunk, func(_, i int) error {
+		if i%8 == 0 { // skewed: stragglers force steal traffic
+			time.Sleep(50 * time.Microsecond)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if steals := exptView.Get().poolSteals.Value() - before; steals >= n {
+		t.Fatalf("%d steals over %d indices: steals must transfer work", steals, n)
 	}
 }
 
@@ -228,3 +256,37 @@ func TestForEachWorkerFixedMatches(t *testing.T) {
 		}
 	}
 }
+
+// benchSkewedPool is the scheduler A/B workload of the benchcheck
+// gate: every 8th index is 16x heavier, the skew the campaign's
+// cheap-test-first ordering produces. The width is pinned above the
+// host CPU count so the steal machinery engages even on a single-CPU
+// runner — the regime where an empty-transfer steal once spun a thief
+// into a ~100x collapse.
+func benchSkewedPool(b *testing.B, run func(n, chunk int, fn func(worker, i int) error) error) {
+	b.Setenv("FTMC_WORKERS", "4")
+	const n = 256
+	sink := make([]uint64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(n, 2, func(_, i int) error {
+			iters := 400
+			if i%8 == 0 {
+				iters = 6400
+			}
+			x := uint64(i) + 1
+			for k := 0; k < iters; k++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+			}
+			sink[i] = x
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPoolStealSkewed(b *testing.B) { benchSkewedPool(b, ForEachWorker) }
+func BenchmarkPoolFixedSkewed(b *testing.B) { benchSkewedPool(b, ForEachWorkerFixed) }

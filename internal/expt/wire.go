@@ -1,0 +1,458 @@
+package expt
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// This file is the binary framing layer of the distributed campaign
+// protocol (wire v1). The legacy line-delimited JSON protocol of
+// dist.go remains fully supported — it is the differential reference
+// the binary codec is tested against, the same role Fig3Ref and
+// KillingPFHLONaive play for their fast paths — but the default data
+// plane speaks frames:
+//
+//	stream   = preamble frame*
+//	preamble = 0xF7 version            (coordinator → worker only)
+//	frame    = uvarint(len(payload)) payload
+//	payload  = type flags body
+//
+// The worker auto-detects the protocol from the first byte of the
+// stream: 0xF7 opens binary, '{' opens the legacy JSON protocol (a
+// JSON hello always starts with '{'), so one worker binary serves
+// coordinators of either era. The preamble's version byte is the
+// negotiation hook within the binary protocol: the worker answers
+// ready with the highest version it speaks (≤ the offered one) and
+// the coordinator continues at that version; a worker that predates
+// frames entirely cannot parse the preamble and is driven with
+// WireJSON instead — the operator-selected "negotiate down" path.
+//
+// Frame bodies are varint-packed (binary.Uvarint):
+//
+//	hello  : uvarint(len) json(CampaignConfig)
+//	ready  : uvarint(version) uvarint(len) json(Manifest)
+//	lease  : uvarint(id) uvarint(ui) uvarint(lo) uvarint(hi)
+//	result : uvarint(id) uvarint(n) token*
+//	token  : uvarint(delta ≠ 0) | 0x00 uvarint(zero-run length)
+//	error  : uvarint(id) uvarint(len) bytes(message)
+//	done   : empty
+//
+// A result's verdict words travel as a varint-delta bitmap:
+// delta_i = w_i XOR w_{i-1} (w_{-1} = 0). Acceptance flips rarely
+// along a lease's contiguous set range — most points are deep in the
+// all-accept or all-reject regime — so most deltas are 0, and runs of
+// zero deltas are elided into a single two-byte token (a literal zero
+// never appears as a delta, which frees 0x00 as the run marker): a
+// lease whose sets all agree costs two bytes of verdicts no matter how
+// many sets it spans, versus the ~7 bytes per word the decimal JSON
+// array costs.
+// flags bit 0 marks a DEFLATE-compressed body (the length prefix
+// covers the compressed bytes); the encoder applies it only when it
+// actually shrinks the body, which in practice is the JSON-carrying
+// handshake frames — the bitmap deltas are already dense. A result
+// carries only its lease id: the coordinator's grant record supplies
+// (ui, lo, hi), and the mandatory word count pins the result to the
+// granted size, so echoing the range would spend bytes to say nothing.
+//
+// Every multi-byte read is bounds-checked and every length field is
+// capped (wireMaxFrame, chunked frame fill) before memory is
+// committed, so truncated, corrupt or adversarial-length inputs
+// error out without panicking or over-allocating — the contract
+// FuzzDistFrame exercises.
+
+const (
+	// wireMagic opens a binary-protocol stream; it cannot collide with
+	// the legacy protocol, whose first byte is '{' (0x7B).
+	wireMagic = 0xF7
+	// wireV1 is the only frame version so far. The worker answers ready
+	// with min(offered, wireV1), so a newer coordinator knows to stay
+	// at this version's frame shapes.
+	wireV1 = 1
+
+	frameHello  = 0x01
+	frameReady  = 0x02
+	frameLease  = 0x03
+	frameResult = 0x04
+	frameError  = 0x05
+	frameDone   = 0x06
+
+	// flagDeflate marks a DEFLATE-compressed frame body.
+	flagDeflate = 0x01
+
+	// wireMaxFrame caps one frame's payload (and its decompressed
+	// body): far above any real lease — a 10^6-set result is ~1 MiB
+	// worst-case — but low enough that a corrupt length cannot commit
+	// unbounded memory.
+	wireMaxFrame = 16 << 20
+	// wireFillChunk is the step the decoder grows a frame buffer by
+	// while reading, so a forged length prefix on a truncated stream
+	// over-allocates by at most one chunk instead of the full claim.
+	wireFillChunk = 64 << 10
+	// wireCompressMin is the smallest body the encoder tries DEFLATE
+	// on; below it the header overhead dominates any win.
+	wireCompressMin = 256
+)
+
+// errFrameTooBig rejects length fields beyond wireMaxFrame.
+var errFrameTooBig = fmt.Errorf("expt: wire frame exceeds %d bytes", wireMaxFrame)
+
+// flate state is pooled process-wide: a flate.Writer alone is several
+// hundred kilobytes of window and huffman tables, far too heavy to
+// build per connection for the handful of handshake-sized frames that
+// ever cross the compression threshold.
+var (
+	flateWriterPool = sync.Pool{New: func() any {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	}}
+	flateReaderPool = sync.Pool{New: func() any {
+		return flate.NewReader(bytes.NewReader(nil))
+	}}
+)
+
+// wireBufSize is the bufio buffer on each side of a wire connection:
+// large enough to coalesce a window refill or a batch of results into
+// one transport handoff, small enough to pool freely.
+const wireBufSize = 32 << 10
+
+// The bufio halves are pooled too — at 32 KiB each they are the bulk
+// of a connection's setup bytes, and a campaign coordinator opens (and
+// a worker binary serves) connections in sequence far more often than
+// in parallel.
+var (
+	bufReaderPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, wireBufSize) }}
+	bufWriterPool = sync.Pool{New: func() any { return bufio.NewWriterSize(io.Discard, wireBufSize) }}
+)
+
+// getBufReader leases a pooled 32 KiB bufio.Reader bound to r; return
+// it with putBufReader once no goroutine can still be reading.
+func getBufReader(r io.Reader) *bufio.Reader {
+	br := bufReaderPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+func putBufReader(br *bufio.Reader) {
+	br.Reset(nil)
+	bufReaderPool.Put(br)
+}
+
+// getBufWriter leases a pooled 32 KiB bufio.Writer bound to w; return
+// it with putBufWriter after the final Flush.
+func getBufWriter(w io.Writer) *bufio.Writer {
+	bw := bufWriterPool.Get().(*bufio.Writer)
+	bw.Reset(w)
+	return bw
+}
+
+func putBufWriter(bw *bufio.Writer) {
+	bw.Reset(io.Discard)
+	bufWriterPool.Put(bw)
+}
+
+// frameEnc encodes frames onto w through one reused buffer: a flush
+// writes the length prefix and payload with a single Write, so a
+// buffered or rendezvous transport (net.Pipe) sees one handoff per
+// frame. The zero cost of reuse is the point: steady-state encoding
+// allocates nothing.
+type frameEnc struct {
+	w        io.Writer
+	buf      []byte // frame under construction: 4-byte len, type, flags, body
+	cbuf     bytes.Buffer
+	bytesOut uint64
+	frames   uint64
+}
+
+func newFrameEnc(w io.Writer) *frameEnc {
+	return &frameEnc{w: w, buf: make([]byte, 0, 512)}
+}
+
+// begin starts a frame of the given type; body writers append.
+func (e *frameEnc) begin(t byte) {
+	e.buf = append(e.buf[:0], 0, 0, 0, 0, t, 0)
+}
+
+func (e *frameEnc) uvarint(v uint64)  { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *frameEnc) bytes(b []byte)    { e.buf = append(e.buf, b...) }
+func (e *frameEnc) lenBytes(b []byte) { e.uvarint(uint64(len(b))); e.bytes(b) }
+
+// flush finishes the frame: compresses the body when that wins, stamps
+// the varint length prefix into the tail of the 4-byte reservation and
+// writes the frame in one call. A varint prefix costs one byte on the
+// tiny frames that dominate lease traffic, where a fixed uint32 would
+// be a third of the frame.
+func (e *frameEnc) flush() error {
+	body := e.buf[6:]
+	if len(body) >= wireCompressMin {
+		e.cbuf.Reset()
+		fw := flateWriterPool.Get().(*flate.Writer)
+		fw.Reset(&e.cbuf)
+		if _, err := fw.Write(body); err == nil && fw.Close() == nil && e.cbuf.Len() < len(body) {
+			e.buf = append(e.buf[:6], e.cbuf.Bytes()...)
+			e.buf[5] |= flagDeflate
+		}
+		flateWriterPool.Put(fw)
+	}
+	payload := e.buf[4:]
+	if len(payload) > wireMaxFrame {
+		return errFrameTooBig
+	}
+	var pfx [4]byte // 16 MiB needs at most 4 varint bytes
+	pn := binary.PutUvarint(pfx[:], uint64(len(payload)))
+	start := 4 - pn
+	copy(e.buf[start:], pfx[:pn])
+	n, err := e.w.Write(e.buf[start:])
+	e.bytesOut += uint64(n)
+	e.frames++
+	return err
+}
+
+// frameDec decodes frames from r into reused buffers. next returns the
+// frame type and its (decompressed) body, valid until the following
+// next call.
+type frameDec struct {
+	r       *bufio.Reader
+	payload []byte
+	dbuf    []byte // decompression target, reused
+	bytesIn uint64
+	frames  uint64
+}
+
+func newFrameDec(r *bufio.Reader) *frameDec { return &frameDec{r: r} }
+
+// fill reads exactly n payload bytes into the reused buffer, growing
+// it one wireFillChunk-sized read at a time: capacity is committed
+// only after the stream actually delivered the previous chunk, so a
+// forged length prefix on a truncated stream over-allocates by at
+// most one chunk (plus append's doubling slack), never the full
+// claimed size.
+func (d *frameDec) fill(n int) ([]byte, error) {
+	buf := d.payload[:0]
+	for len(buf) < n {
+		step := n - len(buf)
+		if step > wireFillChunk {
+			step = wireFillChunk
+		}
+		start := len(buf)
+		for cap(buf) < start+step {
+			buf = append(buf[:cap(buf)], 0)
+		}
+		buf = buf[:start+step]
+		if _, err := io.ReadFull(d.r, buf[start:]); err != nil {
+			d.payload = buf[:0]
+			return nil, err
+		}
+	}
+	d.payload = buf
+	return buf, nil
+}
+
+// next reads one frame. Malformed input — short reads, oversized or
+// undersized lengths, bad compression, unknown flags — returns an
+// error; next never panics on hostile bytes.
+func (d *frameDec) next() (t byte, body []byte, err error) {
+	n64, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n64 > wireMaxFrame {
+		return 0, nil, errFrameTooBig
+	}
+	n := int(n64)
+	if n < 2 {
+		return 0, nil, fmt.Errorf("expt: wire frame payload of %d bytes is below the 2-byte header", n)
+	}
+	payload, err := d.fill(n)
+	if err != nil {
+		return 0, nil, fmt.Errorf("expt: truncated wire frame: %w", err)
+	}
+	d.bytesIn += uint64(uvarintLen(n64)) + uint64(n)
+	d.frames++
+	t, flags, body := payload[0], payload[1], payload[2:]
+	if flags&^flagDeflate != 0 {
+		return 0, nil, fmt.Errorf("expt: unknown wire frame flags %#x", flags)
+	}
+	if flags&flagDeflate != 0 {
+		if body, err = d.inflate(body); err != nil {
+			return 0, nil, err
+		}
+	}
+	return t, body, nil
+}
+
+// inflate decompresses a frame body into the reused dbuf, bounded by
+// wireMaxFrame.
+func (d *frameDec) inflate(body []byte) ([]byte, error) {
+	fr := flateReaderPool.Get().(io.ReadCloser)
+	defer flateReaderPool.Put(fr)
+	if err := fr.(flate.Resetter).Reset(bytes.NewReader(body), nil); err != nil {
+		return nil, err
+	}
+	d.dbuf = d.dbuf[:0]
+	buf := d.dbuf
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 4096)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			if len(buf) >= wireMaxFrame {
+				return nil, errFrameTooBig
+			}
+			buf = append(buf, 0)[:len(buf)]
+		}
+		m, err := fr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+m]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("expt: corrupt compressed wire frame: %w", err)
+		}
+	}
+	d.dbuf = buf
+	return buf, nil
+}
+
+// wireBuf is a cursor over a frame body for varint-packed fields.
+type wireBuf struct{ b []byte }
+
+var errWireTruncated = errors.New("expt: truncated wire frame body")
+
+func (r *wireBuf) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, errWireTruncated
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+// intField reads a uvarint that must fit a non-negative int (grid
+// indexes, lease ids).
+func (r *wireBuf) intField() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(int(^uint(0)>>1)) {
+		return 0, fmt.Errorf("expt: wire integer field %d overflows int", v)
+	}
+	return int(v), nil
+}
+
+// lenBytes reads a uvarint length and that many bytes, validating the
+// length against what the body actually holds before slicing.
+func (r *wireBuf) lenBytes() ([]byte, error) {
+	n, err := r.intField()
+	if err != nil {
+		return nil, err
+	}
+	if n > len(r.b) {
+		return nil, errWireTruncated
+	}
+	b := r.b[:n]
+	r.b = r.b[n:]
+	return b, nil
+}
+
+// leaseHeader is the (id, ui, lo, hi) prefix shared by lease and
+// result frames.
+func (r *wireBuf) leaseHeader() (id, ui, lo, hi int, err error) {
+	if id, err = r.intField(); err != nil {
+		return
+	}
+	if ui, err = r.intField(); err != nil {
+		return
+	}
+	if lo, err = r.intField(); err != nil {
+		return
+	}
+	hi, err = r.intField()
+	return
+}
+
+// uvarintLen is the encoded size of v (for byte accounting).
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// appendResultWords appends the varint-delta bitmap of words to the
+// open frame of e: non-zero deltas as plain uvarints, runs of zero
+// deltas elided into a 0x00 marker plus run length.
+func (e *frameEnc) appendResultWords(words []uint64) {
+	e.uvarint(uint64(len(words)))
+	var prev uint64
+	zeros := uint64(0)
+	flushZeros := func() {
+		if zeros > 0 {
+			e.buf = append(e.buf, 0)
+			e.uvarint(zeros)
+			zeros = 0
+		}
+	}
+	for _, w := range words {
+		d := w ^ prev
+		prev = w
+		if d == 0 {
+			zeros++
+			continue
+		}
+		flushZeros()
+		e.uvarint(d)
+	}
+	flushZeros()
+}
+
+// decodeResultWords streams the n delta-decoded verdict words of a
+// result body into emit(j, word). The caller fixes n from the lease it
+// granted, so a hostile count can never size an allocation: the body
+// must decode to exactly n words or the decode errors (run lengths are
+// bounds-checked against the words still owed).
+func decodeResultWords(r *wireBuf, n int, emit func(j int, w uint64)) error {
+	cnt, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if cnt != uint64(n) {
+		return fmt.Errorf("expt: result carries %d words, want %d", cnt, n)
+	}
+	var prev uint64
+	for j := 0; j < n; {
+		delta, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if delta == 0 {
+			run, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if run == 0 || run > uint64(n-j) {
+				return fmt.Errorf("expt: zero-run of %d words with %d owed", run, n-j)
+			}
+			for k := uint64(0); k < run; k++ {
+				emit(j, prev)
+				j++
+			}
+			continue
+		}
+		prev ^= delta
+		emit(j, prev)
+		j++
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("expt: %d trailing bytes after result words", len(r.b))
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"sync"
 )
 
 // Manifest records the environment of one analysis run, so a
@@ -36,8 +37,29 @@ type Manifest struct {
 	GitDirty bool   `json:"git_dirty,omitempty"`
 }
 
+// buildVCS memoizes the build-info VCS stamp: debug.ReadBuildInfo
+// re-parses the embedded module data on every call, which showed up
+// as per-handshake cost once the distributed coordinator started
+// building one manifest per worker connection. The stamp is a
+// property of the binary, so reading it once is exact.
+var buildVCS = sync.OnceValues(func() (rev string, dirty bool) {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	return
+})
+
 // NewManifest captures the current process environment. Callers set
-// Seed themselves when the run is seeded.
+// Seed themselves when the run is seeded. Only the per-binary VCS
+// stamp is cached; environment-dependent fields (FTMC_WORKERS,
+// GOMAXPROCS) are read live on every call.
 func NewManifest() Manifest {
 	m := Manifest{
 		Schema:      SchemaVersion,
@@ -52,16 +74,7 @@ func NewManifest() Manifest {
 	if n, err := strconv.Atoi(m.FTMCWorkers); err == nil && n > 0 {
 		m.Workers = n
 	}
-	if bi, ok := debug.ReadBuildInfo(); ok {
-		for _, s := range bi.Settings {
-			switch s.Key {
-			case "vcs.revision":
-				m.GitRev = s.Value
-			case "vcs.modified":
-				m.GitDirty = s.Value == "true"
-			}
-		}
-	}
+	m.GitRev, m.GitDirty = buildVCS()
 	return m
 }
 
